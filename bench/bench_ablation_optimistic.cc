@@ -1,0 +1,66 @@
+// Ablation D — pessimistic (TART) vs optimistic (Time Warp) determinism.
+//
+// §II.D draws the contrast: "Unlike Jefferson's Time Warp algorithm ... in
+// which messages are optimistically processed first-come first-served, and
+// then rolled back and re-executed if out-of-order messages arrive, TART's
+// scheduling algorithm is pessimistic." This ablation quantifies the
+// trade under the Figure-4 setting (realistic skewed jitter, estimator
+// coefficient swept around its calibrated value): pessimism pays waiting
+// time proportional to estimator error; optimism pays rollbacks and
+// re-execution proportional to arrival-order inversions — and needs
+// anti-message/commit machinery for external output that this cost model
+// doesn't even charge for.
+#include <cstdio>
+
+#include "exp_util.h"
+#include "sim/tart_sim.h"
+
+int main() {
+  tart::bench::banner(
+      "Ablation D: pessimistic (TART) vs optimistic (Time Warp) merger",
+      "S II.D contrast, under the Figure-4 jitter setting");
+
+  tart::sim::EmpiricalJitterBank::Config bank_cfg;
+  const tart::sim::EmpiricalJitterBank bank(bank_cfg);
+
+  tart::sim::SimConfig base;
+  base.duration_us = 30e6;
+  base.seed = 5;
+  base.bank = &bank;
+
+  tart::bench::Table table({"estimator (us/iter)", "pessimistic (us)",
+                            "pessimism (us/msg)", "optimistic (us)",
+                            "rollbacks", "re-exec/msg", "optimistic util"});
+  for (int coef_us = 48; coef_us <= 70; coef_us += 4) {
+    tart::sim::SimConfig cfg = base;
+    cfg.estimator_ns_per_iter = coef_us * 1000.0;
+
+    cfg.mode = tart::sim::SimMode::kDeterministic;
+    const auto pess = run_simulation(cfg);
+    cfg.mode = tart::sim::SimMode::kOptimistic;
+    const auto opt = run_simulation(cfg);
+
+    const double msgs = static_cast<double>(
+        std::max<std::uint64_t>(pess.completed, 1));
+    table.row({
+        tart::bench::fmt("%d", coef_us),
+        tart::bench::fmt("%.0f", pess.avg_latency_us),
+        tart::bench::fmt("%.1f", pess.pessimism_wait_us / msgs),
+        tart::bench::fmt("%.0f", opt.avg_latency_us),
+        tart::bench::fmt("%llu",
+                         static_cast<unsigned long long>(opt.rollbacks)),
+        tart::bench::fmt("%.3f", static_cast<double>(opt.reexecutions) /
+                                     msgs),
+        tart::bench::fmt("%.2f", opt.merger_utilization),
+    });
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: optimism's rollbacks and wasted re-execution track\n"
+      "the out-of-order rate (worst far from the calibrated coefficient),\n"
+      "inflating utilization; pessimism converts the same estimator error\n"
+      "into bounded waiting instead of wasted work — and never needs\n"
+      "rollback support in components at all (the reason TART can keep\n"
+      "state in ordinary variables).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Ablation A — silence-propagation strategies (§II.G.3, §II.H, §II.G.1).
+//
+// Part 1 sweeps traffic density with symmetric senders, comparing
+// curiosity-driven probing against pure lazy propagation (silence implied
+// only by later data). Expected: lazy degrades sharply as traffic thins
+// (pessimism delays only resolve on the next unrelated message) while
+// curiosity stays bounded by the probe round trip.
+//
+// Part 2 is the hyper-aggressive "bias algorithm" setting (§II.G.1, after
+// Aguilera & Strom): senders with ASYMMETRIC rates. The slow sender's data
+// is delayed onto a coarse grid matched to its own inter-arrival gap, so
+// (a) each of its rare messages implies a long silence range, and (b) the
+// receiver infers the silent ticks between grid boundaries by
+// construction. This unblocks the fast stream at the cost of added latency
+// on the slow one — which is why re-tuning the bias is a determinism fault
+// while switching lazy<->curiosity is not.
+#include <cstdio>
+
+#include "exp_util.h"
+#include "sim/tart_sim.h"
+
+namespace {
+
+void run_part1() {
+  std::printf("\nPart 1: symmetric senders, strategy vs traffic density\n");
+  tart::bench::Table table({"inter-arrival (us)", "strategy", "latency (us)",
+                            "p95 (us)", "probes/msg", "pessimism (us/msg)"});
+  for (const double arrival_us : {1000.0, 5000.0, 20000.0}) {
+    for (const bool curiosity : {true, false}) {
+      tart::sim::SimConfig cfg;
+      cfg.duration_us = 30e6;
+      cfg.seed = 13;
+      cfg.arrival_mean_us = arrival_us;
+      cfg.mode = tart::sim::SimMode::kDeterministic;
+      cfg.silence = curiosity ? tart::sim::SimSilence::kCuriosity
+                              : tart::sim::SimSilence::kLazy;
+      const auto r = run_simulation(cfg);
+      const double msgs = static_cast<double>(
+          std::max<std::uint64_t>(r.completed, 1));
+      table.row({
+          tart::bench::fmt("%.0f", arrival_us),
+          curiosity ? "curiosity" : "lazy",
+          tart::bench::fmt("%.0f", r.avg_latency_us),
+          tart::bench::fmt("%.0f", r.p95_latency_us),
+          tart::bench::fmt("%.2f", static_cast<double>(r.probes) / msgs),
+          tart::bench::fmt("%.1f", r.pessimism_wait_us / msgs),
+      });
+    }
+  }
+  table.print();
+}
+
+void run_part2() {
+  std::printf(
+      "\nPart 2: asymmetric rates (sender 0 slow at 20 ms, sender 1 fast at "
+      "1 ms);\nbias grid = slow inter-arrival (20 ms)\n");
+  tart::bench::Table table({"strategy", "bias window", "latency (us)",
+                            "p50 (us)", "p95 (us)", "max (us)",
+                            "probes/msg"});
+  for (const bool curiosity : {false, true}) {
+    for (const std::int64_t bias_ms : {0LL, 2LL, 5LL, 10LL}) {
+      tart::sim::SimConfig cfg;
+      cfg.duration_us = 60e6;
+      cfg.seed = 29;
+      cfg.arrival_mean_us = 1000.0;        // fast sender
+      cfg.slow_arrival_mean_us = 20000.0;  // slow sender (sender 0)
+      cfg.mode = tart::sim::SimMode::kDeterministic;
+      cfg.silence = curiosity ? tart::sim::SimSilence::kCuriosity
+                              : tart::sim::SimSilence::kLazy;
+      if (bias_ms > 0) {
+        cfg.biased_sender = 0;
+        cfg.bias_ns = bias_ms * 1'000'000;
+      }
+      const auto r = run_simulation(cfg);
+      const double msgs = static_cast<double>(
+          std::max<std::uint64_t>(r.completed, 1));
+      table.row({
+          curiosity ? "curiosity" : "lazy",
+          bias_ms == 0 ? std::string("off")
+                       : tart::bench::fmt("%lld ms",
+                                          static_cast<long long>(bias_ms)),
+          tart::bench::fmt("%.0f", r.avg_latency_us),
+          tart::bench::fmt("%.0f", r.p50_latency_us),
+          tart::bench::fmt("%.0f", r.p95_latency_us),
+          tart::bench::fmt("%.0f", r.max_latency_us),
+          tart::bench::fmt("%.2f", static_cast<double>(r.probes) / msgs),
+      });
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: under lazy propagation the fast stream stalls on\n"
+      "the slow sender's scarce implied silence; widening the bias grid\n"
+      "releases it (each rare slow message, delayed onto the grid, implies\n"
+      "a long silence range) at the cost of a growing slow-message tail\n"
+      "(max latency) — the window must stay well under the slow gap or the\n"
+      "stamping random walk diverges. Under curiosity the probes already\n"
+      "chase silence and the bias adds nothing — matching the paper's\n"
+      "\"in the absence of aggressive silence propagation protocols\"\n"
+      "qualifier.\n");
+}
+
+}  // namespace
+
+int main() {
+  tart::bench::banner("Ablation A: silence-propagation strategies",
+                      "S II.G.3 / S II.G.1 (lazy / curiosity / "
+                      "hyper-aggressive bias)");
+  run_part1();
+  run_part2();
+  return 0;
+}

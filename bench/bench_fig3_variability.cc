@@ -1,0 +1,76 @@
+// Figure 3 — "Latency as a function of variability of sender computation."
+//
+// Simulated three-processor deployment of the Figure-1 system (§III.A):
+// senders run 60 us/iteration loops (mean 10 iterations per message),
+// per-virtual-tick real-time jitter is N(1, 0.1^2), curiosity probes cost
+// 20 us, external clients are Poisson at 1 msg/1000 us/sender, and the
+// merger takes a fixed 400 us/event (sender processors ~60% utilized,
+// merger ~80%).
+//
+// Variability is staged from constant (always 10 iterations) to uniform
+// [1, 19], and three execution modes are compared: Non-deterministic
+// (arrival order), Deterministic (virtual-time order, curiosity silence,
+// non-prescient busy senders), and Prescient (busy senders know the
+// remaining iteration count).
+//
+// Paper's findings to reproduce: greater variability -> greater latency in
+// every mode; determinism overhead stays small (2.8%-4.1%) and roughly
+// flat; prescience is only slightly better.
+#include <cstdio>
+
+#include "exp_util.h"
+#include "sim/tart_sim.h"
+
+int main() {
+  tart::bench::banner("Figure 3: latency vs variability of sender computation",
+                      "S III.A, Figure 3 (overhead 2.8%-4.1%; prescient "
+                      "slightly better)");
+
+  const std::vector<tart::sim::IterationDist> stages = {
+      {10, 10}, {8, 12}, {6, 14}, {4, 16}, {2, 18}, {1, 19}};
+
+  tart::bench::Table table({"SD compute (us)", "iterations",
+                            "non-det (us)", "det (us)", "det ovh",
+                            "prescient (us)", "presc ovh", "probes/msg",
+                            "out-of-order"});
+
+  for (const auto& iters : stages) {
+    tart::sim::SimConfig cfg;
+    cfg.duration_us = 60e6;  // one simulated minute
+    cfg.seed = 7;
+    cfg.iterations = iters;
+
+    cfg.mode = tart::sim::SimMode::kNonDeterministic;
+    const auto nd = run_simulation(cfg);
+    cfg.mode = tart::sim::SimMode::kDeterministic;
+    const auto det = run_simulation(cfg);
+    cfg.mode = tart::sim::SimMode::kPrescient;
+    const auto pre = run_simulation(cfg);
+
+    table.row({
+        tart::bench::fmt("%.1f", iters.compute_sd_us(60.0)),
+        tart::bench::fmt("[%d,%d]", iters.min, iters.max),
+        tart::bench::fmt("%.0f", nd.avg_latency_us),
+        tart::bench::fmt("%.0f", det.avg_latency_us),
+        tart::bench::fmt("%+.1f%%", 100.0 *
+                                        (det.avg_latency_us -
+                                         nd.avg_latency_us) /
+                                        nd.avg_latency_us),
+        tart::bench::fmt("%.0f", pre.avg_latency_us),
+        tart::bench::fmt("%+.1f%%", 100.0 *
+                                        (pre.avg_latency_us -
+                                         nd.avg_latency_us) /
+                                        nd.avg_latency_us),
+        tart::bench::fmt("%.2f", static_cast<double>(det.probes) /
+                                     static_cast<double>(det.completed)),
+        tart::bench::fmt("%llu",
+                         static_cast<unsigned long long>(det.out_of_order)),
+    });
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper): latency grows with variability in every\n"
+      "mode; determinism overhead small (2.8%%-4.1%%) and insensitive to\n"
+      "variability; prescient only slightly better than deterministic.\n");
+  return 0;
+}

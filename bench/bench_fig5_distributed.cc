@@ -1,0 +1,220 @@
+// Figure 5 — "Performance of a real two-machine distributed
+// implementation."
+//
+// Unlike Figures 3/4 this is NOT a simulation: it runs the actual TART
+// runtime (threads, frames, serialization, simulated physical links with
+// real delays standing in for the paper's two machines — see DESIGN.md
+// substitutions). A variation of the Figure-1 application with
+// constant-time services and ad-hoc (constant) estimators: senders on
+// engine 0, the merger on engine 1. Three configurations are compared
+// over ~2800 web requests:
+//
+//   non-deterministic            — arrival-order scheduling,
+//   deterministic, lazy silence  — silence implied by data only,
+//   deterministic, curiosity     — probes chase silence during delays.
+//
+// Paper's findings to reproduce: lazy silence suffers large latencies
+// (pessimism delays only resolve on the next unrelated message), while
+// curiosity-based propagation stays under ~20% over non-deterministic.
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apps/wordcount.h"
+#include "core/runtime.h"
+#include "estimator/comm_delay.h"
+#include "estimator/estimator.h"
+#include "exp_util.h"
+#include "stats/online_stats.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using tart::EngineId;
+using tart::PortId;
+using tart::core::RuntimeConfig;
+using tart::core::SchedulingMode;
+using tart::core::Topology;
+
+constexpr int kRequestsPerSender = 1400;  // ~2800 total, as in Figure 5
+// Constant-time services: the service duration is slept, not spun, so the
+// benchmark measures scheduling/silence effects rather than CPU contention
+// (this harness typically runs on far fewer cores than the paper's two
+// machines provided).
+constexpr std::int64_t kSenderSpinNs = 800'000;
+constexpr std::int64_t kMergerSpinNs = 500'000;
+constexpr auto kInterArrival = 1500us;  // per sender; merger ~67% utilized
+
+struct RunOutcome {
+  std::vector<double> latencies_us;  // in completion order
+  double avg = 0, p95 = 0;
+  std::uint64_t probes = 0;
+  double pessimism_ms = 0;
+};
+
+RunOutcome run_config(SchedulingMode mode, bool curiosity) {
+  Topology topo;
+  const auto s1 = topo.add("sender1", [] {
+    return std::make_unique<tart::apps::SpinService>(kSenderSpinNs,
+                                                     /*spin=*/false);
+  });
+  const auto s2 = topo.add("sender2", [] {
+    return std::make_unique<tart::apps::SpinService>(kSenderSpinNs,
+                                                     /*spin=*/false);
+  });
+  const auto merger = topo.add("merger", [] {
+    return std::make_unique<tart::apps::SpinService>(kMergerSpinNs,
+                                                     /*spin=*/false);
+  });
+  // Ad-hoc constant estimators roughly matching the spin times.
+  for (const auto c : {s1, s2}) {
+    topo.set_estimator(c, [] {
+      return std::make_unique<tart::estimator::ConstantEstimator>(
+          tart::TickDuration(kSenderSpinNs));
+    });
+  }
+  topo.set_estimator(merger, [] {
+    return std::make_unique<tart::estimator::ConstantEstimator>(
+        tart::TickDuration(kMergerSpinNs));
+  });
+
+  const auto in1 = topo.external_input(s1, PortId(0));
+  const auto in2 = topo.external_input(s2, PortId(0));
+  const auto w1 = topo.connect(s1, PortId(0), merger, PortId(0));
+  const auto w2 = topo.connect(s2, PortId(0), merger, PortId(0));
+  const auto out = topo.external_output(merger, PortId(0));
+
+  RuntimeConfig config;
+  config.mode = mode;
+  config.silence.curiosity = curiosity;
+  config.silence.probe_interval = 100us;
+  // The two "machines": a simulated link with a real 100 us one-way delay.
+  tart::transport::LinkConfig link;
+  link.base_delay = 100us;
+  link.delay_jitter = 30us;
+  link.seed = 17;
+  config.links[{EngineId(0), EngineId(1)}] = link;
+  // Cross-engine wires carry a matching constant delay estimate.
+  for (const auto w : {w1, w2}) {
+    config.comm_delay[w] = [] {
+      return std::make_unique<tart::estimator::ConstantDelayEstimator>(
+          tart::TickDuration::micros(115));
+    };
+  }
+
+  tart::core::Runtime rt(
+      topo, {{s1, EngineId(0)}, {s2, EngineId(0)}, {merger, EngineId(1)}},
+      config);
+
+  RunOutcome outcome;
+  std::mutex mu;
+  rt.subscribe(out, [&](tart::VirtualTime, const tart::Payload& p, bool) {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const double sent_ns = static_cast<double>(p.as_ints()[0]);
+    const double latency_us =
+        (static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                 .count()) -
+         sent_ns) /
+        1000.0;
+    const std::lock_guard<std::mutex> lk(mu);
+    outcome.latencies_us.push_back(latency_us);
+  });
+
+  rt.start();
+  // Paced request generators, one thread per external producer.
+  auto feed = [&rt](tart::WireId wire) {
+    auto next = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRequestsPerSender; ++i) {
+      next += kInterArrival;
+      std::this_thread::sleep_until(next);
+      const auto now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      rt.inject(wire, tart::Payload(std::vector<std::int64_t>{now_ns}));
+    }
+  };
+  std::thread f1(feed, in1);
+  std::thread f2(feed, in2);
+  f1.join();
+  f2.join();
+  rt.drain(60s);
+
+  const auto m = rt.metrics(merger);
+  outcome.probes = m.probes_sent;
+  outcome.pessimism_ms = static_cast<double>(m.pessimism_wait_ns) / 1e6;
+  rt.stop();
+
+  tart::stats::OnlineStats stats;
+  std::vector<double> sorted = outcome.latencies_us;
+  for (const double v : sorted) stats.add(v);
+  std::sort(sorted.begin(), sorted.end());
+  outcome.avg = stats.mean();
+  if (!sorted.empty())
+    outcome.p95 = sorted[static_cast<std::size_t>(
+        static_cast<double>(sorted.size() - 1) * 0.95)];
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  tart::bench::banner(
+      "Figure 5: real two-engine distributed run (threads + links)",
+      "S III.C, Figure 5 (lazy silence far worse; curiosity <20% over "
+      "non-deterministic)");
+
+  std::printf("Running non-deterministic baseline...\n");
+  const RunOutcome nd = run_config(SchedulingMode::kArrivalOrder, false);
+  std::printf("Running deterministic + lazy silence...\n");
+  const RunOutcome lazy = run_config(SchedulingMode::kDeterministic, false);
+  std::printf("Running deterministic + curiosity silence...\n");
+  const RunOutcome cur = run_config(SchedulingMode::kDeterministic, true);
+
+  tart::bench::Table table({"configuration", "completed", "avg latency (us)",
+                            "p95 (us)", "vs non-det", "probes",
+                            "pessimism (ms)"});
+  const auto add = [&](const char* name, const RunOutcome& r) {
+    table.row({name, tart::bench::fmt("%zu", r.latencies_us.size()),
+               tart::bench::fmt("%.0f", r.avg),
+               tart::bench::fmt("%.0f", r.p95),
+               tart::bench::fmt("%+.1f%%",
+                                100.0 * (r.avg - nd.avg) / nd.avg),
+               tart::bench::fmt("%llu",
+                                static_cast<unsigned long long>(r.probes)),
+               tart::bench::fmt("%.1f", r.pessimism_ms)});
+  };
+  add("non-deterministic", nd);
+  add("deterministic, lazy silence", lazy);
+  add("deterministic, curiosity", cur);
+  table.print();
+
+  // The per-request latency series of the paper's figure, bucketed.
+  std::printf("\nLatency by request-number window (us):\n");
+  tart::bench::Table series({"requests", "non-det", "det lazy",
+                             "det curiosity"});
+  const std::size_t n = std::min({nd.latencies_us.size(),
+                                  lazy.latencies_us.size(),
+                                  cur.latencies_us.size()});
+  const std::size_t window = std::max<std::size_t>(n / 8, 1);
+  for (std::size_t start = 0; start + window <= n; start += window) {
+    auto window_avg = [&](const std::vector<double>& xs) {
+      double sum = 0;
+      for (std::size_t i = start; i < start + window; ++i) sum += xs[i];
+      return sum / static_cast<double>(window);
+    };
+    series.row({tart::bench::fmt("%zu-%zu", start + 1, start + window),
+                tart::bench::fmt("%.0f", window_avg(nd.latencies_us)),
+                tart::bench::fmt("%.0f", window_avg(lazy.latencies_us)),
+                tart::bench::fmt("%.0f", window_avg(cur.latencies_us))});
+  }
+  series.print();
+  std::printf(
+      "\nExpected shape (paper): lazy silence far above the others (its\n"
+      "pessimism delays only resolve when unrelated traffic implies\n"
+      "silence); curiosity stays within ~20%% of non-deterministic.\n");
+  return 0;
+}

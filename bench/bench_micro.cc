@@ -1,0 +1,153 @@
+// Microbenchmarks (google-benchmark) for the hot data structures: the
+// pessimistic-merge inbox, message serialization, incremental checkpoint
+// capture, estimator evaluation, and retention maintenance. These bound
+// the per-message bookkeeping cost of determinism, which the paper argues
+// must stay far below transaction-commit costs.
+#include <benchmark/benchmark.h>
+
+#include "checkpoint/checkpointed_map.h"
+#include "checkpoint/snapshot.h"
+#include "common/rng.h"
+#include "estimator/estimator.h"
+#include "wire/inbox.h"
+#include "wire/retention_buffer.h"
+
+namespace {
+
+using namespace tart;
+
+Message make_msg(WireId wire, std::int64_t vt, std::uint64_t seq) {
+  Message m;
+  m.wire = wire;
+  m.vt = VirtualTime(vt);
+  m.seq = seq;
+  m.payload = Payload(std::int64_t{42});
+  return m;
+}
+
+void BM_InboxOfferPop2Wires(benchmark::State& state) {
+  Inbox inbox;
+  inbox.add_wire(WireId(0));
+  inbox.add_wire(WireId(1));
+  std::int64_t vt = 0;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    ++vt;
+    (void)inbox.offer(make_msg(WireId(0), vt, seq));
+    (void)inbox.offer(make_msg(WireId(1), vt + 1, seq));
+    ++seq;
+    benchmark::DoNotOptimize(inbox.pop());
+    benchmark::DoNotOptimize(inbox.pop());
+    vt += 2;
+  }
+}
+BENCHMARK(BM_InboxOfferPop2Wires);
+
+void BM_InboxOfferPopWide(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Inbox inbox;
+  for (std::uint32_t i = 0; i < n; ++i) inbox.add_wire(WireId(i));
+  std::int64_t vt = 0;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < n; ++i)
+      (void)inbox.offer(make_msg(WireId(i), vt + i + 1, seq));
+    ++seq;
+    for (std::uint32_t i = 0; i < n; ++i)
+      benchmark::DoNotOptimize(inbox.pop());
+    vt += n + 1;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InboxOfferPopWide)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  Message m = make_msg(WireId(3), 233000, 17);
+  m.payload = Payload(std::vector<std::string>{"the", "cat", "sat"});
+  for (auto _ : state) {
+    serde::Writer w;
+    m.encode(w);
+    serde::Reader r(w.bytes());
+    benchmark::DoNotOptimize(Message::decode(r));
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_CheckpointedMapPut(benchmark::State& state) {
+  checkpoint::CheckpointedMap<std::string, std::int64_t> map;
+  Rng rng(1);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back("word" + std::to_string(i));
+  for (auto _ : state) {
+    map.update(keys[rng.bounded(keys.size())],
+               [](std::int64_t& v) { ++v; });
+  }
+}
+BENCHMARK(BM_CheckpointedMapPut);
+
+void BM_DeltaCapture(benchmark::State& state) {
+  const auto dirty = static_cast<int>(state.range(0));
+  checkpoint::CheckpointedMap<std::string, std::int64_t> map;
+  for (int i = 0; i < 10000; ++i) map.put("word" + std::to_string(i), i);
+  {
+    serde::Writer discard;
+    map.capture_delta(discard);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < dirty; ++i)
+      map.update("word" + std::to_string(rng.bounded(10000)),
+                 [](std::int64_t& v) { ++v; });
+    state.ResumeTiming();
+    serde::Writer w;
+    map.capture_delta(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_DeltaCapture)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_FullCapture10k(benchmark::State& state) {
+  checkpoint::CheckpointedMap<std::string, std::int64_t> map;
+  for (int i = 0; i < 10000; ++i) map.put("word" + std::to_string(i), i);
+  for (auto _ : state) {
+    serde::Writer w;
+    map.capture_full(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_FullCapture10k);
+
+void BM_LinearEstimate(benchmark::State& state) {
+  const estimator::LinearEstimator est({0.0, 61827.0, 120.0, 45.0});
+  estimator::BlockCounters counters;
+  counters.count(0, 10);
+  counters.count(1, 3);
+  counters.count(2, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(est.estimate(counters));
+}
+BENCHMARK(BM_LinearEstimate);
+
+void BM_RetentionRecordTrim(benchmark::State& state) {
+  RetentionBuffer buf;
+  std::uint64_t seq = 0;
+  std::int64_t vt = 0;
+  for (auto _ : state) {
+    buf.record(make_msg(WireId(0), ++vt, seq++));
+    if (seq % 64 == 0) buf.acknowledge_through(VirtualTime(vt - 8));
+  }
+}
+BENCHMARK(BM_RetentionRecordTrim);
+
+void BM_PayloadRoundTrip(benchmark::State& state) {
+  const Payload p(std::vector<std::string>{"a", "sentence", "of", "words"});
+  for (auto _ : state) {
+    serde::Writer w;
+    p.encode(w);
+    serde::Reader r(w.bytes());
+    benchmark::DoNotOptimize(Payload::decode(r));
+  }
+}
+BENCHMARK(BM_PayloadRoundTrip);
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Throughput saturation (§III.A, text) — "we were unable to detect any
+// throughput degradation due to determinism at all! ... In both
+// deterministic and non-deterministic execution modes, the system
+// saturated at 1235 messages/second."
+//
+// The merger's capacity bound is 1/(2 senders x 400 us) = 1250 msg/s per
+// sender; the paper measured saturation at 1235. This bench ramps the
+// external rate and reports, per mode, the highest stable rate. The
+// paper-shape claim to reproduce: both modes saturate at the same rate
+// (determinism costs latency, not throughput), just under the capacity
+// bound.
+#include <cstdio>
+
+#include "exp_util.h"
+#include "sim/tart_sim.h"
+
+namespace {
+
+bool stable_at(double rate_per_sec, tart::sim::SimMode mode) {
+  tart::sim::SimConfig cfg;
+  cfg.duration_us = 20e6;
+  cfg.seed = 11;
+  cfg.mode = mode;
+  cfg.arrival_mean_us = 1e6 / rate_per_sec;
+  const auto r = run_simulation(cfg);
+  // Unstable runs leave a growing backlog: they fail to drain within the
+  // grace window or blow up the queue.
+  return r.stable && r.peak_merger_queue < 200;
+}
+
+}  // namespace
+
+int main() {
+  tart::bench::banner(
+      "Throughput saturation: deterministic vs non-deterministic",
+      "S III.A text (both modes saturate at ~1235 msg/s/sender; capacity "
+      "bound 1250)");
+
+  tart::bench::Table table(
+      {"rate (msg/s/sender)", "non-det", "deterministic"});
+  double sat_nd = 0, sat_det = 0;
+  for (double rate = 1000; rate <= 1400; rate += 50) {
+    const bool nd = stable_at(rate, tart::sim::SimMode::kNonDeterministic);
+    const bool det = stable_at(rate, tart::sim::SimMode::kDeterministic);
+    if (nd) sat_nd = rate;
+    if (det) sat_det = rate;
+    table.row({tart::bench::fmt("%.0f", rate), nd ? "stable" : "UNSTABLE",
+               det ? "stable" : "UNSTABLE"});
+  }
+  table.print();
+
+  // Bisect the saturation point per mode to ~5 msg/s.
+  for (const auto mode : {tart::sim::SimMode::kNonDeterministic,
+                          tart::sim::SimMode::kDeterministic}) {
+    double lo = 1000, hi = 1400;
+    while (hi - lo > 5) {
+      const double mid = (lo + hi) / 2;
+      (stable_at(mid, mode) ? lo : hi) = mid;
+    }
+    std::printf("%s saturation: ~%.0f msg/s/sender (paper: 1235)\n",
+                mode == tart::sim::SimMode::kNonDeterministic
+                    ? "Non-deterministic"
+                    : "Deterministic   ",
+                lo);
+    if (mode == tart::sim::SimMode::kNonDeterministic) {
+      sat_nd = lo;
+    } else {
+      sat_det = lo;
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): identical saturation in both modes —\n"
+      "determinism adds pessimism latency but no throughput cost. "
+      "Measured gap: %.0f msg/s.\n",
+      sat_nd - sat_det);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Failover walkthrough: what an external consumer observes across an
+// engine crash.
+//
+// The correctness criterion (§II.A): despite fail-stop failures, observed
+// behaviour equals some failure-free execution "except for possible output
+// stutter" — the system may roll back and re-deliver already-delivered
+// external messages, carrying duplicate timestamps that the consumer can
+// discard. This demo runs the Figure-1 pipeline, kills the merger's
+// engine mid-stream, fails over to the passive replica, and prints the
+// consumer's view: the stutter records are exactly the re-deliveries, and
+// the deduplicated stream equals a never-failed run.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "apps/wordcount.h"
+#include "core/runtime.h"
+#include "estimator/estimator.h"
+
+using namespace tart;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Pipeline {
+  core::Topology topo;
+  ComponentId sender1, sender2, merger;
+  WireId in1, in2, out;
+
+  Pipeline() {
+    sender1 = topo.add("sender1", [] {
+      return std::make_unique<apps::WordCountSender>();
+    });
+    sender2 = topo.add("sender2", [] {
+      return std::make_unique<apps::WordCountSender>();
+    });
+    merger = topo.add("merger", [] {
+      return std::make_unique<apps::TotalingMerger>();
+    });
+    for (const auto c : {sender1, sender2}) {
+      topo.set_estimator(
+          c, [] { return estimator::per_iteration_estimator(61000.0); });
+    }
+    topo.set_estimator(merger, [] {
+      return std::make_unique<estimator::ConstantEstimator>(
+          TickDuration::micros(400));
+    });
+    in1 = topo.external_input(sender1, PortId(0));
+    in2 = topo.external_input(sender2, PortId(0));
+    topo.connect(sender1, PortId(0), merger, PortId(0));
+    topo.connect(sender2, PortId(0), merger, PortId(0));
+    out = topo.external_output(merger, PortId(0));
+  }
+
+  void inject(core::Runtime& rt, int from, int count) const {
+    for (int i = from; i < from + count; ++i) {
+      rt.inject_at(in1, VirtualTime(1000 + i * 1'000'000),
+                   apps::sentence({"alpha", "beta", "gamma"}));
+      rt.inject_at(in2, VirtualTime(500 + i * 900'000),
+                   apps::sentence({"delta", "epsilon"}));
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Reference: the same workload with no failure.
+  std::int64_t reference_total = 0;
+  std::size_t reference_count = 0;
+  {
+    Pipeline ref;
+    core::RuntimeConfig config;
+    config.checkpoint.every_n_messages = 3;
+    core::Runtime rt(ref.topo, {{ref.sender1, EngineId(0)},
+                                {ref.sender2, EngineId(0)},
+                                {ref.merger, EngineId(1)}},
+                     config);
+    rt.start();
+    ref.inject(rt, 0, 12);
+    rt.drain();
+    const auto records = rt.output_records(ref.out);
+    reference_count = records.size();
+    reference_total = records.back().payload.as_int();
+    rt.stop();
+  }
+  std::printf("reference run (no failure): %zu outputs, final total %lld\n\n",
+              reference_count, static_cast<long long>(reference_total));
+
+  Pipeline p;
+  core::RuntimeConfig config;
+  config.checkpoint.every_n_messages = 3;  // soft checkpoint cadence
+  core::Runtime rt(p.topo, {{p.sender1, EngineId(0)},
+                            {p.sender2, EngineId(0)},
+                            {p.merger, EngineId(1)}},
+                   config);
+  rt.start();
+
+  std::printf("phase 1: streaming 6 sentences per sender...\n");
+  p.inject(rt, 0, 6);
+  std::this_thread::sleep_for(30ms);  // let processing + checkpoints land
+
+  std::printf(
+      "phase 2: FAIL-STOP of the merger's engine (state, queues and\n"
+      "         retention lost); passive replica holds %llu checkpoints\n",
+      static_cast<unsigned long long>(rt.replica().snapshots_received()));
+  rt.crash_engine(EngineId(1));
+
+  std::printf(
+      "phase 3: failover — restore from replica, reconnect, replay\n");
+  rt.recover_engine(EngineId(1));
+
+  std::printf("phase 4: streaming continues as if nothing happened...\n");
+  p.inject(rt, 6, 6);
+  rt.drain();
+
+  const auto records = rt.output_records(p.out);
+  std::size_t stutter = 0;
+  std::size_t clean = 0;
+  for (const auto& r : records) (r.stutter ? stutter : clean)++;
+  std::printf(
+      "\nconsumer view: %zu records delivered, of which %zu are output\n"
+      "stutter (re-deliveries with duplicate timestamps, trivially\n"
+      "discarded by the consumer).\n",
+      records.size(), stutter);
+  std::printf("deduplicated stream: %zu outputs, final total %lld\n", clean,
+              static_cast<long long>(records.back().payload.as_int()));
+  std::printf("matches the never-failed run: %s\n",
+              (clean == reference_count &&
+               records.back().payload.as_int() == reference_total)
+                  ? "YES"
+                  : "NO (bug!)");
+  std::printf(
+      "duplicates discarded inside the fabric (replayed inter-component\n"
+      "messages with known timestamps): %llu\n",
+      static_cast<unsigned long long>(
+          rt.total_metrics().duplicates_discarded));
+  rt.stop();
+  return 0;
+}

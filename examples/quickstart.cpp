@@ -1,0 +1,77 @@
+// Quickstart: the paper's Figure-1 application in ~60 lines.
+//
+// Two word-count senders (Code Body 1) fan into a totaling merger. The
+// TART runtime augments every message with a virtual time computed by the
+// senders' estimators and schedules the merger pessimistically in
+// virtual-time order — so the run is deterministic: re-run it and you get
+// byte-identical output, which is what makes checkpoint-replay recovery
+// possible.
+#include <cstdio>
+
+#include "apps/wordcount.h"
+#include "core/runtime.h"
+#include "estimator/estimator.h"
+
+using namespace tart;
+
+int main() {
+  // 1. Describe the application graph (components + wires).
+  core::Topology topo;
+  const auto sender1 = topo.add("sender1", [] {
+    return std::make_unique<apps::WordCountSender>();
+  });
+  const auto sender2 = topo.add("sender2", [] {
+    return std::make_unique<apps::WordCountSender>();
+  });
+  const auto merger = topo.add("merger", [] {
+    return std::make_unique<apps::TotalingMerger>();
+  });
+
+  // 2. Attach estimators: senders take ~61 us per word (Equation 2-style),
+  //    the merger a constant 400 us per event.
+  for (const auto c : {sender1, sender2}) {
+    topo.set_estimator(
+        c, [] { return estimator::per_iteration_estimator(61000.0); });
+  }
+  topo.set_estimator(merger, [] {
+    return std::make_unique<estimator::ConstantEstimator>(
+        TickDuration::micros(400));
+  });
+
+  // 3. Wire it up: external inputs feed the senders; both senders feed the
+  //    merger; the merger feeds an external consumer.
+  const auto in1 = topo.external_input(sender1, PortId(0));
+  const auto in2 = topo.external_input(sender2, PortId(0));
+  topo.connect(sender1, PortId(0), merger, PortId(0));
+  topo.connect(sender2, PortId(0), merger, PortId(0));
+  const auto out = topo.external_output(merger, PortId(0));
+
+  // 4. Deploy everything onto one engine and subscribe to the output.
+  core::Runtime rt(topo,
+                   {{sender1, EngineId(0)},
+                    {sender2, EngineId(0)},
+                    {merger, EngineId(0)}},
+                   core::RuntimeConfig{});
+  rt.subscribe(out, [](VirtualTime vt, const Payload& p, bool stutter) {
+    std::printf("  output @ vt %lld : running total %lld%s\n",
+                static_cast<long long>(vt.ticks()),
+                static_cast<long long>(p.as_int()),
+                stutter ? "  (stutter)" : "");
+  });
+  rt.start();
+
+  // 5. Feed the paper's worked example: messages at virtual times 50000
+  //    and 80000 with sentence lengths 3 and 2. Even though sender1's
+  //    message is injected first, the merger deterministically processes
+  //    sender2's first (earlier virtual time: 80000 + 2*61000 < 50000 +
+  //    3*61000).
+  std::printf("injecting the paper's S II.E example...\n");
+  rt.inject_at(in1, VirtualTime(50000),
+               apps::sentence({"the", "cat", "sat"}));
+  rt.inject_at(in2, VirtualTime(80000), apps::sentence({"dog", "ran"}));
+
+  rt.drain();
+  rt.stop();
+  std::printf("deterministic run complete; re-run me: identical output.\n");
+  return 0;
+}

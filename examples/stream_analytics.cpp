@@ -1,0 +1,113 @@
+// Stream analytics: a payments-monitoring pipeline built entirely from the
+// operator library — the class of stateful event-processing application the
+// paper's middleware targets (§I.A).
+//
+//   transactions ──> normalize ──> filter ──> window-sum ──┐
+//                                                          ├──> join ──> dedup ──> out
+//   account limits ────────────────────────────────────────┘
+//
+// Per-account spending is summed over tumbling *virtual-time* windows,
+// joined against a reference stream of account limits, deduplicated, and
+// delivered to an external consumer. The whole pipeline is deterministic
+// and transparently recoverable: this demo crashes the stateful engine in
+// the middle of the stream and shows the consumer's deduplicated output
+// and the operators' state are unaffected.
+#include <cstdio>
+#include <chrono>
+#include <thread>
+
+#include "apps/streamops.h"
+#include "core/runtime.h"
+#include "estimator/estimator.h"
+
+using namespace tart;
+using namespace std::chrono_literals;
+
+int main() {
+  core::Topology topo;
+  const auto normalize = topo.add("normalize", [] {
+    // Cents -> whole currency units.
+    return std::make_unique<apps::MapOperator>(1, 0);
+  });
+  const auto filter = topo.add("filter", [] {
+    // Ignore micro-transactions below 10 units.
+    return std::make_unique<apps::FilterOperator>(10, 1'000'000);
+  });
+  const auto windows = topo.add("window_sum", [] {
+    // Per-account spend per 5 ms of virtual time.
+    return std::make_unique<apps::TumblingWindowSum>(TickDuration::millis(5));
+  });
+  const auto join = topo.add("limit_join", [] {
+    return std::make_unique<apps::KeyedJoin>();
+  });
+  const auto dedup = topo.add("dedup", [] {
+    return std::make_unique<apps::DeduplicateOperator>();
+  });
+  for (const auto& spec : topo.components()) {
+    topo.set_estimator(spec.id, [] {
+      return std::make_unique<estimator::ConstantEstimator>(
+          TickDuration::micros(15));
+    });
+  }
+
+  const auto in_txn = topo.external_input(normalize, PortId(0));
+  const auto in_limits = topo.external_input(join, PortId(1));
+  topo.connect(normalize, PortId(0), filter, PortId(0));
+  topo.connect(filter, PortId(0), windows, PortId(0));
+  topo.connect(windows, PortId(0), join, PortId(0));
+  topo.connect(join, PortId(0), dedup, PortId(0));
+  const auto out = topo.external_output(dedup, PortId(0));
+
+  // Stateless front on engine 0; the stateful tail on engine 1 with
+  // frequent soft checkpoints.
+  std::map<ComponentId, EngineId> placement{{normalize, EngineId(0)},
+                                            {filter, EngineId(0)},
+                                            {windows, EngineId(1)},
+                                            {join, EngineId(1)},
+                                            {dedup, EngineId(1)}};
+  core::RuntimeConfig config;
+  config.checkpoint.every_n_messages = 8;
+  core::Runtime rt(topo, placement, config);
+  rt.subscribe(out, [](VirtualTime vt, const Payload& p, bool stutter) {
+    if (stutter) return;  // consumer compensates for output stutter
+    std::printf("  alert @ vt %-10lld account %lld: window spend + limit = %lld\n",
+                static_cast<long long>(vt.ticks()),
+                static_cast<long long>(apps::event_key(p)),
+                static_cast<long long>(apps::event_value(p)));
+  });
+  rt.start();
+
+  // Account limits (reference stream).
+  for (int account = 0; account < 3; ++account)
+    rt.inject_at(in_limits, VirtualTime(100 + account),
+                 apps::event(account, 10'000 * (account + 1)));
+
+  // Transactions, phase 1.
+  Rng rng(7);
+  auto inject_txns = [&](int from, int count) {
+    for (int i = from; i < from + count; ++i) {
+      rt.inject_at(in_txn, VirtualTime(50'000 + i * 150'000),
+                   apps::event(i % 3, rng.uniform_int(5, 500)));
+    }
+  };
+  inject_txns(0, 120);
+  std::this_thread::sleep_for(20ms);
+
+  std::printf("--- engine 1 (window/join/dedup state) FAILS and recovers ---\n");
+  rt.crash_engine(EngineId(1));
+  rt.recover_engine(EngineId(1));
+
+  inject_txns(120, 120);
+  rt.drain();
+
+  std::size_t alerts = 0, stutter = 0;
+  for (const auto& r : rt.output_records(out)) (r.stutter ? stutter : alerts)++;
+  std::printf(
+      "\n%zu alerts delivered (%zu stutter re-deliveries discarded by the\n"
+      "consumer); duplicates absorbed inside the fabric: %llu\n",
+      alerts, stutter,
+      static_cast<unsigned long long>(
+          rt.total_metrics().duplicates_discarded));
+  rt.stop();
+  return 0;
+}

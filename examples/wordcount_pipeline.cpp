@@ -1,0 +1,121 @@
+// Word-count pipeline across two engines with online estimator
+// calibration.
+//
+// Demonstrates the full deployment story of §II.C on a larger stream:
+//   - placement: senders on engine 0, merger on engine 1, joined by a
+//     simulated physical link (delay + loss, masked by the reliable
+//     transport);
+//   - estimators: senders start from a deliberately rough prior
+//     (50 us/word); with calibration enabled, the runtime measures actual
+//     handler times, refits the coefficient by regression, and installs
+//     the update through a *determinism fault* — synchronously logged with
+//     its effective virtual time so replay stays exact (§II.G.4);
+//   - soft checkpoints ship to the passive replica as the stream flows.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "apps/wordcount.h"
+#include "common/rng.h"
+#include "core/runtime.h"
+#include "estimator/estimator.h"
+
+using namespace tart;
+using namespace std::chrono_literals;
+
+int main() {
+  core::Topology topo;
+  const auto sender1 = topo.add("sender1", [] {
+    return std::make_unique<apps::WordCountSender>();
+  });
+  const auto sender2 = topo.add("sender2", [] {
+    return std::make_unique<apps::WordCountSender>();
+  });
+  const auto merger = topo.add("merger", [] {
+    return std::make_unique<apps::TotalingMerger>();
+  });
+  // Rough prior: 50 us/word (static analysis would give something like
+  // this; calibration refines it from live measurements).
+  for (const auto c : {sender1, sender2}) {
+    topo.set_estimator(
+        c, [] { return estimator::per_iteration_estimator(50000.0); });
+  }
+  topo.set_estimator(merger, [] {
+    return std::make_unique<estimator::ConstantEstimator>(
+        TickDuration::micros(50));
+  });
+
+  const auto in1 = topo.external_input(sender1, PortId(0));
+  const auto in2 = topo.external_input(sender2, PortId(0));
+  topo.connect(sender1, PortId(0), merger, PortId(0));
+  topo.connect(sender2, PortId(0), merger, PortId(0));
+  const auto out = topo.external_output(merger, PortId(0));
+
+  core::RuntimeConfig config;
+  config.checkpoint.every_n_messages = 50;
+  config.calibration = true;
+  config.calibrator.min_samples = 300;
+  config.calibrator.drift_threshold = 0.10;
+  transport::LinkConfig link;
+  link.base_delay = 100us;
+  link.loss_probability = 0.05;  // masked by the reliability layer
+  config.links[{EngineId(0), EngineId(1)}] = link;
+
+  core::Runtime rt(topo,
+                   {{sender1, EngineId(0)},
+                    {sender2, EngineId(0)},
+                    {merger, EngineId(1)}},
+                   config);
+  rt.start();
+
+  // A stream of random sentences over a small vocabulary.
+  Rng rng(42);
+  const std::vector<std::string> vocab = {
+      "stream", "event",  "process", "merge",  "virtual", "time",
+      "replay", "silent", "probe",   "engine", "state",   "wire"};
+  const int kMessages = 600;
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<std::string> words;
+    const auto len = rng.uniform_int(1, 8);
+    for (int w = 0; w < len; ++w)
+      words.push_back(vocab[rng.bounded(vocab.size())]);
+    rt.inject((i % 2 == 0) ? in1 : in2, apps::sentence(words));
+  }
+  rt.drain();
+
+  const auto records = rt.output_records(out);
+  std::printf("processed %zu sentences; final running total: %lld\n",
+              records.size(),
+              records.empty()
+                  ? 0LL
+                  : static_cast<long long>(records.back().payload.as_int()));
+
+  // What the recovery machinery accumulated along the way:
+  std::printf("replica: %llu soft checkpoints (%.1f KB shipped)\n",
+              static_cast<unsigned long long>(
+                  rt.replica().snapshots_received()),
+              static_cast<double>(rt.replica().bytes_received()) / 1024.0);
+  std::printf("determinism faults logged (estimator recalibrations): %llu\n",
+              static_cast<unsigned long long>(
+                  rt.fault_log().total_records()));
+  for (const auto c : {sender1, sender2}) {
+    for (const auto& rec : rt.fault_log().records_after(c, 0)) {
+      std::printf(
+          "  %s: version %llu effective at vt %lld, coefficient -> %.0f "
+          "ns/word\n",
+          topo.component(c).name.c_str(),
+          static_cast<unsigned long long>(rec.version),
+          static_cast<long long>(rec.effective_vt.ticks()),
+          rec.coefficients.size() > 1 ? rec.coefficients[1] : 0.0);
+    }
+  }
+  const auto m = rt.metrics(merger);
+  std::printf(
+      "merger: %llu messages in virtual-time order, %llu curiosity probes, "
+      "%.2f ms total pessimism delay\n",
+      static_cast<unsigned long long>(m.messages_processed),
+      static_cast<unsigned long long>(m.probes_sent),
+      static_cast<double>(m.pessimism_wait_ns) / 1e6);
+  rt.stop();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Incrementally-checkpointable associative container.
+//
+// "For large structures like hash tables needing incremental checkpointing,
+// updates since the last checkpoint are stored in an auxiliary structure"
+// (§II.F.2). CheckpointedMap keeps the live map plus an auxiliary set of
+// keys dirtied (inserted/updated/erased) since the last capture; a delta
+// capture serializes only those entries (erasures as tombstones) and resets
+// the auxiliary structure.
+//
+// Keys are kept in a std::map so full captures serialize in deterministic
+// key order — checkpoints of equal states are bit-identical, which the
+// determinism property tests rely on.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "checkpoint/checkpointable.h"
+#include "serde/archive.h"
+
+namespace tart::checkpoint {
+
+template <typename K, typename V>
+class CheckpointedMap final : public Checkpointable {
+ public:
+  using Map = std::map<K, V>;
+
+  /// Read access never dirties.
+  [[nodiscard]] const V* find(const K& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] bool contains(const K& key) const { return map_.contains(key); }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  [[nodiscard]] const Map& entries() const { return map_; }
+
+  /// Inserts or overwrites, marking the key dirty.
+  void put(const K& key, V value) {
+    map_[key] = std::move(value);
+    dirty_.insert(key);
+  }
+
+  /// In-place mutation through a callback, marking the key dirty. Creates a
+  /// default-constructed value if absent.
+  template <typename Fn>
+  void update(const K& key, Fn&& fn) {
+    fn(map_[key]);
+    dirty_.insert(key);
+  }
+
+  /// Erases a key; records a tombstone so the delta propagates the erase.
+  bool erase(const K& key) {
+    dirty_.insert(key);
+    return map_.erase(key) > 0;
+  }
+
+  void clear() {
+    for (const auto& [k, v] : map_) dirty_.insert(k);
+    map_.clear();
+  }
+
+  [[nodiscard]] std::size_t dirty_count() const { return dirty_.size(); }
+
+  // Checkpointable:
+  void capture_full(serde::Writer& w) const override {
+    serde::encode_value(w, map_);
+  }
+
+  void capture_delta(serde::Writer& w) override {
+    w.write_varint(dirty_.size());
+    for (const K& key : dirty_) {
+      serde::encode_value(w, key);
+      const auto it = map_.find(key);
+      const bool present = it != map_.end();
+      w.write_bool(present);
+      if (present) serde::encode_value(w, it->second);
+    }
+    dirty_.clear();
+  }
+
+  [[nodiscard]] bool supports_delta() const override { return true; }
+
+  void restore_full(serde::Reader& r) override {
+    serde::decode_value(r, map_);
+    dirty_.clear();
+  }
+
+  void apply_delta(serde::Reader& r) override {
+    const auto n = r.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      K key{};
+      serde::decode_value(r, key);
+      if (r.read_bool()) {
+        V value{};
+        serde::decode_value(r, value);
+        map_[key] = std::move(value);
+      } else {
+        map_.erase(key);
+      }
+    }
+  }
+
+ private:
+  Map map_;
+  std::set<K> dirty_;  // auxiliary structure: keys changed since last capture
+};
+
+}  // namespace tart::checkpoint

@@ -1,0 +1,62 @@
+// Component snapshots: the unit shipped to a passive replica.
+//
+// A snapshot captures everything needed to resume a component
+// deterministically from the checkpointed virtual time:
+//   - the component's serialized state (full, or a delta over the previous
+//     snapshot version);
+//   - its current virtual time and processed-message count;
+//   - per-input-wire positions (accounted horizon + next expected seq), so
+//     recovery knows exactly which ticks to request for replay;
+//   - per-output-wire send positions and the retained (not yet stable)
+//     output messages, so this component can itself serve downstream replay
+//     requests after a restore even if its peers also failed;
+//   - the active estimator version, so virtual-time computation resumes
+//     under exactly the coefficients in effect at the checkpoint
+//     (determinism faults recorded after this version are re-applied from
+//     the fault log during replay).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "serde/archive.h"
+#include "wire/message.h"
+
+namespace tart::checkpoint {
+
+struct InputPosition {
+  WireId wire;
+  VirtualTime horizon = VirtualTime(-1);  ///< ticks <= horizon accounted
+  std::uint64_t next_seq = 0;
+};
+
+struct OutputPosition {
+  WireId wire;
+  std::uint64_t next_seq = 0;
+  VirtualTime silence_through = VirtualTime(-1);
+  VirtualTime last_sent = VirtualTime(-1);  ///< per-wire vt monotonicity floor
+  std::vector<Message> retained;  ///< sent but not yet stable downstream
+  std::vector<std::byte> delay_state;  ///< comm-delay estimator state
+};
+
+struct ComponentSnapshot {
+  ComponentId component;
+  std::uint64_t version = 0;  ///< monotonically increasing per component
+  bool is_delta = false;      ///< delta applies on top of version-1
+  VirtualTime vt = VirtualTime::zero();
+  std::uint64_t messages_processed = 0;
+  std::uint64_t estimator_version = 0;
+  std::vector<std::byte> state;
+  std::vector<InputPosition> inputs;
+  std::vector<OutputPosition> outputs;
+
+  void encode(serde::Writer& w) const;
+  [[nodiscard]] static ComponentSnapshot decode(serde::Reader& r);
+
+  /// Serialized size — what a soft checkpoint costs to ship (bench metric).
+  [[nodiscard]] std::size_t encoded_size() const;
+};
+
+}  // namespace tart::checkpoint

@@ -1,0 +1,66 @@
+// Strong identifier types for the entities of a TART deployment.
+//
+// Wire ids double as the deterministic tie-breaking rule of the paper
+// (footnote 2): when two messages carry the identical virtual time, the
+// message on the wire with the smaller id is processed first.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <ostream>
+
+namespace tart {
+
+namespace detail {
+
+/// CRTP strong integer id. Distinct Tag types do not convert to each other.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] static constexpr StrongId invalid() {
+    return StrongId(UINT32_MAX);
+  }
+  [[nodiscard]] constexpr bool is_valid() const { return value_ != UINT32_MAX; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << '#' << id.value_;
+  }
+
+ private:
+  std::uint32_t value_ = UINT32_MAX;
+};
+
+}  // namespace detail
+
+struct ComponentTag {};
+struct WireTag {};
+struct EngineTag {};
+struct PortTag {};
+
+/// Identifies a component instance within a deployment.
+using ComponentId = detail::StrongId<ComponentTag>;
+/// Identifies a directed wire (sender port -> receiver port). Total order on
+/// WireId is the deterministic tie-break for equal virtual times.
+using WireId = detail::StrongId<WireTag>;
+/// Identifies an execution engine (a machine or container).
+using EngineId = detail::StrongId<EngineTag>;
+/// Identifies a port within a component.
+using PortId = detail::StrongId<PortTag>;
+
+}  // namespace tart
+
+namespace std {
+template <typename Tag>
+struct hash<tart::detail::StrongId<Tag>> {
+  size_t operator()(tart::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

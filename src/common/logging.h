@@ -1,0 +1,50 @@
+// Lightweight leveled diagnostics. Quiet by default so benchmarks are not
+// perturbed; enable with set_log_level for debugging runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tart {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+void log_line(LogLevel level, const std::string& line);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << '[' << basename(file) << ':' << line << "] ";
+  }
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p)
+      if (*p == '/') base = p + 1;
+    return base;
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define TART_LOG(level)                                              \
+  if (::tart::log_level() > ::tart::LogLevel::level) {               \
+  } else                                                             \
+    ::tart::detail::LogMessage(::tart::LogLevel::level, __FILE__,    \
+                               __LINE__)                             \
+        .stream()
+
+#define TART_TRACE TART_LOG(kTrace)
+#define TART_DEBUG TART_LOG(kDebug)
+#define TART_INFO TART_LOG(kInfo)
+#define TART_WARN TART_LOG(kWarn)
+#define TART_ERROR TART_LOG(kError)
+
+}  // namespace tart

@@ -1,0 +1,93 @@
+// The TART component model.
+//
+// A component (§II.B) is a piece of software that receives input requests,
+// performs processing, possibly holds state, and possibly sends messages —
+// one-way sends or two-way calls. Restrictions (enforced by this API rather
+// than by a Java dialect):
+//   - no shared memory: payloads are values;
+//   - no internal concurrency: the runtime invokes one handler at a time;
+//   - no non-deterministic operations: the only clock available is
+//     Context::now(), which returns deterministic *virtual* time;
+//   - no blocking except awaiting a call's reply (Context::call);
+//   - static code and wiring (no dynamic rewiring).
+//
+// State lives in ordinary member variables; the component exposes it to the
+// recovery machinery through the Checkpointable interface (manual
+// augmentation — the C++ analogue of the paper's transparent bytecode
+// transformation). Handlers report basic-block execution counts through
+// Context::count_block; estimators map those counts to virtual durations.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "checkpoint/checkpointable.h"
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "estimator/counters.h"
+#include "wire/payload.h"
+
+namespace tart::core {
+
+/// Handler-side services provided by the runtime. Everything observable
+/// through a Context is deterministic.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// Current virtual time. This is the component's "timing service"
+  /// exception to the no-non-determinism rule (§II.B): requesting the
+  /// current time is allowed because it returns deterministic virtual time.
+  [[nodiscard]] virtual VirtualTime now() const = 0;
+
+  /// Records `n` executions of basic block `block` of this handler, for the
+  /// estimator (Equation 1's xi values).
+  virtual void count_block(std::size_t block, std::uint64_t n = 1) = 0;
+
+  /// One-way asynchronous send on output port `port`.
+  virtual void send(PortId port, Payload payload) = 0;
+
+  /// Time-aware send (the paper's §IV extension: "user-generated
+  /// timestamps, in which timestamps represent arrival deadlines"): the
+  /// message is stamped to arrive exactly `delay` virtual ticks after the
+  /// current virtual time (minimum 1 tick; monotonicity per wire still
+  /// enforced). Sent on a self-loop wire (Topology::timer) this is a
+  /// deterministic timer: it merges with the component's other inputs in
+  /// virtual-time order and replays identically.
+  virtual void send_delayed(PortId port, TickDuration delay,
+                            Payload payload) = 0;
+
+  /// Two-way service call on output port `port`; blocks (in real time)
+  /// until the reply arrives and resumes at the reply's virtual time.
+  [[nodiscard]] virtual Payload call(PortId port, Payload payload) = 0;
+};
+
+class Component : public checkpoint::Checkpointable {
+ public:
+  /// Handles a one-way message delivered on input port `port`.
+  virtual void on_message(Context& ctx, PortId port, const Payload& payload) = 0;
+
+  /// Services a two-way call on input port `port`, returning the reply.
+  /// Default: components without call ports never receive calls.
+  [[nodiscard]] virtual Payload on_call(Context& ctx, PortId port,
+                                        const Payload& payload) {
+    (void)ctx;
+    (void)port;
+    (void)payload;
+    throw std::logic_error("component has no call handler");
+  }
+
+  /// Prescience hook (§III.A "Prescient" mode): if the full block counts of
+  /// handling `payload` are knowable before execution (e.g. Code Body 1,
+  /// where the loop bound is the sentence length), return them; the runtime
+  /// then publishes precise silence horizons at dequeue time instead of
+  /// after the handler completes. Return nullopt when not knowable.
+  [[nodiscard]] virtual std::optional<estimator::BlockCounters>
+  prescient_counters(PortId port, const Payload& payload) const {
+    (void)port;
+    (void)payload;
+    return std::nullopt;
+  }
+};
+
+}  // namespace tart::core

@@ -1,0 +1,66 @@
+// Per-component runtime metrics: the quantities the paper's evaluation
+// tracks ("We counted the number of out-of-order messages, the number of
+// curiosity probes, and the average end-to-end latency", §III.A) plus the
+// pessimism-delay accounting that explains the overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tart::core {
+
+/// Plain-value snapshot for reporting.
+struct MetricsSnapshot {
+  std::uint64_t messages_processed = 0;
+  std::uint64_t calls_served = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t pessimism_events = 0;
+  std::uint64_t pessimism_wait_ns = 0;  ///< real time blocked awaiting silence
+  std::uint64_t out_of_order_arrivals = 0;  ///< vt inversions in arrival order
+  std::uint64_t duplicates_discarded = 0;
+  std::uint64_t gaps_detected = 0;
+  std::uint64_t checkpoints_taken = 0;
+};
+
+class RunnerMetrics {
+ public:
+  std::atomic<std::uint64_t> messages_processed{0};
+  std::atomic<std::uint64_t> calls_served{0};
+  std::atomic<std::uint64_t> probes_sent{0};
+  std::atomic<std::uint64_t> pessimism_events{0};
+  std::atomic<std::uint64_t> pessimism_wait_ns{0};
+  std::atomic<std::uint64_t> out_of_order_arrivals{0};
+  std::atomic<std::uint64_t> duplicates_discarded{0};
+  std::atomic<std::uint64_t> gaps_detected{0};
+  std::atomic<std::uint64_t> checkpoints_taken{0};
+
+  [[nodiscard]] MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+    s.messages_processed = messages_processed.load();
+    s.calls_served = calls_served.load();
+    s.probes_sent = probes_sent.load();
+    s.pessimism_events = pessimism_events.load();
+    s.pessimism_wait_ns = pessimism_wait_ns.load();
+    s.out_of_order_arrivals = out_of_order_arrivals.load();
+    s.duplicates_discarded = duplicates_discarded.load();
+    s.gaps_detected = gaps_detected.load();
+    s.checkpoints_taken = checkpoints_taken.load();
+    return s;
+  }
+};
+
+inline MetricsSnapshot& operator+=(MetricsSnapshot& a,
+                                   const MetricsSnapshot& b) {
+  a.messages_processed += b.messages_processed;
+  a.calls_served += b.calls_served;
+  a.probes_sent += b.probes_sent;
+  a.pessimism_events += b.pessimism_events;
+  a.pessimism_wait_ns += b.pessimism_wait_ns;
+  a.out_of_order_arrivals += b.out_of_order_arrivals;
+  a.duplicates_discarded += b.duplicates_discarded;
+  a.gaps_detected += b.gaps_detected;
+  a.checkpoints_taken += b.checkpoints_taken;
+  return a;
+}
+
+}  // namespace tart::core

@@ -1,0 +1,392 @@
+#include "core/runtime.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+
+namespace tart::core {
+
+Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
+                 RuntimeConfig config)
+    : topology_(std::move(topology)),
+      placement_(std::move(placement)),
+      config_(std::move(config)),
+      epoch_(std::chrono::steady_clock::now()) {
+  // Engines named by the placement.
+  for (const auto& [component, engine] : placement_) {
+    if (!engines_.contains(engine)) {
+      engines_.emplace(engine, std::make_unique<Engine>(
+                                   engine, topology_, config_, *this,
+                                   fault_log_, replica_));
+    }
+    engines_.at(engine)->add_component(component);
+  }
+  // Stable storage: recover any previously persisted logs, then attach
+  // write-through stores for this incarnation.
+  if (!config_.log_dir.empty()) {
+    const std::string messages_path = config_.log_dir + "/messages.log";
+    const std::string faults_path = config_.log_dir + "/faults.log";
+    const std::string replica_path = config_.log_dir + "/replica.log";
+    message_log_.load_from(messages_path);
+    fault_log_.load_from(faults_path);
+    replica_.load_from(replica_path);
+    message_store_ = std::make_unique<log::FileStableStore>(messages_path);
+    fault_store_ = std::make_unique<log::FileStableStore>(faults_path);
+    replica_store_ = std::make_unique<log::FileStableStore>(replica_path);
+    message_log_.attach_store(message_store_.get());
+    fault_log_.attach_store(fault_store_.get());
+    replica_.attach_store(replica_store_.get());
+  }
+
+  // External endpoints.
+  for (const auto& spec : topology_.wires()) {
+    if (spec.kind == WireKind::kExternalInput) {
+      auto adapter = std::make_unique<InputAdapter>();
+      // Resume positions past anything recovered from stable storage.
+      adapter->next_seq = message_log_.size(spec.id);
+      adapter->last_vt = message_log_.last_vt(spec.id);
+      inputs_.emplace(spec.id, std::move(adapter));
+    }
+    if (spec.kind == WireKind::kExternalOutput)
+      outputs_.emplace(spec.id, std::make_unique<OutputSink>());
+  }
+  // Simulated links between engine pairs.
+  for (const auto& [pair, link_config] : config_.links) {
+    const auto [a, b] = pair;
+    const EngineId lo = a < b ? a : b;
+    const EngineId hi = a < b ? b : a;
+    if (bridge_between(lo, hi) != nullptr) continue;  // one per pair
+    auto bridge = std::make_unique<LinkBridge>();
+    bridge->lo = lo;
+    bridge->hi = hi;
+    transport::ReliableConfig rc;
+    rc.forward = link_config;
+    rc.backward = link_config;
+    rc.backward.seed = link_config.seed + 1;
+    bridge->channel = std::make_unique<transport::ReliableChannel>(
+        rc,
+        // a_handler: frames arriving at `lo` (sent by `hi`).
+        [this](transport::Frame f) { dispatch_local(f); },
+        // b_handler: frames arriving at `hi` (sent by `lo`).
+        [this](transport::Frame f) { dispatch_local(f); });
+    bridges_.push_back(std::move(bridge));
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::start() {
+  assert(!started_);
+  // Starting IS recovering: every component restores from whatever the
+  // replica holds (nothing, on a fresh deployment; persisted checkpoints,
+  // on a cold restart over a log_dir) and asks upstream — external logs
+  // included — to replay everything past its restored position.
+  for (auto& [id, engine] : engines_) engine->start();
+  started_ = true;
+}
+
+bool Runtime::drain(std::chrono::milliseconds timeout) {
+  close_all_inputs();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool all = true;
+    for (const auto& [id, engine] : engines_)
+      if (!engine->all_exhausted()) all = false;
+    if (all) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void Runtime::stop() {
+  for (auto& [id, engine] : engines_) engine->stop();
+  for (auto& bridge : bridges_) bridge->channel->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// External world
+
+VirtualTime Runtime::real_now() const {
+  return VirtualTime(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - epoch_)
+                         .count());
+}
+
+VirtualTime Runtime::inject(WireId input_wire, Payload payload) {
+  InputAdapter& in = *inputs_.at(input_wire);
+  Message m;
+  {
+    const std::lock_guard<std::mutex> lk(in.mu);
+    if (in.closed)
+      throw std::logic_error("inject on closed external input");
+    if (in.source == InputAdapter::Source::kUnknown)
+      in.source = InputAdapter::Source::kRealtime;
+    // "It is safe to use the actual real time as the virtual time of this
+    // message" (§II.E) — clamped past any silence promise already issued
+    // and kept strictly increasing per wire.
+    m.vt = max(max(real_now(), in.last_vt.next()), in.promised.next());
+    m.wire = input_wire;
+    m.seq = in.next_seq++;
+    m.kind = MessageKind::kData;
+    m.payload = std::move(payload);
+    in.last_vt = m.vt;
+    // Logged synchronously *before* delivery: the message must be durable
+    // while its effects are not (§II.E).
+    message_log_.append(m);
+  }
+  to_receiver(input_wire, transport::DataFrame{m});
+  return m.vt;
+}
+
+VirtualTime Runtime::inject_at(WireId input_wire, VirtualTime vt,
+                               Payload payload) {
+  InputAdapter& in = *inputs_.at(input_wire);
+  Message m;
+  {
+    const std::lock_guard<std::mutex> lk(in.mu);
+    if (in.closed)
+      throw std::logic_error("inject on closed external input");
+    in.source = InputAdapter::Source::kScripted;
+    // Per-wire virtual times must be strictly increasing (one event per
+    // tick on a wire) and may not land on promised-silent ticks.
+    m.vt = max(max(vt, in.last_vt.next()), in.promised.next());
+    m.wire = input_wire;
+    m.seq = in.next_seq++;
+    m.kind = MessageKind::kData;
+    m.payload = std::move(payload);
+    in.last_vt = m.vt;
+    message_log_.append(m);
+  }
+  to_receiver(input_wire, transport::DataFrame{m});
+  return m.vt;
+}
+
+void Runtime::close_input(WireId input_wire) {
+  InputAdapter& in = *inputs_.at(input_wire);
+  std::uint64_t seq;
+  {
+    const std::lock_guard<std::mutex> lk(in.mu);
+    if (in.closed) return;
+    in.closed = true;
+    seq = in.next_seq;
+  }
+  to_receiver(input_wire, transport::SilenceFrame{
+                              input_wire, VirtualTime::infinity(), seq});
+}
+
+void Runtime::close_all_inputs() {
+  for (auto& [wire, in] : inputs_) close_input(wire);
+}
+
+void Runtime::subscribe(WireId output_wire, OutputCallback callback) {
+  OutputSink& sink = *outputs_.at(output_wire);
+  const std::lock_guard<std::mutex> lk(sink.mu);
+  sink.callback = std::move(callback);
+}
+
+std::vector<OutputRecord> Runtime::output_records(WireId output_wire) const {
+  const OutputSink& sink = *outputs_.at(output_wire);
+  const std::lock_guard<std::mutex> lk(sink.mu);
+  return sink.records;
+}
+
+void Runtime::deliver_external_output(WireId wire,
+                                      const transport::Frame& frame) {
+  const auto* data = std::get_if<transport::DataFrame>(&frame);
+  if (data == nullptr) return;  // silence to the external world is dropped
+  OutputSink& sink = *outputs_.at(wire);
+  OutputCallback callback;
+  OutputRecord record;
+  {
+    const std::lock_guard<std::mutex> lk(sink.mu);
+    record.vt = data->msg.vt;
+    record.payload = data->msg.payload;
+    // Output stutter (§II.A): after a rollback the system may re-deliver
+    // already-delivered external messages; they carry duplicate timestamps
+    // so the consumer can compensate.
+    record.stutter = data->msg.vt <= sink.last_vt;
+    sink.last_vt = max(sink.last_vt, data->msg.vt);
+    sink.records.push_back(record);
+    callback = sink.callback;
+  }
+  if (callback) callback(record.vt, record.payload, record.stutter);
+}
+
+void Runtime::handle_external_sender_frame(WireId wire,
+                                           const transport::Frame& frame) {
+  InputAdapter& in = *inputs_.at(wire);
+  if (std::holds_alternative<transport::ProbeFrame>(frame)) {
+    // A real-time source IS silent through "now": any future arrival will
+    // be stamped with a later real time. Scripted sources (inject_at) have
+    // no such bound and only promise through their last logged arrival.
+    VirtualTime through;
+    std::uint64_t seq;
+    {
+      const std::lock_guard<std::mutex> lk(in.mu);
+      seq = in.next_seq;
+      if (in.closed) {
+        through = VirtualTime::infinity();
+      } else if (in.source == InputAdapter::Source::kRealtime) {
+        through = max(in.last_vt, real_now());
+        in.promised = max(in.promised, through);
+      } else {
+        through = in.last_vt;
+      }
+    }
+    to_receiver(wire, transport::SilenceFrame{wire, through, seq});
+  } else if (const auto* replay =
+                 std::get_if<transport::ReplayRequestFrame>(&frame)) {
+    // "If the 'sender' is an external component ... the messages are
+    // re-sent from the log" (§II.F.4).
+    for (const Message& m :
+         message_log_.replay_from_seq(wire, replay->from_seq))
+      to_receiver(wire, transport::DataFrame{m});
+    bool closed;
+    VirtualTime through;
+    std::uint64_t seq;
+    {
+      const std::lock_guard<std::mutex> lk(in.mu);
+      closed = in.closed;
+      through = in.last_vt;
+      seq = in.next_seq;
+    }
+    to_receiver(wire,
+                transport::SilenceFrame{
+                    wire, closed ? VirtualTime::infinity() : through, seq});
+  }
+  // Stability acks: the log is already durable; nothing to trim here.
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+EngineId Runtime::engine_of(ComponentId component) const {
+  return placement_.at(component);
+}
+
+Runtime::LinkBridge* Runtime::bridge_between(EngineId a, EngineId b) {
+  const EngineId lo = a < b ? a : b;
+  const EngineId hi = a < b ? b : a;
+  for (auto& bridge : bridges_)
+    if (bridge->lo == lo && bridge->hi == hi) return bridge.get();
+  return nullptr;
+}
+
+void Runtime::route(EngineId src, EngineId dst, WireId wire,
+                    transport::Frame frame) {
+  (void)wire;
+  if (src == dst || !src.is_valid() || !dst.is_valid()) {
+    dispatch_local(frame);
+    return;
+  }
+  LinkBridge* bridge = bridge_between(src, dst);
+  if (bridge == nullptr) {
+    dispatch_local(frame);
+    return;
+  }
+  if (src == bridge->lo) {
+    bridge->channel->send_from_a(frame);
+  } else {
+    bridge->channel->send_from_b(frame);
+  }
+}
+
+void Runtime::dispatch_local(const transport::Frame& frame) {
+  // Frame direction is implied by its type: data/silence travel with the
+  // wire, probes/replays/stability travel against it.
+  const WireId wire = transport::frame_wire(frame);
+  if (std::holds_alternative<transport::DataFrame>(frame) ||
+      std::holds_alternative<transport::SilenceFrame>(frame)) {
+    dispatch_to_receiver_local(wire, frame);
+  } else {
+    dispatch_to_sender_local(wire, frame);
+  }
+}
+
+void Runtime::dispatch_to_receiver_local(WireId wire,
+                                         const transport::Frame& frame) {
+  const auto& spec = topology_.wire(wire);
+  if (spec.kind == WireKind::kExternalOutput) {
+    deliver_external_output(wire, frame);
+    return;
+  }
+  engines_.at(engine_of(spec.to))->deliver_to_receiver(wire, frame);
+}
+
+void Runtime::dispatch_to_sender_local(WireId wire,
+                                       const transport::Frame& frame) {
+  const auto& spec = topology_.wire(wire);
+  if (spec.kind == WireKind::kExternalInput) {
+    handle_external_sender_frame(wire, frame);
+    return;
+  }
+  engines_.at(engine_of(spec.from))->deliver_to_sender(wire, frame);
+}
+
+void Runtime::to_receiver(WireId wire, transport::Frame frame) {
+  const auto& spec = topology_.wire(wire);
+  if (spec.kind == WireKind::kExternalOutput) {
+    deliver_external_output(wire, frame);
+    return;
+  }
+  const EngineId dst = engine_of(spec.to);
+  // External inputs enter at the receiver's engine (the adapter timestamps
+  // and logs at the boundary), so their src is the destination itself.
+  const EngineId src = spec.kind == WireKind::kExternalInput || !spec.from.is_valid()
+                           ? dst
+                           : engine_of(spec.from);
+  route(src, dst, wire, std::move(frame));
+}
+
+void Runtime::to_sender(WireId wire, transport::Frame frame) {
+  const auto& spec = topology_.wire(wire);
+  if (spec.kind == WireKind::kExternalInput) {
+    handle_external_sender_frame(wire, frame);
+    return;
+  }
+  const EngineId dst = engine_of(spec.from);
+  const EngineId src = spec.to.is_valid() ? engine_of(spec.to) : dst;
+  route(src, dst, wire, std::move(frame));
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection and introspection
+
+void Runtime::crash_engine(EngineId engine) { engines_.at(engine)->crash(); }
+
+void Runtime::recover_engine(EngineId engine) {
+  engines_.at(engine)->recover();
+}
+
+void Runtime::set_link_down(EngineId a, EngineId b, bool down) {
+  if (LinkBridge* bridge = bridge_between(a, b))
+    bridge->channel->set_down(down);
+}
+
+MetricsSnapshot Runtime::metrics(ComponentId component) const {
+  const EngineId e = engine_of(component);
+  return engines_.at(e)->metrics(component);
+}
+
+std::uint64_t Runtime::state_fingerprint(ComponentId component) {
+  Engine& e = *engines_.at(engine_of(component));
+  const auto r = e.runner(component);
+  return r == nullptr ? 0 : r->state_fingerprint();
+}
+
+std::size_t Runtime::retained_messages(ComponentId component) {
+  Engine& e = *engines_.at(engine_of(component));
+  const auto r = e.runner(component);
+  return r == nullptr ? 0 : r->retained_messages();
+}
+
+MetricsSnapshot Runtime::total_metrics() const {
+  MetricsSnapshot total;
+  for (const auto& [component, engine] : placement_) {
+    const MetricsSnapshot s = engines_.at(engine)->metrics(component);
+    total += s;
+  }
+  return total;
+}
+
+}  // namespace tart::core

@@ -1,0 +1,185 @@
+// Runtime: deploys a Topology onto engines and runs it.
+//
+// Responsibilities (§II.C deployment steps):
+//   - placement: components -> engines;
+//   - transformation: estimator/bias/checkpoint machinery is attached to
+//     each component via its runner (the C++ analogue of the automatic
+//     code transformation);
+//   - backups: one shared ReplicaStore stands in for each engine's passive
+//     replica (it is keyed by component, so it behaves like one replica per
+//     engine);
+//   - external world: input adapters that timestamp + log arriving
+//     messages (§II.E) and output sinks that deliver to external
+//     consumers, recording output stutter;
+//   - routing: frames between engines flow directly or through simulated
+//     network links (ReliableChannel) when configured;
+//   - failure injection: engine crash/recover and link up/down.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "checkpoint/replica.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "core/router.h"
+#include "core/topology.h"
+#include "log/fault_log.h"
+#include "log/message_log.h"
+#include "transport/reliable_link.h"
+
+namespace tart::core {
+
+/// One record delivered to an external consumer.
+struct OutputRecord {
+  VirtualTime vt;
+  Payload payload;
+  bool stutter = false;  ///< re-delivery of an already-delivered tick
+};
+
+class Runtime final : public FrameRouter {
+ public:
+  using OutputCallback =
+      std::function<void(VirtualTime, const Payload&, bool stutter)>;
+
+  Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
+          RuntimeConfig config);
+  ~Runtime() override;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  void start();
+
+  /// Closes every external input and waits (up to `timeout`) until every
+  /// component has processed everything. Returns true on quiescence.
+  bool drain(std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
+  void stop();
+
+  // --- External world -----------------------------------------------------
+
+  /// Injects an external message; its virtual time is the real arrival
+  /// time (nanoseconds since runtime construction), logged before delivery.
+  VirtualTime inject(WireId input_wire, Payload payload);
+
+  /// Injects with a scripted virtual time (clamped to stay monotone per
+  /// wire). Deterministic tests use this so the log is run-independent.
+  VirtualTime inject_at(WireId input_wire, VirtualTime vt, Payload payload);
+
+  /// Marks an external input finished: the source promises silence forever.
+  void close_input(WireId input_wire);
+  void close_all_inputs();
+
+  /// Registers a consumer callback for an external output wire (call
+  /// before start()). Records are kept regardless of subscription.
+  void subscribe(WireId output_wire, OutputCallback callback);
+
+  /// Everything delivered on an external output so far, in delivery order
+  /// (stutter re-deliveries flagged).
+  [[nodiscard]] std::vector<OutputRecord> output_records(
+      WireId output_wire) const;
+
+  // --- Failure injection ---------------------------------------------------
+
+  void crash_engine(EngineId engine);
+  void recover_engine(EngineId engine);
+  /// Takes the simulated physical links between two engines down or up
+  /// (no-op for engine pairs without a configured link).
+  void set_link_down(EngineId a, EngineId b, bool down);
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] MetricsSnapshot metrics(ComponentId component) const;
+  [[nodiscard]] MetricsSnapshot total_metrics() const;
+  /// State hash of a quiescent component (see ComponentRunner). Returns 0
+  /// for components on a crashed engine.
+  [[nodiscard]] std::uint64_t state_fingerprint(ComponentId component);
+  /// Messages currently held in a component's output retention buffers.
+  [[nodiscard]] std::size_t retained_messages(ComponentId component);
+  [[nodiscard]] const log::ExternalMessageLog& external_log() const {
+    return message_log_;
+  }
+  [[nodiscard]] log::DeterminismFaultLog& fault_log() { return fault_log_; }
+  [[nodiscard]] checkpoint::ReplicaStore& replica() { return replica_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] Engine& engine(EngineId id) { return *engines_.at(id); }
+
+  // --- FrameRouter ----------------------------------------------------------
+
+  void to_receiver(WireId wire, transport::Frame frame) override;
+  void to_sender(WireId wire, transport::Frame frame) override;
+
+ private:
+  struct InputAdapter {
+    std::mutex mu;
+    std::uint64_t next_seq = 0;
+    VirtualTime last_vt = VirtualTime(-1);
+    /// Greatest silence promise ever issued; future injections must land
+    /// strictly after it (a promised-silent tick can never carry data).
+    VirtualTime promised = VirtualTime(-1);
+    /// A source's nature is established by first use: inject() marks it
+    /// real-time (probes may promise silence through "now", since any
+    /// future arrival is stamped later); inject_at() marks it scripted
+    /// (virtual times are unrelated to real time, so probes may only
+    /// promise through the last logged arrival). Probes before the first
+    /// injection promise nothing beyond last_vt.
+    enum class Source { kUnknown, kRealtime, kScripted };
+    Source source = Source::kUnknown;
+    bool closed = false;
+  };
+
+  struct OutputSink {
+    mutable std::mutex mu;
+    OutputCallback callback;
+    std::vector<OutputRecord> records;
+    VirtualTime last_vt = VirtualTime(-1);
+  };
+
+  struct LinkBridge {
+    EngineId lo;
+    EngineId hi;
+    std::unique_ptr<transport::ReliableChannel> channel;
+  };
+
+  void dispatch_local(const transport::Frame& frame);
+  void dispatch_to_receiver_local(WireId wire, const transport::Frame& frame);
+  void dispatch_to_sender_local(WireId wire, const transport::Frame& frame);
+  void handle_external_sender_frame(WireId wire,
+                                    const transport::Frame& frame);
+  void deliver_external_output(WireId wire, const transport::Frame& frame);
+  [[nodiscard]] LinkBridge* bridge_between(EngineId a, EngineId b);
+  /// Routes a frame that must travel from engine `src` toward engine `dst`,
+  /// through the pair's link when one is configured.
+  void route(EngineId src, EngineId dst, WireId wire, transport::Frame frame);
+  [[nodiscard]] EngineId engine_of(ComponentId component) const;
+  [[nodiscard]] VirtualTime real_now() const;
+
+  Topology topology_;
+  std::map<ComponentId, EngineId> placement_;
+  RuntimeConfig config_;
+
+  log::ExternalMessageLog message_log_;
+  log::DeterminismFaultLog fault_log_;
+  checkpoint::ReplicaStore replica_;
+  std::unique_ptr<log::FileStableStore> message_store_;
+  std::unique_ptr<log::FileStableStore> fault_store_;
+  std::unique_ptr<log::FileStableStore> replica_store_;
+
+  std::map<EngineId, std::unique_ptr<Engine>> engines_;
+  std::map<WireId, std::unique_ptr<InputAdapter>> inputs_;
+  std::map<WireId, std::unique_ptr<OutputSink>> outputs_;
+  std::vector<std::unique_ptr<LinkBridge>> bridges_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  bool started_ = false;
+};
+
+}  // namespace tart::core

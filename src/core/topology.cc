@@ -1,0 +1,126 @@
+#include "core/topology.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tart::core {
+
+ComponentId Topology::add(
+    std::string name, std::function<std::unique_ptr<Component>()> factory) {
+  const ComponentId id(static_cast<std::uint32_t>(components_.size()));
+  ComponentSpec spec;
+  spec.id = id;
+  spec.name = std::move(name);
+  spec.factory = std::move(factory);
+  spec.estimator_factory = [] {
+    return std::make_unique<estimator::ConstantEstimator>(
+        TickDuration::micros(1));
+  };
+  components_.push_back(std::move(spec));
+  return id;
+}
+
+void Topology::set_estimator(
+    ComponentId component,
+    std::function<std::unique_ptr<estimator::ComputeEstimator>()> factory) {
+  components_.at(component.value()).estimator_factory = std::move(factory);
+}
+
+WireId Topology::new_wire(WireSpec spec) {
+  spec.id = WireId(static_cast<std::uint32_t>(wires_.size()));
+  wires_.push_back(std::move(spec));
+  return wires_.back().id;
+}
+
+WireId Topology::connect(ComponentId from, PortId out_port, ComponentId to,
+                         PortId in_port) {
+  WireSpec spec;
+  spec.kind = WireKind::kData;
+  spec.from = from;
+  spec.from_port = out_port;
+  spec.to = to;
+  spec.to_port = in_port;
+  return new_wire(spec);
+}
+
+WireId Topology::connect_call(ComponentId caller, PortId out_port,
+                              ComponentId callee, PortId in_port) {
+  WireSpec call;
+  call.kind = WireKind::kCall;
+  call.from = caller;
+  call.from_port = out_port;
+  call.to = callee;
+  call.to_port = in_port;
+  const WireId call_id = new_wire(call);
+
+  WireSpec reply;
+  reply.kind = WireKind::kReply;
+  reply.from = callee;
+  reply.from_port = PortId::invalid();
+  reply.to = caller;
+  reply.to_port = PortId::invalid();
+  reply.paired = call_id;
+  const WireId reply_id = new_wire(reply);
+
+  wires_[call_id.value()].paired = reply_id;
+  return call_id;
+}
+
+WireId Topology::timer(ComponentId component, PortId out_port,
+                       PortId in_port) {
+  return connect(component, out_port, component, in_port);
+}
+
+WireId Topology::external_input(ComponentId to, PortId in_port) {
+  WireSpec spec;
+  spec.kind = WireKind::kExternalInput;
+  spec.to = to;
+  spec.to_port = in_port;
+  return new_wire(spec);
+}
+
+WireId Topology::external_output(ComponentId from, PortId out_port) {
+  WireSpec spec;
+  spec.kind = WireKind::kExternalOutput;
+  spec.from = from;
+  spec.from_port = out_port;
+  return new_wire(spec);
+}
+
+const ComponentSpec& Topology::component(ComponentId id) const {
+  return components_.at(id.value());
+}
+
+const WireSpec& Topology::wire(WireId id) const {
+  return wires_.at(id.value());
+}
+
+std::vector<WireId> Topology::inputs_of(ComponentId id) const {
+  std::vector<WireId> out;
+  for (const auto& w : wires_) {
+    if (w.to != id) continue;
+    if (w.kind == WireKind::kReply) continue;  // replies bypass the inbox
+    out.push_back(w.id);
+  }
+  return out;
+}
+
+std::vector<WireId> Topology::outputs_of(ComponentId id) const {
+  std::vector<WireId> out;
+  for (const auto& w : wires_)
+    if (w.from == id) out.push_back(w.id);
+  return out;
+}
+
+std::vector<WireId> Topology::wires_from_port(ComponentId id,
+                                              PortId out_port) const {
+  std::vector<WireId> out;
+  for (const auto& w : wires_) {
+    if (w.from != id || w.from_port != out_port) continue;
+    if (w.kind == WireKind::kReply) continue;
+    out.push_back(w.id);
+  }
+  return out;
+}
+
+}  // namespace tart::core

@@ -1,0 +1,109 @@
+// Application graph: components, ports, wires, external endpoints.
+//
+// "Components of an application ... originally have no affinity to any
+// particular execution engine" (§II.C). A Topology describes the logical
+// application; placement onto engines happens at deployment (Runtime).
+// Wire ids are assigned in creation order and double as the deterministic
+// tie-break for equal virtual times, so connection order is part of the
+// application's deterministic specification.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/component.h"
+#include "estimator/estimator.h"
+
+namespace tart::core {
+
+enum class WireKind : std::uint8_t {
+  kData,           ///< one-way send between components
+  kCall,           ///< two-way request (paired with a kReply wire)
+  kReply,          ///< reply leg of a call (paired with its kCall wire)
+  kExternalInput,  ///< from an external producer into a component
+  kExternalOutput, ///< from a component to an external consumer
+};
+
+struct WireSpec {
+  WireId id;
+  WireKind kind = WireKind::kData;
+  ComponentId from;        ///< invalid for external inputs
+  PortId from_port;
+  ComponentId to;          ///< invalid for external outputs
+  PortId to_port;
+  WireId paired;           ///< kCall <-> kReply pairing; invalid otherwise
+};
+
+struct ComponentSpec {
+  ComponentId id;
+  std::string name;
+  std::function<std::unique_ptr<Component>()> factory;
+  /// Estimator used for this component's handlers; default is a constant
+  /// 1000-tick (1 us) estimate.
+  std::function<std::unique_ptr<estimator::ComputeEstimator>()>
+      estimator_factory;
+};
+
+class Topology {
+ public:
+  /// Registers a component with its factory (fresh instances are created at
+  /// deployment and again on failover restore).
+  ComponentId add(
+      std::string name,
+      std::function<std::unique_ptr<Component>()> factory);
+
+  /// Sets the compute estimator for a component's handlers.
+  void set_estimator(
+      ComponentId component,
+      std::function<std::unique_ptr<estimator::ComputeEstimator>()> factory);
+
+  /// One-way wire from (from, out_port) to (to, in_port).
+  WireId connect(ComponentId from, PortId out_port, ComponentId to,
+                 PortId in_port);
+
+  /// Two-way call wiring; creates the call wire (returned) and its reply
+  /// wire (query via spec().paired).
+  WireId connect_call(ComponentId caller, PortId out_port, ComponentId callee,
+                      PortId in_port);
+
+  /// Deterministic timer wire: a self-loop from (component, out_port) back
+  /// to (component, in_port). Messages sent on it with
+  /// Context::send_delayed arrive at exact virtual offsets, merged with
+  /// the component's other inputs in virtual-time order.
+  WireId timer(ComponentId component, PortId out_port, PortId in_port);
+
+  /// External producer feeding (to, in_port). Returns the input wire.
+  WireId external_input(ComponentId to, PortId in_port);
+
+  /// External consumer fed by (from, out_port). Returns the output wire.
+  WireId external_output(ComponentId from, PortId out_port);
+
+  [[nodiscard]] const ComponentSpec& component(ComponentId id) const;
+  [[nodiscard]] const WireSpec& wire(WireId id) const;
+  [[nodiscard]] const std::vector<ComponentSpec>& components() const {
+    return components_;
+  }
+  [[nodiscard]] const std::vector<WireSpec>& wires() const { return wires_; }
+
+  /// Input wires of a component (data + call + external-input + reply wires
+  /// are NOT included for replies — replies bypass the inbox).
+  [[nodiscard]] std::vector<WireId> inputs_of(ComponentId id) const;
+  /// Output wires of a component (data + call + reply + external-output).
+  [[nodiscard]] std::vector<WireId> outputs_of(ComponentId id) const;
+  /// Wires leaving (component, out_port) — multicast fan-out is allowed.
+  [[nodiscard]] std::vector<WireId> wires_from_port(ComponentId id,
+                                                    PortId out_port) const;
+
+ private:
+  WireId new_wire(WireSpec spec);
+
+  std::vector<ComponentSpec> components_;
+  std::vector<WireSpec> wires_;
+};
+
+}  // namespace tart::core

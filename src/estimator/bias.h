@@ -1,0 +1,53 @@
+// Hyper-aggressive silence ("bias algorithm").
+//
+// "It is actually better for the virtual time estimates not to exactly
+// match real-time, but rather for the process that is slower on the average
+// to eagerly promise more silence ticks and delay the next data tick to be
+// after that range of silence ticks" (§II.G.1, after Aguilera & Strom's
+// deterministic merge). The slow sender rounds its output virtual times up
+// to the end of eagerly-promised silence windows of width `bias`, letting
+// the fast sender's messages through without pessimism delay.
+//
+// Unlike lazy/curiosity/aggressive propagation — which only change how
+// silence is *communicated* — the bias changes which ticks may carry data,
+// i.e. it is part of the estimator; enabling or re-tuning it on a live
+// component is a determinism fault (§II.G.4).
+#pragma once
+
+#include <algorithm>
+
+#include "common/virtual_time.h"
+
+namespace tart::estimator {
+
+class BiasPolicy {
+ public:
+  /// `bias` == 0 disables the policy (identity on virtual times).
+  explicit BiasPolicy(TickDuration bias = TickDuration(0)) : bias_(bias) {}
+
+  [[nodiscard]] bool enabled() const { return bias_ > TickDuration(0); }
+  [[nodiscard]] TickDuration bias() const { return bias_; }
+
+  /// Rounds a proposed output virtual time up to the next boundary of the
+  /// eagerly-promised silence grid: data may only occupy ticks that are
+  /// multiples of (bias+1) boundaries beyond the promise. Deterministic.
+  [[nodiscard]] VirtualTime adjust(VirtualTime proposed) const {
+    if (!enabled()) return proposed;
+    const std::int64_t window = bias_.ticks() + 1;
+    const std::int64_t t = proposed.ticks();
+    const std::int64_t rounded = ((t + window - 1) / window) * window;
+    return VirtualTime(rounded);
+  }
+
+  /// Silence the sender may promise once it has advanced to `current`: the
+  /// whole window up to the next data-eligible boundary minus one.
+  [[nodiscard]] VirtualTime eager_promise(VirtualTime current) const {
+    if (!enabled()) return current;
+    return adjust(current.next()).prev();
+  }
+
+ private:
+  TickDuration bias_;
+};
+
+}  // namespace tart::estimator

@@ -1,0 +1,73 @@
+#include "estimator/calibrator.h"
+
+#include <cmath>
+
+namespace tart::estimator {
+
+void Calibrator::add_sample(const BlockCounters& counters,
+                            double measured_ticks) {
+  num_blocks_ = std::max(num_blocks_, counters.num_blocks());
+  std::vector<double> row;
+  row.reserve(counters.num_blocks());
+  for (const auto c : counters.values())
+    row.push_back(static_cast<double>(c));
+  xs_.push_back(std::move(row));
+  ys_.push_back(measured_ticks);
+}
+
+std::optional<std::vector<double>> Calibrator::propose(
+    const std::vector<double>& active) {
+  if (xs_.size() < config_.min_samples) return std::nullopt;
+  if (xs_.size() < last_fit_size_ + config_.refit_interval &&
+      last_fit_size_ != 0)
+    return std::nullopt;
+  last_fit_size_ = xs_.size();
+
+  // Build design matrix rows [1?, xi_1, ..., xi_k], padding short rows.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(xs_.size());
+  for (const auto& x : xs_) {
+    std::vector<double> row;
+    row.reserve(num_blocks_ + (config_.fit_intercept ? 1 : 0));
+    if (config_.fit_intercept) row.push_back(1.0);
+    for (std::size_t i = 0; i < num_blocks_; ++i)
+      row.push_back(i < x.size() ? x[i] : 0.0);
+    rows.push_back(std::move(row));
+  }
+
+  const std::vector<double> beta = stats::fit_multivariate(rows, ys_);
+  if (beta.empty()) return std::nullopt;
+
+  // Normalize to [beta0, beta1, ...] layout.
+  std::vector<double> proposed;
+  proposed.reserve(num_blocks_ + 1);
+  if (config_.fit_intercept) {
+    proposed = beta;
+  } else {
+    proposed.push_back(0.0);
+    proposed.insert(proposed.end(), beta.begin(), beta.end());
+  }
+
+  // Drift check against the active coefficients.
+  bool drifted = proposed.size() != active.size();
+  if (!drifted) {
+    for (std::size_t i = 0; i < proposed.size(); ++i) {
+      const double denom = std::max(std::abs(active[i]), 1.0);
+      if (std::abs(proposed[i] - active[i]) / denom >
+          config_.drift_threshold) {
+        drifted = true;
+        break;
+      }
+    }
+  }
+  if (!drifted) return std::nullopt;
+  return proposed;
+}
+
+void Calibrator::reset() {
+  xs_.clear();
+  ys_.clear();
+  last_fit_size_ = 0;
+}
+
+}  // namespace tart::estimator

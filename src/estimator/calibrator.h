@@ -1,0 +1,64 @@
+// Online estimator calibration.
+//
+// "Before execution, a rough estimate of the beta_i's is made based upon
+// known costs per instruction. Later, after some execution samples are
+// taken, measuring xi_1, xi_2, and t, a linear regression is taken to fit
+// the coefficients" (§II.H). The calibrator accumulates (block counters,
+// measured nanoseconds) samples during live execution and, once enough
+// samples have arrived and the fitted coefficients drift beyond a
+// threshold from the active ones, proposes a recalibration.
+//
+// Applying a proposal is a *determinism fault* (§II.G.4): the decision
+// depends on measured (non-deterministic) times, so the switch must be
+// synchronously logged with its effective virtual time before any output
+// depends on it — see EstimatorManager.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "estimator/counters.h"
+#include "stats/regression.h"
+
+namespace tart::estimator {
+
+struct CalibratorConfig {
+  /// Samples required before the first proposal (paper: "after several
+  /// hundreds of messages").
+  std::size_t min_samples = 200;
+  /// Relative drift of any coefficient needed to propose a recalibration.
+  double drift_threshold = 0.05;
+  /// Refit cadence: consider a proposal every this many samples after the
+  /// minimum is reached.
+  std::size_t refit_interval = 100;
+  /// Include an intercept term beta0 in the fit.
+  bool fit_intercept = false;
+};
+
+class Calibrator {
+ public:
+  explicit Calibrator(CalibratorConfig config) : config_(config) {}
+
+  /// Records one completed handler invocation: its block counters and the
+  /// measured wall-clock duration in ticks (nanoseconds).
+  void add_sample(const BlockCounters& counters, double measured_ticks);
+
+  /// If the data now supports coefficients meaningfully different from
+  /// `active`, returns the proposed replacement [beta0, beta1, ...].
+  [[nodiscard]] std::optional<std::vector<double>> propose(
+      const std::vector<double>& active);
+
+  [[nodiscard]] std::size_t sample_count() const { return xs_.size(); }
+
+  void reset();
+
+ private:
+  CalibratorConfig config_;
+  std::vector<std::vector<double>> xs_;  // counter rows
+  std::vector<double> ys_;               // measured ticks
+  std::size_t last_fit_size_ = 0;
+  std::size_t num_blocks_ = 0;
+};
+
+}  // namespace tart::estimator

@@ -1,0 +1,106 @@
+// Communication-delay estimators.
+//
+// "Estimators are also required for communication delay between components
+// in remote machines. ... a crude estimate can be just a constant based
+// upon expected communication delay. Alternatively, it can be a function
+// based upon expected queuing delay. To be deterministic, it cannot depend
+// upon non-deterministic state such as the current queue size. It must
+// instead use deterministic factors that correlate with queue size, such as
+// the number of messages sent within a recent number of virtual ticks of
+// time" (§II.G.1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/virtual_time.h"
+#include "serde/archive.h"
+
+namespace tart::estimator {
+
+class CommDelayEstimator {
+ public:
+  virtual ~CommDelayEstimator() = default;
+
+  /// Estimated transmission delay for a message leaving the sender at
+  /// virtual time `send_vt`. Deterministic in (send_vt, prior sends).
+  [[nodiscard]] virtual TickDuration delay(VirtualTime send_vt) = 0;
+
+  /// Lower bound on any future delay (for silence horizons).
+  [[nodiscard]] virtual TickDuration min_delay() const = 0;
+
+  /// Serializes internal history (checkpoint support). Stateless estimators
+  /// write nothing. Deterministic resumption after failover requires the
+  /// restored estimator to see exactly the history the checkpoint saw.
+  virtual void capture(serde::Writer& w) const { (void)w; }
+  virtual void restore(serde::Reader& r) { (void)r; }
+};
+
+/// Same-JVM / same-engine wires: negligible (but nonzero: a message must
+/// arrive strictly after it is sent).
+class LocalDelayEstimator final : public CommDelayEstimator {
+ public:
+  [[nodiscard]] TickDuration delay(VirtualTime) override {
+    return TickDuration(1);
+  }
+  [[nodiscard]] TickDuration min_delay() const override {
+    return TickDuration(1);
+  }
+};
+
+/// Crude remote estimate: a constant expected delay.
+class ConstantDelayEstimator final : public CommDelayEstimator {
+ public:
+  explicit ConstantDelayEstimator(TickDuration delay)
+      : delay_(std::max(delay, TickDuration(1))) {}
+
+  [[nodiscard]] TickDuration delay(VirtualTime) override { return delay_; }
+  [[nodiscard]] TickDuration min_delay() const override { return delay_; }
+
+ private:
+  TickDuration delay_;
+};
+
+/// Queue-aware remote estimate using only deterministic history: delay =
+/// base + per_message * (number of messages this sender put on the wire in
+/// the last `window` virtual ticks). The recent-send count is a
+/// deterministic correlate of queue depth.
+class RateBasedDelayEstimator final : public CommDelayEstimator {
+ public:
+  RateBasedDelayEstimator(TickDuration base, TickDuration per_message,
+                          TickDuration window)
+      : base_(std::max(base, TickDuration(1))),
+        per_message_(per_message),
+        window_(window) {}
+
+  [[nodiscard]] TickDuration delay(VirtualTime send_vt) override {
+    // Evict sends older than the window.
+    while (!recent_.empty() && recent_.front() + window_ < send_vt)
+      recent_.pop_front();
+    const auto backlog = static_cast<std::int64_t>(recent_.size());
+    recent_.push_back(send_vt);
+    return base_ + per_message_ * backlog;
+  }
+
+  [[nodiscard]] TickDuration min_delay() const override { return base_; }
+
+  void capture(serde::Writer& w) const override {
+    w.write_varint(recent_.size());
+    for (const VirtualTime t : recent_) w.write_vt(t);
+  }
+  void restore(serde::Reader& r) override {
+    recent_.clear();
+    const auto n = r.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) recent_.push_back(r.read_vt());
+  }
+
+ private:
+  TickDuration base_;
+  TickDuration per_message_;
+  TickDuration window_;
+  std::deque<VirtualTime> recent_;  // send vts within the window
+};
+
+}  // namespace tart::estimator

@@ -1,0 +1,43 @@
+// Basic-block execution counters.
+//
+// The paper's estimators assume "computation time is a linear function of
+// how many times each basic block executes" (§II.H). In Java the counters
+// were injected by bytecode transformation; here the component handler
+// increments them explicitly through its Context (manual augmentation).
+// Counters are part of the deterministic computation: they depend only on
+// the input message and component state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tart::estimator {
+
+class BlockCounters {
+ public:
+  BlockCounters() = default;
+  explicit BlockCounters(std::size_t num_blocks) : counts_(num_blocks, 0) {}
+
+  /// Records `n` executions of basic block `block`. Grows on demand so a
+  /// handler can use sparse block ids.
+  void count(std::size_t block, std::uint64_t n = 1) {
+    if (block >= counts_.size()) counts_.resize(block + 1, 0);
+    counts_[block] += n;
+  }
+
+  [[nodiscard]] std::uint64_t get(std::size_t block) const {
+    return block < counts_.size() ? counts_[block] : 0;
+  }
+
+  [[nodiscard]] std::size_t num_blocks() const { return counts_.size(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& values() const {
+    return counts_;
+  }
+
+  void reset() { counts_.assign(counts_.size(), 0); }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace tart::estimator

@@ -1,0 +1,123 @@
+// Compute-time estimators.
+//
+// An estimator is a *deterministic* function from the handler's basic-block
+// counters to an estimated computation duration in virtual ticks. Any
+// estimate is correct (virtual times only need to be causally monotone);
+// accuracy matters purely for performance — the closer estimated virtual
+// arrival times track real arrival times, the less pessimism delay
+// receivers suffer (§II.E, §II.G.1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/virtual_time.h"
+#include "estimator/counters.h"
+#include "serde/archive.h"
+
+namespace tart::estimator {
+
+class ComputeEstimator {
+ public:
+  virtual ~ComputeEstimator() = default;
+
+  /// Estimated computation duration for a handler invocation with the given
+  /// block counts. Must be >= 1 tick (causally later events need later
+  /// virtual times).
+  [[nodiscard]] virtual TickDuration estimate(
+      const BlockCounters& counters) const = 0;
+
+  /// The smallest duration any invocation could take — the "computation
+  /// time of the shortest possible processing" used when computing idle
+  /// silence horizons for curiosity replies (§II.H).
+  [[nodiscard]] virtual TickDuration min_estimate() const = 0;
+
+  /// Coefficient vector for logging/serialization: [beta0, beta1, ...].
+  [[nodiscard]] virtual std::vector<double> coefficients() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<ComputeEstimator> clone() const = 0;
+};
+
+/// The "dumb" estimator: a fixed average computation time per message,
+/// ignoring the input entirely (§II.G.1, and the §III.A experiment where a
+/// constant 600 us estimate drives overhead to ~13% under high variability).
+class ConstantEstimator final : public ComputeEstimator {
+ public:
+  explicit ConstantEstimator(TickDuration duration) : duration_(duration) {}
+
+  [[nodiscard]] TickDuration estimate(const BlockCounters&) const override {
+    return std::max(duration_, TickDuration(1));
+  }
+  [[nodiscard]] TickDuration min_estimate() const override {
+    return std::max(duration_, TickDuration(1));
+  }
+  [[nodiscard]] std::vector<double> coefficients() const override {
+    return {static_cast<double>(duration_.ticks())};
+  }
+  [[nodiscard]] std::unique_ptr<ComputeEstimator> clone() const override {
+    return std::make_unique<ConstantEstimator>(duration_);
+  }
+
+ private:
+  TickDuration duration_;
+};
+
+/// Linear block-count model: tau = beta0 + sum_i beta_i * xi_i (Equation 1).
+/// For Code Body 1 the calibrated instance is tau = 61827 * xi_1
+/// (Equation 2).
+class LinearEstimator final : public ComputeEstimator {
+ public:
+  /// `betas[0]` is the intercept beta0 (ticks); `betas[i]` the per-execution
+  /// cost of block i-1.
+  explicit LinearEstimator(std::vector<double> betas)
+      : betas_(std::move(betas)) {
+    if (betas_.empty()) betas_.push_back(0.0);
+  }
+
+  [[nodiscard]] TickDuration estimate(
+      const BlockCounters& counters) const override {
+    double ticks = betas_[0];
+    for (std::size_t i = 1; i < betas_.size(); ++i)
+      ticks += betas_[i] * static_cast<double>(counters.get(i - 1));
+    return TickDuration(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(ticks)));
+  }
+
+  /// Minimum: intercept plus one execution of each positively-weighted
+  /// block is NOT guaranteed — the shortest run may skip blocks entirely.
+  /// We use intercept + the smallest single-block cost as a conservative
+  /// lower bound, floored at 1 tick.
+  [[nodiscard]] TickDuration min_estimate() const override {
+    double ticks = betas_[0];
+    if (betas_.size() > 1) {
+      double smallest = betas_[1];
+      for (std::size_t i = 2; i < betas_.size(); ++i)
+        smallest = std::min(smallest, betas_[i]);
+      ticks += std::max(0.0, smallest);
+    }
+    return TickDuration(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(ticks)));
+  }
+
+  [[nodiscard]] std::vector<double> coefficients() const override {
+    return betas_;
+  }
+  [[nodiscard]] std::unique_ptr<ComputeEstimator> clone() const override {
+    return std::make_unique<LinearEstimator>(betas_);
+  }
+
+ private:
+  std::vector<double> betas_;
+};
+
+/// Builds the estimator form used throughout the paper's examples: no
+/// intercept, a single per-iteration coefficient on block 0.
+[[nodiscard]] inline std::unique_ptr<LinearEstimator> per_iteration_estimator(
+    double ticks_per_iteration) {
+  return std::make_unique<LinearEstimator>(
+      std::vector<double>{0.0, ticks_per_iteration});
+}
+
+}  // namespace tart::estimator

@@ -1,0 +1,108 @@
+#include "estimator/estimator_manager.h"
+
+#include <cassert>
+
+namespace tart::estimator {
+
+EstimatorManager::EstimatorManager(ComponentId component,
+                                   std::unique_ptr<ComputeEstimator> initial,
+                                   log::DeterminismFaultLog* fault_log,
+                                   CalibratorConfig calibrator_config)
+    : component_(component),
+      fault_log_(fault_log),
+      calibrator_(calibrator_config) {
+  assert(initial != nullptr);
+  versions_.push_back(Version{0, VirtualTime::zero(), std::move(initial)});
+  // If the fault log already has records for this component (we are a
+  // recovering replica), re-apply them so virtual-time computation matches
+  // the original run exactly.
+  if (fault_log_ != nullptr) {
+    for (const auto& rec : fault_log_->records_after(component_, 0)) {
+      versions_.push_back(Version{rec.version, rec.effective_vt,
+                                  std::make_unique<LinearEstimator>(
+                                      rec.coefficients)});
+    }
+  }
+}
+
+const EstimatorManager::Version& EstimatorManager::active_at(
+    VirtualTime vt) const {
+  const Version* active = &versions_.front();
+  for (const auto& v : versions_) {
+    if (v.effective_vt <= vt) active = &v;
+  }
+  return *active;
+}
+
+TickDuration EstimatorManager::estimate(const BlockCounters& counters,
+                                        VirtualTime vt) const {
+  return active_at(vt).estimator->estimate(counters);
+}
+
+TickDuration EstimatorManager::min_estimate(VirtualTime vt) const {
+  return active_at(vt).estimator->min_estimate();
+}
+
+TickDuration EstimatorManager::future_min_estimate(VirtualTime vt) const {
+  TickDuration lo = active_at(vt).estimator->min_estimate();
+  for (const auto& v : versions_) {
+    if (v.effective_vt > vt)
+      lo = std::min(lo, v.estimator->min_estimate());
+  }
+  return lo;
+}
+
+std::optional<log::FaultRecord> EstimatorManager::add_sample(
+    const BlockCounters& counters, double measured_ticks,
+    VirtualTime current_vt) {
+  if (fault_log_ == nullptr) return std::nullopt;
+
+  calibrator_.add_sample(counters, measured_ticks);
+
+  // Never recalibrate while a logged fault is still pending (its
+  // effective_vt lies ahead); replay determinism requires the log to be the
+  // single authority on switch points.
+  if (versions_.back().effective_vt > current_vt) return std::nullopt;
+
+  auto proposal = calibrator_.propose(
+      active_at(current_vt).estimator->coefficients());
+  if (!proposal) return std::nullopt;
+
+  log::FaultRecord rec;
+  rec.component = component_;
+  rec.version = versions_.back().version + 1;
+  rec.effective_vt = current_vt + kEffectiveGuard;
+  rec.coefficients = *proposal;
+  // Synchronous log append *before* installing — the switch must be
+  // durable before any virtual time can be computed under it.
+  fault_log_->append(rec);
+  versions_.push_back(Version{rec.version, rec.effective_vt,
+                              std::make_unique<LinearEstimator>(*proposal)});
+  return rec;
+}
+
+void EstimatorManager::restore_to_version(std::uint64_t version) {
+  // Drop everything after `version`, then re-apply from the log (the log
+  // may contain faults the checkpoint predates).
+  while (versions_.size() > 1 && versions_.back().version > version)
+    versions_.pop_back();
+  assert(versions_.back().version == version);
+  if (fault_log_ != nullptr) {
+    for (const auto& rec : fault_log_->records_after(component_, version)) {
+      versions_.push_back(Version{rec.version, rec.effective_vt,
+                                  std::make_unique<LinearEstimator>(
+                                      rec.coefficients)});
+    }
+  }
+  calibrator_.reset();
+}
+
+std::uint64_t EstimatorManager::version_at(VirtualTime vt) const {
+  return active_at(vt).version;
+}
+
+std::uint64_t EstimatorManager::latest_version() const {
+  return versions_.back().version;
+}
+
+}  // namespace tart::estimator

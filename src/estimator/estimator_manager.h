@@ -1,0 +1,89 @@
+// Versioned estimator with replay-safe recalibration.
+//
+// Coordinates three concerns per component handler:
+//   1. Evaluation: estimate the virtual compute duration for an invocation
+//      under the estimator version in effect at the invocation's virtual
+//      time (replay reaching an effective_vt switches versions exactly
+//      there, §II.G.4).
+//   2. Calibration: feed measured durations to the Calibrator; when it
+//      proposes new coefficients, raise a determinism fault — log the
+//      switch synchronously, then schedule it at a future effective virtual
+//      time (strictly after every virtual time already computed, so no
+//      already-produced output could have depended on it).
+//   3. Recovery: after a checkpoint restore, re-install the version active
+//      at the checkpoint and re-apply logged faults past it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "estimator/calibrator.h"
+#include "estimator/estimator.h"
+#include "log/fault_log.h"
+
+namespace tart::estimator {
+
+class EstimatorManager {
+ public:
+  /// `fault_log` may be null, in which case recalibration is disabled (the
+  /// initial estimator stays active forever).
+  EstimatorManager(ComponentId component,
+                   std::unique_ptr<ComputeEstimator> initial,
+                   log::DeterminismFaultLog* fault_log,
+                   CalibratorConfig calibrator_config = {});
+
+  /// Estimated compute duration for an invocation dequeued at `vt`, under
+  /// the version active at `vt`.
+  [[nodiscard]] TickDuration estimate(const BlockCounters& counters,
+                                      VirtualTime vt) const;
+
+  /// Shortest-possible-processing bound under the version active at `vt`.
+  [[nodiscard]] TickDuration min_estimate(VirtualTime vt) const;
+
+  /// Lower bound over *every* version that could be active at any time
+  /// >= `vt` (the active one and all pending installs). Silence horizons
+  /// must use this — a pending recalibration could shrink charges, and a
+  /// horizon promised under the old, larger minimum would be unsound.
+  [[nodiscard]] TickDuration future_min_estimate(VirtualTime vt) const;
+
+  /// Feeds a measured sample (invocation at `vt`, measured wall duration in
+  /// ticks). May raise a determinism fault: the new coefficients are logged
+  /// with effective_vt strictly greater than `current_vt` and installed as
+  /// a pending version. Returns the logged record if a fault was raised.
+  std::optional<log::FaultRecord> add_sample(const BlockCounters& counters,
+                                             double measured_ticks,
+                                             VirtualTime current_vt);
+
+  /// Re-installs checkpointed version `version` and re-applies every logged
+  /// fault past it (replay path). All live-sampled state is discarded.
+  void restore_to_version(std::uint64_t version);
+
+  /// Version in effect at `vt` (what checkpoints record).
+  [[nodiscard]] std::uint64_t version_at(VirtualTime vt) const;
+
+  [[nodiscard]] std::uint64_t latest_version() const;
+
+  /// Guard distance between "now" and a new version's effective_vt. Public
+  /// so tests can reason about the exact switch point.
+  static constexpr TickDuration kEffectiveGuard = TickDuration(1);
+
+ private:
+  struct Version {
+    std::uint64_t version;
+    VirtualTime effective_vt;  ///< active for vt >= effective_vt
+    std::unique_ptr<ComputeEstimator> estimator;
+  };
+
+  [[nodiscard]] const Version& active_at(VirtualTime vt) const;
+
+  ComponentId component_;
+  log::DeterminismFaultLog* fault_log_;
+  Calibrator calibrator_;
+  std::vector<Version> versions_;  // ascending effective_vt
+};
+
+}  // namespace tart::estimator

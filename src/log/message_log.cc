@@ -1,0 +1,77 @@
+#include "log/message_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tart::log {
+
+void ExternalMessageLog::append(const Message& message) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& list = entries_[message.wire];
+  assert(list.empty() || (message.seq == list.back().seq + 1 &&
+                          message.vt >= list.back().vt));
+  list.push_back(message);
+  if (store_ != nullptr) {
+    serde::Writer w;
+    message.encode(w);
+    store_->append(w.bytes());
+  }
+}
+
+void ExternalMessageLog::attach_store(FileStableStore* store) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_ = store;
+}
+
+void ExternalMessageLog::load_from(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& record : FileStableStore::scan(path)) {
+    serde::Reader r(record);
+    const Message m = Message::decode(r);
+    entries_[m.wire].push_back(m);
+  }
+}
+
+std::vector<Message> ExternalMessageLog::replay_after(
+    WireId wire, VirtualTime after) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out;
+  const auto it = entries_.find(wire);
+  if (it == entries_.end()) return out;
+  for (const Message& m : it->second)
+    if (m.vt > after) out.push_back(m);
+  return out;
+}
+
+std::vector<Message> ExternalMessageLog::replay_from_seq(
+    WireId wire, std::uint64_t from_seq) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out;
+  const auto it = entries_.find(wire);
+  if (it == entries_.end()) return out;
+  for (const Message& m : it->second)
+    if (m.seq >= from_seq) out.push_back(m);
+  return out;
+}
+
+std::uint64_t ExternalMessageLog::size(WireId wire) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(wire);
+  return it == entries_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t ExternalMessageLog::total_size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& [w, list] : entries_) n += list.size();
+  return n;
+}
+
+VirtualTime ExternalMessageLog::last_vt(WireId wire) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(wire);
+  if (it == entries_.end() || it->second.empty()) return VirtualTime(-1);
+  return it->second.back().vt;
+}
+
+}  // namespace tart::log

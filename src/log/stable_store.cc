@@ -1,0 +1,56 @@
+#include "log/stable_store.h"
+
+#include "serde/archive.h"
+
+namespace tart::log {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x54A27106;  // frame marker
+}  // namespace
+
+FileStableStore::FileStableStore(std::string path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::binary | std::ios::app);
+}
+
+bool FileStableStore::append(const std::vector<std::byte>& record) {
+  if (!out_.is_open()) return false;
+  serde::Writer frame;
+  frame.write_u32(kMagic);
+  frame.write_u32(static_cast<std::uint32_t>(record.size()));
+  frame.write_u64(serde::fingerprint(record));
+  const auto& header = frame.bytes();
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.write(reinterpret_cast<const char*>(record.data()),
+             static_cast<std::streamsize>(record.size()));
+  out_.flush();
+  if (!out_.good()) return false;
+  ++written_;
+  return true;
+}
+
+std::vector<std::vector<std::byte>> FileStableStore::scan(
+    const std::string& path) {
+  std::vector<std::vector<std::byte>> records;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return records;
+
+  for (;;) {
+    std::byte header[16];
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (in.gcount() != sizeof(header)) break;  // clean EOF or torn header
+    serde::Reader r(header, sizeof(header));
+    if (r.read_u32() != kMagic) break;  // corrupted frame marker
+    const std::uint32_t size = r.read_u32();
+    const std::uint64_t checksum = r.read_u64();
+
+    std::vector<std::byte> record(size);
+    in.read(reinterpret_cast<char*>(record.data()), size);
+    if (in.gcount() != static_cast<std::streamsize>(size)) break;  // torn
+    if (serde::fingerprint(record) != checksum) break;  // corrupted
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace tart::log

@@ -1,0 +1,49 @@
+// Append-only file-backed stable storage.
+//
+// The paper gives two durability options for external input (§II.C/§II.E):
+// a passive replica on another machine (ReplicaStore / in-memory logs) or
+// "a stable storage device for holding checkpoints". This is the stable
+// storage device: length-and-checksum framed records appended to a file,
+// flushed on every append, and scanned back on recovery. A torn final
+// record (crash mid-write) is detected by the checksum and dropped —
+// everything before it is intact.
+//
+// ExternalMessageLog and DeterminismFaultLog can attach a store for
+// write-through persistence and be reloaded from one after a process
+// restart.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tart::log {
+
+class FileStableStore {
+ public:
+  /// Opens (creating if absent) the store for appending.
+  explicit FileStableStore(std::string path);
+
+  FileStableStore(const FileStableStore&) = delete;
+  FileStableStore& operator=(const FileStableStore&) = delete;
+
+  /// Appends one record durably (framed + checksummed + flushed). Returns
+  /// false on I/O failure.
+  bool append(const std::vector<std::byte>& record);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t records_written() const { return written_; }
+
+  /// Reads every intact record from a store file, stopping at the first
+  /// torn or corrupted frame. Missing file yields an empty list.
+  [[nodiscard]] static std::vector<std::vector<std::byte>> scan(
+      const std::string& path);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace tart::log

@@ -1,0 +1,68 @@
+// Discrete-event simulation kernel.
+//
+// The paper's §III.A/§III.B studies run the Figure-1 system "under
+// simulation" on simulated processors; this kernel provides the event
+// queue. Events at equal times fire in scheduling order (a deterministic
+// tie-break), so a seeded simulation is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tart::sim {
+
+/// Simulated real time in nanoseconds.
+using SimTime = std::int64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (must be >= now()).
+  void schedule(SimTime at, Action action) {
+    queue_.push(Event{at, next_seq_++, std::move(action)});
+  }
+
+  void schedule_after(SimTime delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Runs events until the queue is empty or simulated time passes
+  /// `until`. Returns the number of events executed.
+  std::uint64_t run_until(SimTime until) {
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().at <= until) {
+      // Moving out of a priority_queue requires the const_cast idiom; the
+      // element is popped immediately after.
+      Event event = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = event.at;
+      event.action();
+      ++executed;
+    }
+    if (now_ < until) now_ = until;
+    return executed;
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO among equal times
+    Action action;
+    bool operator>(const Event& other) const {
+      return std::tie(at, seq) > std::tie(other.at, other.seq);
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tart::sim

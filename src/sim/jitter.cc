@@ -1,0 +1,36 @@
+#include "sim/jitter.h"
+
+namespace tart::sim {
+
+EmpiricalJitterBank::EmpiricalJitterBank(const Config& config) {
+  Rng rng(config.seed);
+  bank_.resize(static_cast<std::size_t>(config.max_iterations));
+  for (int k = 1; k <= config.max_iterations; ++k) {
+    auto& samples = bank_[static_cast<std::size_t>(k - 1)];
+    samples.reserve(static_cast<std::size_t>(config.samples_per_k));
+    for (int i = 0; i < config.samples_per_k; ++i) {
+      double ns = config.base_ns_per_iteration * k;
+      ns += rng.lognormal(config.noise_mu, config.noise_sigma);
+      if (rng.chance(config.spike_probability))
+        ns += rng.exponential(config.spike_mean_ns);
+      samples.push_back(static_cast<std::int64_t>(ns));
+    }
+  }
+}
+
+std::int64_t EmpiricalJitterBank::sample(int k, Rng& rng) const {
+  const auto& samples =
+      bank_[static_cast<std::size_t>(std::min(k, max_iterations()) - 1)];
+  const auto idx = rng.bounded(samples.size());
+  return samples[idx];
+}
+
+std::vector<std::pair<int, double>> EmpiricalJitterBank::all_samples() const {
+  std::vector<std::pair<int, double>> out;
+  for (std::size_t k = 0; k < bank_.size(); ++k)
+    for (const auto ns : bank_[k])
+      out.emplace_back(static_cast<int>(k + 1), static_cast<double>(ns));
+  return out;
+}
+
+}  // namespace tart::sim

@@ -1,0 +1,111 @@
+// Simulation of the paper's experimental system (§III.A, §III.B): N sender
+// components and one merger, each on a dedicated simulated processor.
+// External clients feed the senders via Poisson processes; senders run the
+// word-count-like loop (a configurable number of iterations at a fixed
+// virtual cost per iteration, with real time perturbed by a jitter model);
+// the merger services events at fixed cost, in real-arrival order
+// (non-deterministic baseline) or in virtual-time order with pessimistic
+// silence waiting (TART).
+//
+// The merger's virtual-time merge reuses the production Inbox, so the
+// simulation exercises the same scheduling rule as the threaded runtime.
+//
+// Modes (§III.A):
+//   kNonDeterministic — conventional runtime; arrival order.
+//   kDeterministic    — TART with curiosity probes; a probed busy sender
+//                       "is assumed not to know how many more iterations
+//                       will follow" (promises one more iteration).
+//   kPrescient        — same, but a probed busy sender knows the iteration
+//                       count and promises silence through its exact
+//                       output time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/jitter.h"
+
+namespace tart::sim {
+
+/// kOptimistic models the Time Warp alternative the paper contrasts with
+/// (§II.D): the merger processes messages eagerly in arrival order and,
+/// when a straggler (smaller virtual time than something already
+/// processed) arrives, rolls back — paying a per-message state-restore
+/// cost and re-executing the rolled-back work. No silence machinery is
+/// needed, but wasted re-execution replaces pessimism delay. (Committing
+/// external output would additionally need anti-messages/GVT, which this
+/// cost model charges nothing for — i.e. it flatters optimism.)
+enum class SimMode { kNonDeterministic, kDeterministic, kPrescient,
+                     kOptimistic };
+enum class SimSilence { kCuriosity, kLazy };
+
+/// Uniform inclusive iteration-count distribution; min == max is constant.
+struct IterationDist {
+  int min = 10;
+  int max = 10;
+
+  [[nodiscard]] double mean() const { return (min + max) / 2.0; }
+  /// Standard deviation of the implied compute time, in microseconds.
+  [[nodiscard]] double compute_sd_us(double per_iter_us) const {
+    const double n = max - min + 1;
+    return per_iter_us * std::sqrt((n * n - 1.0) / 12.0);
+  }
+};
+
+struct SimConfig {
+  int num_senders = 2;
+  /// Mean Poisson inter-arrival time per sender (paper: 1 msg / 1000 us).
+  double arrival_mean_us = 1000.0;
+  /// Asymmetric-rate studies (the bias algorithm's setting): sender 0 uses
+  /// this inter-arrival mean instead when nonzero.
+  double slow_arrival_mean_us = 0.0;
+  std::int64_t per_iter_vt_ns = 60000;  ///< true virtual cost per iteration
+  IterationDist iterations{1, 19};
+
+  /// Jitter: gaussian per-tick model unless an empirical bank is supplied.
+  double per_tick_jitter_sd = 0.1;
+  const EmpiricalJitterBank* bank = nullptr;
+
+  /// Estimator: smart (ns per iteration) or dumb (constant, §III.A).
+  double estimator_ns_per_iter = 60000.0;
+  bool dumb_estimator = false;
+  double dumb_estimate_ns = 600000.0;
+
+  std::int64_t merger_service_ns = 400000;  ///< 400 us per event
+  std::int64_t probe_rtt_ns = 20000;        ///< 20 us per curiosity probe
+  /// kOptimistic: state-restore cost per rolled-back message.
+  std::int64_t rollback_cost_ns = 50000;
+
+  /// Hyper-aggressive bias (ablation): which sender follows the grid
+  /// discipline (-1 = none, -2 = all) and the grid width.
+  int biased_sender = -1;
+  std::int64_t bias_ns = 0;
+
+  SimMode mode = SimMode::kDeterministic;
+  SimSilence silence = SimSilence::kCuriosity;
+
+  double duration_us = 1'000'000.0;  ///< feed time; drains afterwards
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  std::uint64_t generated = 0;
+  std::uint64_t completed = 0;
+  double avg_latency_us = 0;
+  double p50_latency_us = 0;
+  double p95_latency_us = 0;
+  double max_latency_us = 0;
+  std::uint64_t out_of_order = 0;      ///< merger arrivals with vt inversions
+  std::uint64_t probes = 0;            ///< curiosity probes sent
+  std::uint64_t pessimism_events = 0;  ///< delay episodes at the merger
+  double pessimism_wait_us = 0;        ///< total real time spent delayed
+  std::uint64_t rollbacks = 0;         ///< kOptimistic: straggler rollbacks
+  std::uint64_t reexecutions = 0;      ///< kOptimistic: re-executed messages
+  double merger_utilization = 0;
+  std::size_t peak_merger_queue = 0;
+  bool stable = true;  ///< drained within the grace window
+};
+
+[[nodiscard]] SimResult run_simulation(const SimConfig& config);
+
+}  // namespace tart::sim

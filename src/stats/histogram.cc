@@ -1,0 +1,67 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tart::stats {
+
+Histogram::Histogram(double width, std::size_t num_buckets)
+    : width_(width), buckets_(num_buckets + 1, 0) {}
+
+void Histogram::add(double x) {
+  if (x < 0) x = 0;
+  auto idx = static_cast<std::size_t>(x / width_);
+  if (idx >= buckets_.size() - 1) idx = buckets_.size() - 1;
+  ++buckets_[idx];
+  ++count_;
+  max_seen_ = std::max(max_seen_, x);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t next = cum + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      const double inside =
+          buckets_[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(cum)) /
+                    static_cast<double>(buckets_[i]);
+      if (i == buckets_.size() - 1) return max_seen_;
+      return (static_cast<double>(i) + inside) * width_;
+    }
+    cum = next;
+  }
+  return max_seen_;
+}
+
+std::string Histogram::render(std::size_t max_rows) const {
+  std::ostringstream os;
+  // Find the densest region to display.
+  std::size_t last_nonzero = 0;
+  std::uint64_t peak = 1;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0) last_nonzero = i;
+    peak = std::max(peak, buckets_[i]);
+  }
+  const std::size_t rows = std::min(max_rows, last_nonzero + 1);
+  const std::size_t group = (last_nonzero + rows) / std::max<std::size_t>(rows, 1);
+  for (std::size_t r = 0; r * group <= last_nonzero; ++r) {
+    std::uint64_t sum = 0;
+    for (std::size_t i = r * group;
+         i < std::min((r + 1) * group, buckets_.size()); ++i)
+      sum += buckets_[i];
+    const auto bar_len = static_cast<std::size_t>(
+        40.0 * static_cast<double>(sum) /
+        static_cast<double>(peak * std::max<std::size_t>(group, 1)));
+    os << "  [" << static_cast<double>(r * group) * width_ << ", "
+       << static_cast<double>((r + 1) * group) * width_ << ") "
+       << std::string(bar_len, '#') << ' ' << sum << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tart::stats

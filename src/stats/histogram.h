@@ -1,0 +1,34 @@
+// Fixed-bucket histogram plus percentile extraction; used by benches to
+// report latency distributions (the paper's figures report averages, we add
+// percentiles for the ablation studies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tart::stats {
+
+class Histogram {
+ public:
+  /// Buckets of `width` covering [0, width*num_buckets); one overflow bucket.
+  Histogram(double width, std::size_t num_buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Linear-interpolated percentile in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double bucket_width() const { return width_; }
+
+  /// Compact ASCII rendering for bench output.
+  [[nodiscard]] std::string render(std::size_t max_rows = 16) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace tart::stats

@@ -1,0 +1,146 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+namespace tart::stats {
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  fit.n = n;
+  if (n < 2) return fit;
+
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double sse = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = y[i] - fit.predict(x[i]);
+      sse += r * r;
+    }
+    fit.r_squared = 1.0 - sse / syy;
+  }
+  return fit;
+}
+
+LinearFit fit_through_origin(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  fit.n = n;
+  if (n == 0) return fit;
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  if (sxx <= 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = 0.0;
+  if (syy > 0.0) {
+    const double sse = syy - 2 * fit.slope * sxy + fit.slope * fit.slope * sxx;
+    fit.r_squared = 1.0 - sse / syy;
+  }
+  return fit;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double skewness(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  if (n < 3) return 0.0;
+  double mean = 0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double m2 = 0, m3 = 0;
+  for (const double x : xs) {
+    const double d = x - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+std::vector<double> fit_multivariate(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& y) {
+  if (rows.empty() || rows.size() != y.size()) return {};
+  const std::size_t k = rows.front().size();
+  if (k == 0) return {};
+
+  // Normal equations: (XᵀX) β = Xᵀy.
+  std::vector<std::vector<double>> a(k, std::vector<double>(k + 1, 0.0));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != k) return {};
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) a[i][j] += row[i] * row[j];
+      a[i][k] += row[i] * y[r];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-12) return {};
+    std::swap(a[col], a[pivot]);
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c <= k; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+
+  std::vector<double> beta(k);
+  for (std::size_t i = 0; i < k; ++i) beta[i] = a[i][k] / a[i][i];
+  return beta;
+}
+
+}  // namespace tart::stats

@@ -1,0 +1,87 @@
+// Least-squares linear regression used to calibrate estimator coefficients.
+//
+// The paper (§II.H) models computation time as a linear function of
+// basic-block execution counts, τ = β0 + β1ξ1 + ... + βkξk, makes a rough
+// a-priori estimate, and then "after some execution samples are taken ... a
+// linear regression is taken to fit the coefficients." For Code Body 1 the
+// fit is through the origin on a single predictor (Equation 2:
+// τ = 61827 ξ1, R² = 0.9154).
+//
+// We provide both the simple univariate fits (with and without intercept)
+// and a small multivariate normal-equations solver for multi-block models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tart::stats {
+
+/// Result of a univariate fit y = a + b x (or y = b x when through_origin).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Ordinary least squares, y = a + b x.
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Regression through the origin, y = b x (the paper's Equation 2 form).
+/// R² is computed against the through-origin model (1 - SSE/Σy²), matching
+/// what spreadsheet tools report for a forced-zero-intercept trendline.
+[[nodiscard]] LinearFit fit_through_origin(const std::vector<double>& x,
+                                           const std::vector<double>& y);
+
+/// Pearson correlation coefficient. Used in the Fig-2 reproduction to verify
+/// the paper's "close to zero correlation between the number of iterations
+/// and the residuals".
+[[nodiscard]] double pearson(const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+/// Sample skewness (g1). The paper notes the residual distribution is
+/// "highly right-skewed"; we assert positive skew in tests/benches.
+[[nodiscard]] double skewness(const std::vector<double>& xs);
+
+/// Multivariate OLS via normal equations with Gaussian elimination:
+/// y = β·x, x including a leading 1 column if an intercept is desired.
+/// Returns empty vector if the system is singular.
+[[nodiscard]] std::vector<double> fit_multivariate(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& y);
+
+/// Incremental accumulator for univariate through-origin regression, so an
+/// online calibrator can refine a coefficient as samples arrive without
+/// storing them (paper: "after several hundreds of messages have been
+/// processed, the coefficient can be refined based upon empirical
+/// measurement").
+class OnlineOriginFit {
+ public:
+  void add(double x, double y) {
+    sxx_ += x * x;
+    sxy_ += x * y;
+    syy_ += y * y;
+    ++n_;
+  }
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] bool has_fit() const { return sxx_ > 0.0; }
+  [[nodiscard]] double slope() const { return sxx_ > 0.0 ? sxy_ / sxx_ : 0.0; }
+  [[nodiscard]] double r_squared() const {
+    if (syy_ <= 0.0 || sxx_ <= 0.0) return 0.0;
+    const double b = slope();
+    const double sse = syy_ - 2 * b * sxy_ + b * b * sxx_;
+    return 1.0 - sse / syy_;
+  }
+
+ private:
+  double sxx_ = 0.0;
+  double sxy_ = 0.0;
+  double syy_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace tart::stats

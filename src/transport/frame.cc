@@ -1,0 +1,101 @@
+#include "transport/frame.h"
+
+namespace tart::transport {
+
+namespace {
+enum Tag : std::uint8_t {
+  kData = 0,
+  kSilence = 1,
+  kProbe = 2,
+  kReplayRequest = 3,
+  kStability = 4,
+};
+}  // namespace
+
+void encode_frame(serde::Writer& w, const Frame& f) {
+  std::visit(
+      [&w](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, DataFrame>) {
+          w.write_u8(kData);
+          v.msg.encode(w);
+        } else if constexpr (std::is_same_v<T, SilenceFrame>) {
+          w.write_u8(kSilence);
+          w.write_u32(v.wire.value());
+          w.write_vt(v.through);
+          w.write_varint(v.expected_seq);
+        } else if constexpr (std::is_same_v<T, ProbeFrame>) {
+          w.write_u8(kProbe);
+          w.write_u32(v.wire.value());
+        } else if constexpr (std::is_same_v<T, ReplayRequestFrame>) {
+          w.write_u8(kReplayRequest);
+          w.write_u32(v.wire.value());
+          w.write_vt(v.after);
+          w.write_varint(v.from_seq);
+        } else if constexpr (std::is_same_v<T, StabilityFrame>) {
+          w.write_u8(kStability);
+          w.write_u32(v.wire.value());
+          w.write_vt(v.through);
+        }
+      },
+      f);
+}
+
+Frame decode_frame(serde::Reader& r) {
+  switch (r.read_u8()) {
+    case kData:
+      return DataFrame{Message::decode(r)};
+    case kSilence: {
+      SilenceFrame f;
+      f.wire = WireId(r.read_u32());
+      f.through = r.read_vt();
+      f.expected_seq = r.read_varint();
+      return f;
+    }
+    case kProbe:
+      return ProbeFrame{WireId(r.read_u32())};
+    case kReplayRequest: {
+      ReplayRequestFrame f;
+      f.wire = WireId(r.read_u32());
+      f.after = r.read_vt();
+      f.from_seq = r.read_varint();
+      return f;
+    }
+    case kStability: {
+      StabilityFrame f;
+      f.wire = WireId(r.read_u32());
+      f.through = r.read_vt();
+      return f;
+    }
+    default:
+      throw serde::DecodeError("bad frame tag");
+  }
+}
+
+std::vector<std::byte> frame_to_bytes(const Frame& f) {
+  serde::Writer w;
+  encode_frame(w, f);
+  return w.take();
+}
+
+Frame frame_from_bytes(const std::vector<std::byte>& bytes) {
+  serde::Reader r(bytes);
+  Frame f = decode_frame(r);
+  if (!r.at_end()) throw serde::DecodeError("trailing bytes after frame");
+  return f;
+}
+
+WireId frame_wire(const Frame& f) {
+  return std::visit(
+      [](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, DataFrame>) {
+          return v.msg.wire;
+        } else {
+          return v.wire;
+        }
+      },
+      f);
+}
+
+}  // namespace tart::transport

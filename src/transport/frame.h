@@ -1,0 +1,74 @@
+// Cross-engine protocol frames.
+//
+// Everything engines exchange travels as one of these frames: data
+// messages, silence announcements, curiosity probes (§II.H), replay
+// requests after gaps or failover (§II.F.4), and stability
+// acknowledgements that let senders trim their retention buffers.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "serde/archive.h"
+#include "wire/message.h"
+
+namespace tart::transport {
+
+/// A component-to-component message (data, call, or reply tick).
+struct DataFrame {
+  Message msg;
+};
+
+/// "Wire `wire` carries no *further* data through tick `through`, and
+/// exactly `expected_seq` data messages were sent at or before it."
+///
+/// The data-message count completes the paper's tick accounting (§II.F.1:
+/// every tick is a data tick or a silence tick): a receiver holding fewer
+/// than expected_seq messages knows ticks were lost — e.g. dropped while
+/// its engine was down — and requests replay. expected_seq == 0 means the
+/// count is unknown (plain horizon advance only).
+struct SilenceFrame {
+  WireId wire;
+  VirtualTime through;
+  std::uint64_t expected_seq = 0;
+};
+
+/// Curiosity probe: the receiver of `wire` is in a pessimism delay and asks
+/// the sender to compute and announce a fresh silence interval.
+struct ProbeFrame {
+  WireId wire;
+};
+
+/// Replay request: receiver detected a gap (or restored a checkpoint) and
+/// needs every tick after `after` (equivalently, from sequence `from_seq`).
+struct ReplayRequestFrame {
+  WireId wire;
+  VirtualTime after;
+  std::uint64_t from_seq = 0;
+};
+
+/// Stability acknowledgement: the receiver's state through `through` is
+/// safely checkpointed; retained messages with vt <= through can never be
+/// requested again.
+struct StabilityFrame {
+  WireId wire;
+  VirtualTime through;
+};
+
+using Frame = std::variant<DataFrame, SilenceFrame, ProbeFrame,
+                           ReplayRequestFrame, StabilityFrame>;
+
+void encode_frame(serde::Writer& w, const Frame& f);
+[[nodiscard]] Frame decode_frame(serde::Reader& r);
+
+/// Serializes a frame to a standalone byte buffer (what crosses the
+/// simulated network).
+[[nodiscard]] std::vector<std::byte> frame_to_bytes(const Frame& f);
+[[nodiscard]] Frame frame_from_bytes(const std::vector<std::byte>& bytes);
+
+/// The wire a frame pertains to (routing key).
+[[nodiscard]] WireId frame_wire(const Frame& f);
+
+}  // namespace tart::transport

@@ -1,0 +1,92 @@
+// Simulated unreliable physical link.
+//
+// The paper's failure model includes "link failures (causing loss,
+// re-ordering, or duplication of messages sent over physical links)"
+// (§II.A) while the middleware model assumes communication that is
+// "reliable, FIFO, and fair". This link provides the former; the
+// ReliableLink layered on top provides the latter.
+//
+// A background delivery thread dispatches byte packets to the receiver
+// callback after a configurable real-time delay; packets may be dropped,
+// duplicated, or reordered per the fault plan. The link can also be taken
+// down entirely (fail-stop of the path) and brought back up.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tart::transport {
+
+struct LinkConfig {
+  std::chrono::microseconds base_delay{50};
+  std::chrono::microseconds delay_jitter{0};  ///< uniform extra [0, jitter]
+  double loss_probability = 0.0;
+  double duplicate_probability = 0.0;
+  /// Probability that a packet's delay is doubled (creates reordering
+  /// relative to later packets without violating eventual delivery).
+  double reorder_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class NetworkLink {
+ public:
+  using Receiver = std::function<void(std::vector<std::byte>)>;
+
+  NetworkLink(LinkConfig config, Receiver receiver);
+  ~NetworkLink();
+
+  NetworkLink(const NetworkLink&) = delete;
+  NetworkLink& operator=(const NetworkLink&) = delete;
+
+  /// Queues a packet; subject to the link's fault plan.
+  void send(std::vector<std::byte> packet);
+
+  /// Fail-stop the path: packets sent (and not yet delivered) are lost.
+  void set_down(bool down);
+  [[nodiscard]] bool is_down() const;
+
+  /// Stops the delivery thread; undelivered packets are dropped.
+  void shutdown();
+
+  [[nodiscard]] std::uint64_t packets_sent() const;
+  [[nodiscard]] std::uint64_t packets_delivered() const;
+  [[nodiscard]] std::uint64_t packets_lost() const;
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point deliver_at;
+    std::uint64_t id;  // FIFO tiebreak for equal times
+    std::vector<std::byte> packet;
+    bool operator>(const Pending& other) const {
+      return std::tie(deliver_at, id) > std::tie(other.deliver_at, other.id);
+    }
+  };
+
+  void delivery_loop();
+
+  LinkConfig config_;
+  Receiver receiver_;
+  Rng rng_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  bool down_ = false;
+  bool stop_ = false;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t lost_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace tart::transport

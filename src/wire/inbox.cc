@@ -1,0 +1,163 @@
+#include "wire/inbox.h"
+
+#include <cassert>
+
+namespace tart {
+
+void Inbox::add_wire(WireId wire) {
+  assert(wire.is_valid());
+  wires_.emplace(wire, WireState{});
+}
+
+void Inbox::set_data_grid(WireId wire, std::int64_t window) {
+  auto it = wires_.find(wire);
+  assert(it != wires_.end());
+  it->second.grid = window;
+}
+
+bool Inbox::has_wire(WireId wire) const { return wires_.contains(wire); }
+
+const Inbox::WireState* Inbox::find(WireId wire) const {
+  const auto it = wires_.find(wire);
+  return it == wires_.end() ? nullptr : &it->second;
+}
+
+AcceptResult Inbox::offer(const Message& m) {
+  auto it = wires_.find(m.wire);
+  assert(it != wires_.end() && "message for unregistered wire");
+  WireState& w = it->second;
+
+  // Duplicate: vt already accounted (silent or delivered/pending data).
+  // Replayed messages re-arrive with their original (identical) timestamps
+  // and are discarded here.
+  if (m.vt <= w.horizon) return AcceptResult::kDuplicate;
+
+  // Gap: FIFO sequence jumped, meaning ticks were lost on the physical
+  // link or the sender restarted ahead of us. Caller must request replay.
+  if (m.seq > w.next_seq) return AcceptResult::kGap;
+  if (m.seq < w.next_seq) return AcceptResult::kDuplicate;
+
+  w.next_seq = m.seq + 1;
+  // The message's vt accounts all earlier ticks as (implied) silence and
+  // its own tick as data.
+  w.horizon = m.vt;
+  w.pending.push_back(m);
+  return AcceptResult::kAccepted;
+}
+
+bool Inbox::announce_silence(WireId wire, VirtualTime through,
+                             std::uint64_t expected_seq) {
+  auto it = wires_.find(wire);
+  assert(it != wires_.end());
+  WireState& w = it->second;
+  if (expected_seq > w.next_seq) {
+    // The sender accounted data ticks we never received: they were lost
+    // (e.g. dropped while this engine was down). Do not mark them silent;
+    // the caller must request replay from next_seq.
+    return true;
+  }
+  if (through > w.horizon) w.horizon = through;
+  return false;
+}
+
+std::optional<Message> Inbox::peek() const {
+  const WireState* best = nullptr;
+  WireId best_id;
+  for (const auto& [id, w] : wires_) {
+    if (w.pending.empty()) continue;
+    const Message& head = w.pending.front();
+    if (best == nullptr ||
+        head.key() < std::pair{best->pending.front().vt, best_id}) {
+      best = &w;
+      best_id = id;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->pending.front();
+}
+
+bool Inbox::permits(const WireState& w, WireId other_id, VirtualTime t,
+                    WireId id) {
+  if (!w.pending.empty()) {
+    // A pending head on the other wire must order after (t, id).
+    return std::pair{t, id} < w.pending.front().key();
+  }
+  const VirtualTime h = w.effective_horizon();
+  if (h >= t) return true;
+  // Horizon t-1 suffices when the other wire loses the vt==t tie-break:
+  // any future message on it has vt > horizon >= t-1, i.e. vt >= t, and at
+  // vt == t our smaller wire id wins.
+  return h >= t.prev() && other_id > id;
+}
+
+bool Inbox::head_eligible() const {
+  const auto head = peek();
+  if (!head) return false;
+  for (const auto& [id, w] : wires_) {
+    if (id == head->wire) continue;
+    if (!permits(w, id, head->vt, head->wire)) return false;
+  }
+  return true;
+}
+
+std::optional<Message> Inbox::pop() {
+  if (!head_eligible()) return std::nullopt;
+  const auto head = peek();
+  auto& w = wires_.at(head->wire);
+  Message m = std::move(w.pending.front());
+  w.pending.pop_front();
+  return m;
+}
+
+std::vector<WireId> Inbox::lagging_wires() const {
+  std::vector<WireId> out;
+  const auto head = peek();
+  if (!head) return out;
+  for (const auto& [id, w] : wires_) {
+    if (id == head->wire) continue;
+    if (!permits(w, id, head->vt, head->wire)) out.push_back(id);
+  }
+  return out;
+}
+
+VirtualTime Inbox::accounted_through() const {
+  VirtualTime lo = VirtualTime::infinity();
+  for (const auto& [id, w] : wires_) lo = min(lo, w.effective_horizon());
+  return lo;
+}
+
+VirtualTime Inbox::wire_horizon(WireId wire) const {
+  const WireState* w = find(wire);
+  assert(w != nullptr);
+  return w->horizon;
+}
+
+std::size_t Inbox::pending() const {
+  std::size_t n = 0;
+  for (const auto& [id, w] : wires_) n += w.pending.size();
+  return n;
+}
+
+bool Inbox::exhausted() const {
+  for (const auto& [id, w] : wires_)
+    if (!w.closed() || !w.pending.empty()) return false;
+  return true;
+}
+
+std::uint64_t Inbox::next_seq(WireId wire) const {
+  const WireState* w = find(wire);
+  assert(w != nullptr);
+  return w->next_seq;
+}
+
+void Inbox::restore_position(WireId wire, VirtualTime through,
+                             std::uint64_t seq) {
+  auto it = wires_.find(wire);
+  assert(it != wires_.end());
+  WireState& w = it->second;
+  w.pending.clear();
+  w.horizon = through;
+  w.next_seq = seq;
+}
+
+}  // namespace tart

@@ -1,0 +1,65 @@
+// The unit of communication between components.
+//
+// Every message carries the virtual time at which it is to be processed by
+// the receiver ("All message interfaces are augmented to include an
+// additional parameter representing the virtual time that the message will
+// be processed at the receiver", §II.C). Per-wire sequence numbers support
+// gap detection for replay; they carry no scheduling meaning.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "serde/archive.h"
+#include "wire/payload.h"
+
+namespace tart {
+
+enum class MessageKind : std::uint8_t {
+  kData = 0,   ///< One-way send.
+  kCall = 1,   ///< Two-way service request (expects a reply).
+  kReply = 2,  ///< Reply to a kCall.
+};
+
+struct Message {
+  WireId wire;
+  VirtualTime vt;          ///< Scheduled processing time at the receiver.
+  std::uint64_t seq = 0;   ///< Per-wire sequence number (gap detection).
+  MessageKind kind = MessageKind::kData;
+  std::uint64_t call_id = 0;  ///< Correlates kCall with its kReply.
+  Payload payload;
+
+  /// Scheduling key: virtual time, tie-broken by wire id (paper footnote 2).
+  [[nodiscard]] std::pair<VirtualTime, WireId> key() const {
+    return {vt, wire};
+  }
+
+  void encode(serde::Writer& w) const {
+    w.write_u32(wire.value());
+    w.write_vt(vt);
+    w.write_varint(seq);
+    w.write_u8(static_cast<std::uint8_t>(kind));
+    w.write_varint(call_id);
+    payload.encode(w);
+  }
+
+  [[nodiscard]] static Message decode(serde::Reader& r) {
+    Message m;
+    m.wire = WireId(r.read_u32());
+    m.vt = r.read_vt();
+    m.seq = r.read_varint();
+    m.kind = static_cast<MessageKind>(r.read_u8());
+    m.call_id = r.read_varint();
+    m.payload = Payload::decode(r);
+    return m;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Message& m) {
+  return os << "msg{wire=" << m.wire << " vt=" << m.vt << " seq=" << m.seq
+            << '}';
+}
+
+}  // namespace tart

@@ -1,0 +1,58 @@
+#include "wire/retention_buffer.h"
+
+#include <cassert>
+
+namespace tart {
+
+void RetentionBuffer::record(const Message& m) {
+  assert(buf_.empty() || (m.seq == buf_.back().seq + 1 && m.vt >= buf_.back().vt));
+  buf_.push_back(m);
+  last_vt_ = m.vt;
+  next_seq_ = m.seq + 1;
+}
+
+void RetentionBuffer::acknowledge_through(VirtualTime through) {
+  while (!buf_.empty() && buf_.front().vt <= through) buf_.pop_front();
+}
+
+std::vector<Message> RetentionBuffer::replay_after(VirtualTime after) const {
+  std::vector<Message> out;
+  for (const Message& m : buf_)
+    if (m.vt > after) out.push_back(m);
+  return out;
+}
+
+std::vector<Message> RetentionBuffer::replay_from_seq(
+    std::uint64_t from_seq) const {
+  std::vector<Message> out;
+  for (const Message& m : buf_)
+    if (m.seq >= from_seq) out.push_back(m);
+  return out;
+}
+
+void RetentionBuffer::clear() {
+  buf_.clear();
+  last_vt_.reset();
+  next_seq_ = 0;
+}
+
+void RetentionBuffer::restore(std::vector<Message> messages,
+                              std::uint64_t next_seq) {
+  buf_.assign(messages.begin(), messages.end());
+  next_seq_ = next_seq;
+  last_vt_.reset();
+  if (!buf_.empty()) last_vt_ = buf_.back().vt;
+}
+
+std::optional<Message> RetentionBuffer::find_by_call_id(
+    std::uint64_t call_id) const {
+  for (const Message& m : buf_)
+    if (m.call_id == call_id) return m;
+  return std::nullopt;
+}
+
+std::vector<Message> RetentionBuffer::contents() const {
+  return {buf_.begin(), buf_.end()};
+}
+
+}  // namespace tart

@@ -1,0 +1,343 @@
+// Tests for estimators, calibration, determinism faults, comm-delay
+// estimators, and the hyper-aggressive bias policy.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "estimator/bias.h"
+#include "estimator/calibrator.h"
+#include "estimator/comm_delay.h"
+#include "estimator/estimator.h"
+#include "estimator/estimator_manager.h"
+#include "log/fault_log.h"
+
+namespace tart::estimator {
+namespace {
+
+BlockCounters iters(std::uint64_t n) {
+  BlockCounters c;
+  c.count(0, n);
+  return c;
+}
+
+// --- BlockCounters --------------------------------------------------------
+
+TEST(BlockCountersTest, GrowsOnDemand) {
+  BlockCounters c;
+  c.count(5, 3);
+  EXPECT_EQ(c.get(5), 3u);
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(99), 0u);
+  EXPECT_EQ(c.num_blocks(), 6u);
+  c.reset();
+  EXPECT_EQ(c.get(5), 0u);
+}
+
+// --- Estimators -------------------------------------------------------------
+
+TEST(EstimatorTest, ConstantIgnoresCounters) {
+  const ConstantEstimator e(TickDuration::micros(600));
+  EXPECT_EQ(e.estimate(iters(1)), TickDuration::micros(600));
+  EXPECT_EQ(e.estimate(iters(19)), TickDuration::micros(600));
+  EXPECT_EQ(e.min_estimate(), TickDuration::micros(600));
+}
+
+TEST(EstimatorTest, ConstantFloorsAtOneTick) {
+  const ConstantEstimator e(TickDuration(0));
+  EXPECT_EQ(e.estimate(iters(1)), TickDuration(1));
+}
+
+TEST(EstimatorTest, LinearMatchesEquationTwo) {
+  // tau = 61827 * xi_1 (Equation 2).
+  const LinearEstimator e({0.0, 61827.0});
+  EXPECT_EQ(e.estimate(iters(3)), TickDuration(3 * 61827));
+  EXPECT_EQ(e.estimate(iters(2)), TickDuration(2 * 61827));
+  EXPECT_EQ(e.min_estimate(), TickDuration(61827));
+}
+
+TEST(EstimatorTest, LinearWithInterceptAndTwoBlocks) {
+  // Equation 1: tau = beta0 + beta1 xi1 + beta2 xi2.
+  const LinearEstimator e({100.0, 61000.0, 500.0});
+  BlockCounters c;
+  c.count(0, 3);  // xi1
+  c.count(1, 2);  // xi2
+  EXPECT_EQ(e.estimate(c), TickDuration(100 + 3 * 61000 + 2 * 500));
+}
+
+TEST(EstimatorTest, LinearFloorsAtOneTick) {
+  const LinearEstimator e({0.0, 5.0});
+  EXPECT_EQ(e.estimate(BlockCounters{}), TickDuration(1));
+}
+
+TEST(EstimatorTest, CloneIsIndependentCopy) {
+  const LinearEstimator e({0.0, 61827.0});
+  const auto c = e.clone();
+  EXPECT_EQ(c->estimate(iters(2)), e.estimate(iters(2)));
+  EXPECT_EQ(c->coefficients(), e.coefficients());
+}
+
+TEST(EstimatorTest, PerIterationHelper) {
+  const auto e = per_iteration_estimator(60000.0);
+  EXPECT_EQ(e->estimate(iters(10)), TickDuration::micros(600));
+}
+
+// --- Calibrator ----------------------------------------------------------------
+
+TEST(CalibratorTest, NoProposalBeforeMinSamples) {
+  CalibratorConfig cfg;
+  cfg.min_samples = 100;
+  Calibrator cal(cfg);
+  for (int i = 0; i < 99; ++i) cal.add_sample(iters(10), 620000.0);
+  EXPECT_FALSE(cal.propose({0.0, 61000.0}).has_value());
+}
+
+TEST(CalibratorTest, ProposesDriftedCoefficient) {
+  // Active estimator says 61000/iter, measurements say ~62000/iter
+  // (the §II.G.4 example).
+  CalibratorConfig cfg;
+  cfg.min_samples = 200;
+  cfg.drift_threshold = 0.01;
+  Calibrator cal(cfg);
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const auto n = static_cast<std::uint64_t>(rng.uniform_int(1, 19));
+    cal.add_sample(iters(n),
+                   62000.0 * static_cast<double>(n) + rng.normal(0, 100));
+  }
+  const auto proposal = cal.propose({0.0, 61000.0});
+  ASSERT_TRUE(proposal.has_value());
+  ASSERT_EQ(proposal->size(), 2u);
+  EXPECT_NEAR((*proposal)[1], 62000.0, 200.0);
+}
+
+TEST(CalibratorTest, NoProposalWhenWithinThreshold) {
+  CalibratorConfig cfg;
+  cfg.min_samples = 100;
+  cfg.drift_threshold = 0.05;
+  Calibrator cal(cfg);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto n = static_cast<std::uint64_t>(rng.uniform_int(1, 19));
+    cal.add_sample(iters(n), 61200.0 * static_cast<double>(n));
+  }
+  EXPECT_FALSE(cal.propose({0.0, 61000.0}).has_value());  // 0.3% drift
+}
+
+TEST(CalibratorTest, InterceptFitWhenConfigured) {
+  CalibratorConfig cfg;
+  cfg.min_samples = 50;
+  cfg.drift_threshold = 0.01;
+  cfg.fit_intercept = true;
+  Calibrator cal(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto n = static_cast<std::uint64_t>(rng.uniform_int(1, 19));
+    cal.add_sample(iters(n), 5000.0 + 61827.0 * static_cast<double>(n));
+  }
+  const auto proposal = cal.propose({0.0, 61827.0});
+  ASSERT_TRUE(proposal.has_value());
+  EXPECT_NEAR((*proposal)[0], 5000.0, 50.0);
+  EXPECT_NEAR((*proposal)[1], 61827.0, 50.0);
+}
+
+TEST(CalibratorTest, ResetDiscardsSamples) {
+  CalibratorConfig cfg;
+  cfg.min_samples = 10;
+  Calibrator cal(cfg);
+  for (int i = 0; i < 20; ++i) cal.add_sample(iters(10), 99999.0);
+  cal.reset();
+  EXPECT_EQ(cal.sample_count(), 0u);
+  EXPECT_FALSE(cal.propose({0.0, 61000.0}).has_value());
+}
+
+// --- EstimatorManager & determinism faults -------------------------------------
+
+TEST(EstimatorManagerTest, UsesInitialEstimator) {
+  log::DeterminismFaultLog fault_log;
+  EstimatorManager mgr(ComponentId(0), per_iteration_estimator(61000),
+                       &fault_log);
+  EXPECT_EQ(mgr.estimate(iters(3), VirtualTime(0)), TickDuration(183000));
+  EXPECT_EQ(mgr.latest_version(), 0u);
+}
+
+TEST(EstimatorManagerTest, RecalibrationIsLoggedBeforeInstall) {
+  log::DeterminismFaultLog fault_log;
+  CalibratorConfig cfg;
+  cfg.min_samples = 50;
+  cfg.drift_threshold = 0.01;
+  EstimatorManager mgr(ComponentId(0), per_iteration_estimator(61000),
+                       &fault_log, cfg);
+  std::optional<log::FaultRecord> fault;
+  VirtualTime vt(0);
+  Rng rng(7);
+  for (int i = 0; i < 200 && !fault; ++i) {
+    const auto n = static_cast<std::uint64_t>(rng.uniform_int(1, 19));
+    vt = vt + TickDuration(61000 * static_cast<std::int64_t>(n));
+    fault = mgr.add_sample(iters(n), 62000.0 * static_cast<double>(n), vt);
+  }
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->version, 1u);
+  EXPECT_GT(fault->effective_vt, vt);
+  EXPECT_EQ(fault_log.latest_version(ComponentId(0)), 1u);
+
+  // Old estimator is used strictly before effective_vt, new at/after it
+  // ("the component must be careful to use the old estimator until
+  // reaching [the logged time]").
+  const VirtualTime before = fault->effective_vt.prev();
+  EXPECT_EQ(mgr.estimate(iters(10), before), TickDuration(610000));
+  const auto after = mgr.estimate(iters(10), fault->effective_vt);
+  EXPECT_NEAR(static_cast<double>(after.ticks()), 620000.0, 2000.0);
+}
+
+TEST(EstimatorManagerTest, ReplayRebuildsVersionsFromLog) {
+  log::DeterminismFaultLog fault_log;
+  log::FaultRecord rec;
+  rec.component = ComponentId(0);
+  rec.version = 1;
+  rec.effective_vt = VirtualTime(1000000);
+  rec.coefficients = {0.0, 62000.0};
+  fault_log.append(rec);
+
+  // A recovering replica constructs its manager fresh; the logged fault
+  // must be re-applied at exactly the logged virtual time.
+  EstimatorManager mgr(ComponentId(0), per_iteration_estimator(61000),
+                       &fault_log);
+  EXPECT_EQ(mgr.estimate(iters(1), VirtualTime(999999)),
+            TickDuration(61000));
+  EXPECT_EQ(mgr.estimate(iters(1), VirtualTime(1000000)),
+            TickDuration(62000));
+  EXPECT_EQ(mgr.latest_version(), 1u);
+}
+
+TEST(EstimatorManagerTest, RestoreToVersionReappliesLoggedTail) {
+  log::DeterminismFaultLog fault_log;
+  CalibratorConfig cfg;
+  cfg.min_samples = 10;
+  cfg.drift_threshold = 0.01;
+  cfg.refit_interval = 10;
+  EstimatorManager mgr(ComponentId(0), per_iteration_estimator(61000),
+                       &fault_log, cfg);
+  VirtualTime vt(0);
+  std::optional<log::FaultRecord> fault;
+  for (int i = 0; i < 100 && !fault; ++i) {
+    vt = vt + TickDuration(61000);
+    fault = mgr.add_sample(iters(1), 65000.0, vt);
+  }
+  ASSERT_TRUE(fault.has_value());
+
+  // Restore to the checkpointed version 0: the logged fault must come back.
+  mgr.restore_to_version(0);
+  EXPECT_EQ(mgr.latest_version(), 1u);
+  EXPECT_EQ(mgr.version_at(fault->effective_vt), 1u);
+  EXPECT_EQ(mgr.version_at(fault->effective_vt.prev()), 0u);
+}
+
+TEST(EstimatorManagerTest, NoFaultLogMeansNoRecalibration) {
+  EstimatorManager mgr(ComponentId(0), per_iteration_estimator(61000),
+                       nullptr);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(
+        mgr.add_sample(iters(1), 99999.0, VirtualTime(i)).has_value());
+  }
+  EXPECT_EQ(mgr.latest_version(), 0u);
+}
+
+TEST(EstimatorManagerTest, FutureMinCoversPendingVersions) {
+  log::DeterminismFaultLog fault_log;
+  log::FaultRecord rec;
+  rec.component = ComponentId(0);
+  rec.version = 1;
+  rec.effective_vt = VirtualTime(1000);
+  rec.coefficients = {0.0, 100.0};  // much smaller minimum
+  fault_log.append(rec);
+  EstimatorManager mgr(ComponentId(0), per_iteration_estimator(61000),
+                       &fault_log);
+  // Active min at vt 0 is 61000 but a pending version drops it to 100:
+  // horizons must use the lower bound.
+  EXPECT_EQ(mgr.min_estimate(VirtualTime(0)), TickDuration(61000));
+  EXPECT_EQ(mgr.future_min_estimate(VirtualTime(0)), TickDuration(100));
+  EXPECT_EQ(mgr.future_min_estimate(VirtualTime(1000)), TickDuration(100));
+}
+
+// --- Comm delay -------------------------------------------------------------------
+
+TEST(CommDelayTest, LocalIsOneTick) {
+  LocalDelayEstimator d;
+  EXPECT_EQ(d.delay(VirtualTime(123)), TickDuration(1));
+  EXPECT_EQ(d.min_delay(), TickDuration(1));
+}
+
+TEST(CommDelayTest, ConstantIsConstant) {
+  ConstantDelayEstimator d(TickDuration::micros(150));
+  EXPECT_EQ(d.delay(VirtualTime(0)), TickDuration::micros(150));
+  EXPECT_EQ(d.min_delay(), TickDuration::micros(150));
+}
+
+TEST(CommDelayTest, RateBasedGrowsWithBacklog) {
+  RateBasedDelayEstimator d(TickDuration::micros(100),
+                            TickDuration::micros(10),
+                            TickDuration::micros(1000));
+  // First message: no recent history.
+  EXPECT_EQ(d.delay(VirtualTime(0)), TickDuration::micros(100));
+  // Burst within the window: each send sees a longer queue.
+  EXPECT_EQ(d.delay(VirtualTime(100)), TickDuration::micros(110));
+  EXPECT_EQ(d.delay(VirtualTime(200)), TickDuration::micros(120));
+  // After the window passes, history evicts.
+  EXPECT_EQ(d.delay(VirtualTime(2'000'000)), TickDuration::micros(100));
+}
+
+TEST(CommDelayTest, RateBasedIsDeterministicGivenHistory) {
+  RateBasedDelayEstimator d1(TickDuration(100), TickDuration(10),
+                             TickDuration(1000));
+  RateBasedDelayEstimator d2(TickDuration(100), TickDuration(10),
+                             TickDuration(1000));
+  for (int i = 0; i < 50; ++i) {
+    const VirtualTime vt(i * 37);
+    EXPECT_EQ(d1.delay(vt), d2.delay(vt));
+  }
+}
+
+TEST(CommDelayTest, RateBasedCaptureRestore) {
+  RateBasedDelayEstimator d1(TickDuration(100), TickDuration(10),
+                             TickDuration(10000));
+  for (int i = 0; i < 5; ++i) (void)d1.delay(VirtualTime(i * 10));
+  serde::Writer w;
+  d1.capture(w);
+  RateBasedDelayEstimator d2(TickDuration(100), TickDuration(10),
+                             TickDuration(10000));
+  serde::Reader r(w.bytes());
+  d2.restore(r);
+  // Identical history -> identical next estimates.
+  EXPECT_EQ(d1.delay(VirtualTime(60)), d2.delay(VirtualTime(60)));
+}
+
+// --- Bias ----------------------------------------------------------------------
+
+TEST(BiasTest, DisabledIsIdentity) {
+  const BiasPolicy none;
+  EXPECT_FALSE(none.enabled());
+  EXPECT_EQ(none.adjust(VirtualTime(123)), VirtualTime(123));
+  EXPECT_EQ(none.eager_promise(VirtualTime(123)), VirtualTime(123));
+}
+
+TEST(BiasTest, RoundsUpToGridBoundary) {
+  const BiasPolicy bias(TickDuration(99));  // window = 100
+  EXPECT_EQ(bias.adjust(VirtualTime(1)), VirtualTime(100));
+  EXPECT_EQ(bias.adjust(VirtualTime(100)), VirtualTime(100));
+  EXPECT_EQ(bias.adjust(VirtualTime(101)), VirtualTime(200));
+}
+
+TEST(BiasTest, EagerPromiseNeverCoversAdjustedData) {
+  const BiasPolicy bias(TickDuration(99));
+  for (std::int64_t t : {0, 1, 50, 99, 100, 101, 250}) {
+    const VirtualTime current(t);
+    const VirtualTime promise = bias.eager_promise(current);
+    // Any message the sender emits after `current` lands strictly past the
+    // promised silence.
+    const VirtualTime earliest_data = bias.adjust(current.next());
+    EXPECT_LT(promise, earliest_data);
+    EXPECT_GE(promise, current);
+  }
+}
+
+}  // namespace
+}  // namespace tart::estimator

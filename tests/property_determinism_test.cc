@@ -1,0 +1,130 @@
+// Property tests for the determinism guarantee (§II.A, §II.D): for a given
+// external input log, the observable behaviour — every external output's
+// (virtual time, payload) sequence and every component's final state — is
+// a pure function of the log. It must not depend on placement, thread
+// interleaving, link behaviour, or the silence-propagation strategy
+// (§II.G.3: strategies "can be arbitrarily mixed ... without requiring a
+// determinism fault").
+//
+// Each parameterized case generates a random layered DAG of stream
+// operators and a random scripted workload from the seed, runs it under
+// several radically different deployment configurations, and requires
+// bit-identical observations.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "apps/streamops.h"
+#include "core/runtime.h"
+#include "estimator/estimator.h"
+#include "random_app.h"
+
+namespace tart::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Observation {
+  std::vector<std::vector<std::pair<std::int64_t, std::vector<std::int64_t>>>>
+      outputs;
+  std::vector<std::uint64_t> fingerprints;
+
+  bool operator==(const Observation&) const = default;
+};
+
+Observation run_configuration(std::uint64_t seed, int placement_mode,
+                              RuntimeConfig config) {
+  proptest::GeneratedApp app = proptest::generate_app(seed);
+
+  std::map<ComponentId, EngineId> placement;
+  for (std::size_t i = 0; i < app.components.size(); ++i) {
+    switch (placement_mode) {
+      case 0:  // everything together
+        placement[app.components[i]] = EngineId(0);
+        break;
+      case 1:  // one engine per component
+        placement[app.components[i]] =
+            EngineId(static_cast<std::uint32_t>(i));
+        break;
+      default:  // split in two
+        placement[app.components[i]] = EngineId(i % 2 == 0 ? 0 : 1);
+    }
+  }
+
+  Runtime rt(app.topo, placement, std::move(config));
+  rt.start();
+  proptest::feed_random_workload(rt, app, seed);
+  EXPECT_TRUE(rt.drain(60s)) << "seed " << seed << " placement "
+                             << placement_mode;
+
+  Observation obs;
+  for (const WireId out : app.outputs) {
+    std::vector<std::pair<std::int64_t, std::vector<std::int64_t>>> records;
+    VirtualTime prev(-1);
+    for (const auto& r : rt.output_records(out)) {
+      EXPECT_FALSE(r.stutter);
+      EXPECT_GT(r.vt, prev) << "output not in strict vt order";
+      prev = r.vt;
+      records.emplace_back(r.vt.ticks(), r.payload.as_ints());
+    }
+    obs.outputs.push_back(std::move(records));
+  }
+  for (const ComponentId c : app.components)
+    obs.fingerprints.push_back(rt.state_fingerprint(c));
+  rt.stop();
+  return obs;
+}
+
+class DeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismProperty, BehaviourIsAFunctionOfTheInputLogOnly) {
+  const std::uint64_t seed = GetParam();
+
+  RuntimeConfig curiosity;  // defaults
+  const Observation reference = run_configuration(seed, 0, curiosity);
+
+  // At least one output record somewhere, or the case is vacuous.
+  std::size_t total = 0;
+  for (const auto& out : reference.outputs) total += out.size();
+  EXPECT_GT(total, 0u) << "seed " << seed;
+
+  // Same app, one engine per component (maximal thread interleaving).
+  EXPECT_EQ(run_configuration(seed, 1, RuntimeConfig{}), reference)
+      << "placement changed behaviour, seed " << seed;
+
+  // Aggressive silence pushes on top of curiosity.
+  RuntimeConfig aggressive;
+  aggressive.silence.aggressive_interval = 200us;
+  EXPECT_EQ(run_configuration(seed, 2, aggressive), reference)
+      << "aggressive silence changed behaviour, seed " << seed;
+
+  // Lazy propagation only (no probes at all).
+  RuntimeConfig lazy;
+  lazy.silence.curiosity = false;
+  EXPECT_EQ(run_configuration(seed, 0, lazy), reference)
+      << "lazy silence changed behaviour, seed " << seed;
+
+  // Split across two engines joined by a lossy, reordering link.
+  RuntimeConfig lossy;
+  transport::LinkConfig link;
+  link.base_delay = 50us;
+  link.loss_probability = 0.15;
+  link.duplicate_probability = 0.1;
+  link.reorder_probability = 0.2;
+  link.seed = seed;
+  lossy.links[{EngineId(0), EngineId(1)}] = link;
+  EXPECT_EQ(run_configuration(seed, 2, lossy), reference)
+      << "lossy link changed behaviour, seed " << seed;
+
+  // Checkpointing along the way must be behaviour-neutral.
+  RuntimeConfig with_ckpt;
+  with_ckpt.checkpoint.every_n_messages = 3;
+  EXPECT_EQ(run_configuration(seed, 2, with_ckpt), reference)
+      << "checkpointing changed behaviour, seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomApps, DeterminismProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace tart::core

@@ -1,0 +1,125 @@
+// Seeded random application generator shared by the property suites: a
+// layered DAG of stream operators with random estimators, external inputs
+// on the first layer, and external outputs on every sink, plus a random
+// scripted workload. Everything derives deterministically from the seed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "apps/streamops.h"
+#include "core/runtime.h"
+#include "estimator/estimator.h"
+
+namespace tart::core::proptest {
+
+struct GeneratedApp {
+  Topology topo;
+  std::vector<WireId> inputs;
+  std::vector<WireId> outputs;
+  std::vector<ComponentId> components;
+};
+
+/// Builds a random 3-layer DAG of stream operators from the seed.
+GeneratedApp generate_app(std::uint64_t seed) {
+  Rng rng(seed);
+  GeneratedApp app;
+
+  auto add_random_component = [&](int index) {
+    const std::string name = "op" + std::to_string(index);
+    ComponentId id;
+    switch (rng.bounded(4)) {
+      case 0: {
+        const auto scale = rng.uniform_int(1, 3);
+        const auto offset = rng.uniform_int(-5, 5);
+        id = app.topo.add(name, [scale, offset] {
+          return std::make_unique<apps::MapOperator>(scale, offset);
+        });
+        break;
+      }
+      case 1: {
+        const auto hi = rng.uniform_int(500, 2000);
+        id = app.topo.add(name, [hi] {
+          return std::make_unique<apps::FilterOperator>(-1000, hi);
+        });
+        break;
+      }
+      case 2: {
+        const auto width = rng.uniform_int(50'000, 500'000);
+        id = app.topo.add(name, [width] {
+          return std::make_unique<apps::TumblingWindowSum>(
+              TickDuration(width));
+        });
+        break;
+      }
+      default:
+        id = app.topo.add(name, [] {
+          return std::make_unique<apps::DeduplicateOperator>();
+        });
+    }
+    // Random estimator: constant or per-block linear.
+    if (rng.chance(0.5)) {
+      const auto us = rng.uniform_int(5, 200);
+      app.topo.set_estimator(id, [us] {
+        return std::make_unique<estimator::ConstantEstimator>(
+            TickDuration::micros(us));
+      });
+    } else {
+      const auto per_block = static_cast<double>(rng.uniform_int(500, 40000));
+      app.topo.set_estimator(id, [per_block] {
+        return std::make_unique<estimator::LinearEstimator>(
+            std::vector<double>{1000.0, per_block, per_block / 2});
+      });
+    }
+    app.components.push_back(id);
+    return id;
+  };
+
+  // Layered construction; every layer-0 component gets an external input,
+  // every later component 1-2 inputs from random earlier components.
+  std::vector<std::vector<ComponentId>> layers;
+  int index = 0;
+  for (int layer = 0; layer < 3; ++layer) {
+    const auto width = rng.uniform_int(1, 3);
+    layers.emplace_back();
+    for (int i = 0; i < width; ++i) {
+      const ComponentId id = add_random_component(index++);
+      layers.back().push_back(id);
+      if (layer == 0) {
+        app.inputs.push_back(app.topo.external_input(id, PortId(0)));
+      } else {
+        const auto fan_in = rng.uniform_int(1, 2);
+        for (int f = 0; f < fan_in; ++f) {
+          const auto& from_layer =
+              layers[rng.bounded(static_cast<std::uint64_t>(layer))];
+          const ComponentId from =
+              from_layer[rng.bounded(from_layer.size())];
+          app.topo.connect(from, PortId(0), id, PortId(0));
+        }
+      }
+    }
+  }
+  // Observe every component that has no downstream consumer; also make
+  // sure every component has at least one outgoing wire.
+  for (const ComponentId c : app.components) {
+    if (app.topo.outputs_of(c).empty())
+      app.outputs.push_back(app.topo.external_output(c, PortId(0)));
+  }
+  return app;
+}
+
+void feed_random_workload(Runtime& rt, const GeneratedApp& app,
+                          std::uint64_t seed) {
+  Rng rng(seed * 31 + 7);
+  for (const WireId in : app.inputs) {
+    std::int64_t vt = 1000;
+    const auto count = rng.uniform_int(20, 60);
+    for (int i = 0; i < count; ++i) {
+      vt += rng.uniform_int(1000, 200'000);
+      rt.inject_at(in, VirtualTime(vt),
+                   apps::event(rng.uniform_int(0, 6),
+                               rng.uniform_int(-50, 900)));
+    }
+  }
+}
+
+}  // namespace tart::core::proptest

@@ -1,0 +1,466 @@
+// Recovery tests: the paper's correctness criterion (§II.A). Despite
+// fail-stop engine failures and link failures, the observed behaviour must
+// equal some correct failure-free execution, except for output stutter
+// (re-delivered messages carrying duplicate timestamps).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/runtime.h"
+#include "estimator/estimator.h"
+#include "test_components.h"
+
+namespace tart::core {
+namespace {
+
+using namespace std::chrono_literals;
+namespace testing_ = tart::testing;
+
+/// Figure-1 app on two engines: senders on engine 0, merger on engine 1.
+struct RecoveryApp {
+  Topology topo;
+  ComponentId sender1, sender2, merger;
+  WireId in1, in2, out;
+  std::map<ComponentId, EngineId> placement;
+
+  RecoveryApp() {
+    sender1 = topo.add("sender1", [] {
+      return std::make_unique<testing_::WordCountSender>();
+    });
+    sender2 = topo.add("sender2", [] {
+      return std::make_unique<testing_::WordCountSender>();
+    });
+    merger = topo.add("merger", [] {
+      return std::make_unique<testing_::TotalingMerger>();
+    });
+    topo.set_estimator(sender1, [] {
+      return estimator::per_iteration_estimator(61000.0);
+    });
+    topo.set_estimator(sender2, [] {
+      return estimator::per_iteration_estimator(61000.0);
+    });
+    topo.set_estimator(merger, [] {
+      return std::make_unique<estimator::ConstantEstimator>(
+          TickDuration::micros(400));
+    });
+    in1 = topo.external_input(sender1, PortId(0));
+    in2 = topo.external_input(sender2, PortId(0));
+    topo.connect(sender1, PortId(0), merger, PortId(0));
+    topo.connect(sender2, PortId(0), merger, PortId(0));
+    out = topo.external_output(merger, PortId(0));
+    placement = {{sender1, EngineId(0)}, {sender2, EngineId(0)},
+                 {merger, EngineId(1)}};
+  }
+
+  void inject_batch(Runtime& rt, int from, int count) const {
+    for (int i = from; i < from + count; ++i) {
+      rt.inject_at(in1, VirtualTime(1000 + i * 100000),
+                   testing_::sentence({"the", "cat", "sat"}));
+      rt.inject_at(in2, VirtualTime(500 + i * 90000),
+                   testing_::sentence({"dog", "ran"}));
+    }
+  }
+};
+
+using VtPayload = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
+VtPayload dedup_by_vt(const std::vector<OutputRecord>& records) {
+  VtPayload out;
+  std::set<std::int64_t> seen;
+  for (const auto& r : records) {
+    if (seen.insert(r.vt.ticks()).second)
+      out.emplace_back(r.vt.ticks(), r.payload.as_int());
+  }
+  return out;
+}
+
+VtPayload non_stutter(const std::vector<OutputRecord>& records) {
+  VtPayload out;
+  for (const auto& r : records)
+    if (!r.stutter) out.emplace_back(r.vt.ticks(), r.payload.as_int());
+  return out;
+}
+
+/// Clean failure-free reference run (deterministic), for exact comparison.
+VtPayload reference_run(const RecoveryApp& proto, int total_batches) {
+  RecoveryApp app;  // same ids by construction
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 2;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+  app.inject_batch(rt, 0, total_batches);
+  EXPECT_TRUE(rt.drain());
+  auto result = dedup_by_vt(rt.output_records(app.out));
+  rt.stop();
+  (void)proto;
+  return result;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  static constexpr int kBatches = 20;  // 2 messages per batch
+};
+
+TEST_F(RecoveryTest, MergerEngineCrashAndFailover) {
+  const RecoveryApp proto;
+  const VtPayload expected = reference_run(proto, kBatches);
+
+  RecoveryApp app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 2;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+
+  app.inject_batch(rt, 0, kBatches / 2);
+  // Let some processing (and checkpoints) happen, then fail the merger.
+  std::this_thread::sleep_for(30ms);
+  rt.crash_engine(EngineId(1));
+  const auto pre_crash = non_stutter(rt.output_records(app.out));
+
+  rt.recover_engine(EngineId(1));
+  app.inject_batch(rt, kBatches / 2, kBatches / 2);
+  ASSERT_TRUE(rt.drain());
+
+  const auto all = rt.output_records(app.out);
+  const VtPayload deduped = dedup_by_vt(all);
+  rt.stop();
+
+  // Exactly the failure-free behaviour, modulo stutter.
+  EXPECT_EQ(deduped, expected);
+  // Everything delivered before the crash is a prefix of the final stream.
+  ASSERT_LE(pre_crash.size(), deduped.size());
+  for (std::size_t i = 0; i < pre_crash.size(); ++i)
+    EXPECT_EQ(deduped[i], pre_crash[i]) << "at " << i;
+}
+
+TEST_F(RecoveryTest, SenderEngineCrashAndFailover) {
+  const RecoveryApp proto;
+  const VtPayload expected = reference_run(proto, kBatches);
+
+  RecoveryApp app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 2;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+
+  app.inject_batch(rt, 0, kBatches / 2);
+  std::this_thread::sleep_for(30ms);
+  rt.crash_engine(EngineId(0));  // both senders die; their state replays
+  rt.recover_engine(EngineId(0));
+  app.inject_batch(rt, kBatches / 2, kBatches / 2);
+  ASSERT_TRUE(rt.drain());
+
+  const VtPayload deduped = dedup_by_vt(rt.output_records(app.out));
+  rt.stop();
+  EXPECT_EQ(deduped, expected);
+}
+
+TEST_F(RecoveryTest, CrashWithoutAnyCheckpointReplaysFromLog) {
+  const RecoveryApp proto;
+  RecoveryApp ref_app;
+  RuntimeConfig no_ckpt;  // checkpointing disabled
+  Runtime ref(ref_app.topo, ref_app.placement, no_ckpt);
+  ref.start();
+  ref_app.inject_batch(ref, 0, 6);
+  ASSERT_TRUE(ref.drain());
+  const VtPayload expected = dedup_by_vt(ref.output_records(ref_app.out));
+  ref.stop();
+
+  RecoveryApp app;
+  Runtime rt(app.topo, app.placement, no_ckpt);
+  rt.start();
+  app.inject_batch(rt, 0, 3);
+  std::this_thread::sleep_for(20ms);
+  rt.crash_engine(EngineId(1));
+  rt.recover_engine(EngineId(1));  // no checkpoint: replay from the start
+  app.inject_batch(rt, 3, 3);
+  ASSERT_TRUE(rt.drain());
+  const VtPayload deduped = dedup_by_vt(rt.output_records(app.out));
+  rt.stop();
+  EXPECT_EQ(deduped, expected);
+  (void)proto;
+}
+
+TEST_F(RecoveryTest, SequentialCrashesOfBothEngines) {
+  const RecoveryApp proto;
+  const VtPayload expected = reference_run(proto, kBatches);
+
+  RecoveryApp app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 2;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+
+  app.inject_batch(rt, 0, kBatches / 4);
+  std::this_thread::sleep_for(20ms);
+  rt.crash_engine(EngineId(1));
+  rt.recover_engine(EngineId(1));
+
+  app.inject_batch(rt, kBatches / 4, kBatches / 4);
+  std::this_thread::sleep_for(20ms);
+  rt.crash_engine(EngineId(0));
+  rt.recover_engine(EngineId(0));
+
+  app.inject_batch(rt, kBatches / 2, kBatches / 2);
+  ASSERT_TRUE(rt.drain());
+  const VtPayload deduped = dedup_by_vt(rt.output_records(app.out));
+  rt.stop();
+  EXPECT_EQ(deduped, expected);
+}
+
+TEST_F(RecoveryTest, RecoveredStateIsBitIdenticalToCleanRun) {
+  RecoveryApp clean_app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 3;
+  Runtime clean(clean_app.topo, clean_app.placement, config);
+  clean.start();
+  clean_app.inject_batch(clean, 0, 10);
+  ASSERT_TRUE(clean.drain());
+  const auto clean_sender = clean.state_fingerprint(clean_app.sender1);
+  const auto clean_merger = clean.state_fingerprint(clean_app.merger);
+  clean.stop();
+
+  RecoveryApp app;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+  app.inject_batch(rt, 0, 5);
+  std::this_thread::sleep_for(20ms);
+  rt.crash_engine(EngineId(1));
+  rt.recover_engine(EngineId(1));
+  app.inject_batch(rt, 5, 5);
+  ASSERT_TRUE(rt.drain());
+  EXPECT_EQ(rt.state_fingerprint(app.sender1), clean_sender);
+  EXPECT_EQ(rt.state_fingerprint(app.merger), clean_merger);
+  rt.stop();
+}
+
+TEST_F(RecoveryTest, ReplayedDuplicatesAreDiscardedByTimestamp) {
+  RecoveryApp app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 4;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+  // 6 messages per sender with a checkpoint every 4: messages 5..6 are
+  // past the last checkpoint and will be re-executed (and re-sent) after
+  // the crash.
+  app.inject_batch(rt, 0, 6);
+  std::this_thread::sleep_for(30ms);
+  rt.crash_engine(EngineId(0));
+  rt.recover_engine(EngineId(0));
+  app.inject_batch(rt, 6, 2);
+  ASSERT_TRUE(rt.drain());
+  // Recovered senders re-execute from their checkpoints and re-send;
+  // the merger discards the duplicates by timestamp (§II.F.4).
+  EXPECT_GT(rt.metrics(app.merger).duplicates_discarded, 0u);
+  rt.stop();
+}
+
+TEST_F(RecoveryTest, LinkFailureIsMaskedByReliableTransport) {
+  const RecoveryApp proto;
+  const VtPayload expected = reference_run(proto, 10);
+
+  RecoveryApp app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 2;
+  transport::LinkConfig link;
+  link.base_delay = 100us;
+  link.loss_probability = 0.1;
+  link.seed = 3;
+  config.links[{EngineId(0), EngineId(1)}] = link;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+
+  app.inject_batch(rt, 0, 5);
+  std::this_thread::sleep_for(5ms);
+  rt.set_link_down(EngineId(0), EngineId(1), true);
+  app.inject_batch(rt, 5, 3);
+  std::this_thread::sleep_for(10ms);
+  rt.set_link_down(EngineId(0), EngineId(1), false);
+  app.inject_batch(rt, 8, 2);
+  ASSERT_TRUE(rt.drain(60s));
+  const VtPayload deduped = dedup_by_vt(rt.output_records(app.out));
+  rt.stop();
+  EXPECT_EQ(deduped, expected);
+}
+
+TEST_F(RecoveryTest, StabilityAcksTrimRetention) {
+  RecoveryApp app;
+  RuntimeConfig with_ckpt;
+  with_ckpt.checkpoint.every_n_messages = 1;
+  Runtime rt(app.topo, app.placement, with_ckpt);
+  rt.start();
+  app.inject_batch(rt, 0, 15);
+  ASSERT_TRUE(rt.drain());
+  // The merger checkpointed after every message; all but a small tail of
+  // the senders' retained output must have been trimmed.
+  std::this_thread::sleep_for(20ms);  // let final acks land
+  const std::size_t with = rt.retained_messages(app.sender1);
+  rt.stop();
+
+  RecoveryApp app2;
+  RuntimeConfig no_ckpt;
+  Runtime rt2(app2.topo, app2.placement, no_ckpt);
+  rt2.start();
+  app2.inject_batch(rt2, 0, 15);
+  ASSERT_TRUE(rt2.drain());
+  const std::size_t without = rt2.retained_messages(app2.sender1);
+  rt2.stop();
+
+  EXPECT_EQ(without, 15u);  // nothing ever trimmed
+  EXPECT_LT(with, without);
+}
+
+TEST_F(RecoveryTest, ReplicaReceivesSoftCheckpoints) {
+  RecoveryApp app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 2;
+  config.checkpoint.full_every_k = 3;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+  app.inject_batch(rt, 0, 12);
+  ASSERT_TRUE(rt.drain());
+  EXPECT_GT(rt.replica().snapshots_received(), 0u);
+  EXPECT_GT(rt.replica().bytes_received(), 0u);
+  EXPECT_GT(rt.replica().latest_version(app.merger), 0u);
+  EXPECT_GT(rt.metrics(app.merger).checkpoints_taken, 0u);
+  rt.stop();
+}
+
+TEST_F(RecoveryTest, CrashedEngineReportsNoMetricsAndDropsFrames) {
+  RecoveryApp app;
+  RuntimeConfig config;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+  rt.crash_engine(EngineId(1));
+  // Frames toward the dead merger vanish without crashing the process.
+  app.inject_batch(rt, 0, 2);
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(rt.metrics(app.merger).messages_processed, 0u);
+  rt.recover_engine(EngineId(1));
+  ASSERT_TRUE(rt.drain());
+  // After recovery + replay the merger catches up completely.
+  EXPECT_EQ(rt.output_records(app.out).size(), 4u);
+  rt.stop();
+}
+
+TEST_F(RecoveryTest, CallServiceCrashAndFailover) {
+  Topology topo;
+  const auto caller = topo.add("caller", [] {
+    return std::make_unique<testing_::CallingComponent>();
+  });
+  const auto service = topo.add("service", [] {
+    return std::make_unique<testing_::ScalingService>();
+  });
+  const WireId in = topo.external_input(caller, PortId(0));
+  topo.connect_call(caller, PortId(1), service, PortId(0));
+  const WireId out = topo.external_output(caller, PortId(0));
+  const std::map<ComponentId, EngineId> placement{
+      {caller, EngineId(0)}, {service, EngineId(1)}};
+
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 1;
+  Runtime rt(topo, placement, config);
+  rt.start();
+  for (int i = 1; i <= 3; ++i)
+    rt.inject_at(in, VirtualTime(i * 10000), Payload(std::int64_t{10}));
+  std::this_thread::sleep_for(20ms);
+
+  rt.crash_engine(EngineId(1));
+  rt.recover_engine(EngineId(1));
+
+  for (int i = 4; i <= 6; ++i)
+    rt.inject_at(in, VirtualTime(i * 10000), Payload(std::int64_t{10}));
+  ASSERT_TRUE(rt.drain());
+  const auto deduped = dedup_by_vt(rt.output_records(out));
+  rt.stop();
+  ASSERT_EQ(deduped.size(), 6u);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(deduped[static_cast<std::size_t>(i)].second, 10 * (i + 1));
+}
+
+}  // namespace
+}  // namespace tart::core
+
+namespace tart::core {
+namespace {
+
+using namespace std::chrono_literals;
+namespace testing2_ = tart::testing;
+
+// Determinism faults under failover (§II.G.4): with online calibration
+// enabled, estimator recalibrations are non-deterministic events that are
+// synchronously logged; replay after a crash must re-apply them at their
+// logged effective virtual times, so everything delivered before the crash
+// is reproduced identically (a prefix of the final deduplicated stream).
+TEST(CalibrationRecoveryTest, LoggedFaultsMakeReplayExact) {
+  RecoveryApp app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 3;
+  config.calibration = true;
+  config.calibrator.min_samples = 20;
+  config.calibrator.refit_interval = 10;
+  config.calibrator.drift_threshold = 0.01;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+
+  app.inject_batch(rt, 0, 15);
+  std::this_thread::sleep_for(40ms);  // process + calibrate + checkpoint
+  const auto pre_crash = non_stutter(rt.output_records(app.out));
+  const auto faults_before = rt.fault_log().total_records();
+
+  // Crash the senders (whose estimators recalibrated) AND the merger.
+  rt.crash_engine(EngineId(0));
+  rt.recover_engine(EngineId(0));
+  app.inject_batch(rt, 15, 5);
+  ASSERT_TRUE(rt.drain());
+
+  // Live measured handler times are microseconds against a 61000*len
+  // prior: calibration must have fired at least once.
+  EXPECT_GT(faults_before, 0u);
+
+  // Everything the consumer saw before the crash is reproduced with
+  // identical virtual times and payloads.
+  const auto deduped = dedup_by_vt(rt.output_records(app.out));
+  ASSERT_GE(deduped.size(), pre_crash.size());
+  for (std::size_t i = 0; i < pre_crash.size(); ++i)
+    EXPECT_EQ(deduped[i], pre_crash[i]) << "at " << i;
+  // And nothing was lost or double-counted: one output per input message.
+  EXPECT_EQ(deduped.size(), 40u);
+  rt.stop();
+}
+
+// A second failover must also replay the faults logged before the first.
+TEST(CalibrationRecoveryTest, FaultsSurviveRepeatedFailovers) {
+  RecoveryApp app;
+  RuntimeConfig config;
+  config.checkpoint.every_n_messages = 2;
+  config.calibration = true;
+  config.calibrator.min_samples = 10;
+  config.calibrator.refit_interval = 5;
+  config.calibrator.drift_threshold = 0.01;
+  Runtime rt(app.topo, app.placement, config);
+  rt.start();
+
+  app.inject_batch(rt, 0, 10);
+  std::this_thread::sleep_for(30ms);
+  rt.crash_engine(EngineId(0));
+  rt.recover_engine(EngineId(0));
+  app.inject_batch(rt, 10, 5);
+  std::this_thread::sleep_for(30ms);
+  const auto pre_second = non_stutter(rt.output_records(app.out));
+  rt.crash_engine(EngineId(0));
+  rt.recover_engine(EngineId(0));
+  app.inject_batch(rt, 15, 5);
+  ASSERT_TRUE(rt.drain());
+
+  const auto deduped = dedup_by_vt(rt.output_records(app.out));
+  ASSERT_GE(deduped.size(), pre_second.size());
+  for (std::size_t i = 0; i < pre_second.size(); ++i)
+    EXPECT_EQ(deduped[i], pre_second[i]) << "at " << i;
+  EXPECT_EQ(deduped.size(), 40u);
+  rt.stop();
+}
+
+}  // namespace
+}  // namespace tart::core

@@ -1,0 +1,165 @@
+// Unit tests for the checkpoint serialization layer.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serde/archive.h"
+
+namespace tart::serde {
+namespace {
+
+TEST(ArchiveTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_bool(true);
+  w.write_bool(false);
+  w.write_double(3.14159);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_FALSE(r.read_bool());
+  EXPECT_DOUBLE_EQ(r.read_double(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ArchiveTest, VarintBoundaries) {
+  const std::vector<std::uint64_t> values = {
+      0, 1, 127, 128, 16383, 16384, 1ULL << 32,
+      std::numeric_limits<std::uint64_t>::max()};
+  Writer w;
+  for (const auto v : values) w.write_varint(v);
+  Reader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.read_varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ArchiveTest, VarintIsCompactForSmallValues) {
+  Writer w;
+  w.write_varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.write_varint(300);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(ArchiveTest, SignedVarintRoundTrip) {
+  const std::vector<std::int64_t> values = {
+      0, -1, 1, -64, 63, -65, 1000000, -1000000,
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  Writer w;
+  for (const auto v : values) w.write_svarint(v);
+  Reader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.read_svarint(), v);
+}
+
+TEST(ArchiveTest, StringsIncludingEmbeddedNul) {
+  Writer w;
+  w.write_string("");
+  w.write_string("hello");
+  w.write_string(std::string("a\0b", 3));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), std::string("a\0b", 3));
+}
+
+TEST(ArchiveTest, VirtualTimeRoundTrip) {
+  Writer w;
+  w.write_vt(VirtualTime(-1));
+  w.write_vt(VirtualTime(233000));
+  w.write_vt(VirtualTime::infinity());
+  Reader r(w.bytes());
+  EXPECT_EQ(r.read_vt(), VirtualTime(-1));
+  EXPECT_EQ(r.read_vt(), VirtualTime(233000));
+  EXPECT_TRUE(r.read_vt().is_infinite());
+}
+
+TEST(ArchiveTest, ContainersRoundTrip) {
+  Writer w;
+  const std::vector<std::int64_t> ints{1, -2, 3};
+  const std::map<std::string, std::int64_t> counts{{"the", 3}, {"cat", 1}};
+  encode_value(w, ints);
+  encode_value(w, counts);
+
+  Reader r(w.bytes());
+  std::vector<std::int64_t> ints2;
+  std::map<std::string, std::int64_t> counts2;
+  decode_value(r, ints2);
+  decode_value(r, counts2);
+  EXPECT_EQ(ints2, ints);
+  EXPECT_EQ(counts2, counts);
+}
+
+TEST(ArchiveTest, UnderrunThrows) {
+  Writer w;
+  w.write_u32(7);
+  Reader r(w.bytes());
+  (void)r.read_u32();
+  EXPECT_THROW((void)r.read_u8(), DecodeError);
+}
+
+TEST(ArchiveTest, TruncatedStringThrows) {
+  Writer w;
+  w.write_varint(100);  // claims 100 bytes follow
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.read_string(), DecodeError);
+}
+
+TEST(ArchiveTest, MalformedVarintThrows) {
+  std::vector<std::byte> bytes(11, std::byte{0xFF});  // never terminates
+  Reader r(bytes);
+  EXPECT_THROW((void)r.read_varint(), DecodeError);
+}
+
+TEST(ArchiveTest, DeterministicEncoding) {
+  // Identical logical state must yield identical bytes (the property
+  // checkpoint-identity tests rely on).
+  const std::map<std::string, std::int64_t> m{{"b", 2}, {"a", 1}, {"c", 3}};
+  Writer w1, w2;
+  encode_value(w1, m);
+  encode_value(w2, m);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+  EXPECT_EQ(fingerprint(w1.bytes()), fingerprint(w2.bytes()));
+}
+
+TEST(ArchiveTest, FingerprintDetectsDifference) {
+  Writer w1, w2;
+  w1.write_string("state-a");
+  w2.write_string("state-b");
+  EXPECT_NE(fingerprint(w1.bytes()), fingerprint(w2.bytes()));
+}
+
+TEST(ArchiveTest, BytesRoundTrip) {
+  Writer w;
+  std::vector<std::byte> blob{std::byte{1}, std::byte{2}, std::byte{255}};
+  w.write_bytes(blob);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.read_bytes(), blob);
+}
+
+TEST(ArchiveTest, TakeMovesBuffer) {
+  Writer w;
+  w.write_u8(1);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 1u);
+}
+
+TEST(ArchiveTest, RemainingCountsDown) {
+  Writer w;
+  w.write_u32(5);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.read_u8();
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+}  // namespace
+}  // namespace tart::serde

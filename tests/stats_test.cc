@@ -1,0 +1,217 @@
+// Unit tests for the statistics substrate (regression drives estimator
+// calibration; the Fig-2 reproduction depends on these being right).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "stats/online_stats.h"
+#include "stats/regression.h"
+
+namespace tart::stats {
+namespace {
+
+// --- OnlineStats -----------------------------------------------------------
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  Rng rng(17);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5, 2);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+// --- Regression --------------------------------------------------------------
+
+TEST(RegressionTest, PerfectLineWithIntercept) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(RegressionTest, ThroughOriginRecoversPaperCoefficient) {
+  // Reproduce the shape of Equation 2: tau = 61827 * xi_1 with noise.
+  Rng rng(2009);
+  std::vector<double> x, y;
+  for (int i = 0; i < 10000; ++i) {
+    const double iters = static_cast<double>(rng.uniform_int(1, 19));
+    const double noise = rng.lognormal(std::log(2000.0), 0.8);
+    x.push_back(iters);
+    y.push_back(61827.0 * iters + noise - 2000.0 * 1.38);
+  }
+  const LinearFit fit = fit_through_origin(x, y);
+  EXPECT_NEAR(fit.slope, 61827.0, 500.0);
+  EXPECT_EQ(fit.intercept, 0.0);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(RegressionTest, DegenerateInputs) {
+  EXPECT_EQ(fit_linear({}, {}).n, 0u);
+  EXPECT_EQ(fit_linear({1.0}, {2.0}).slope, 0.0);
+  // All-equal x: slope undefined, returns zero fit.
+  const LinearFit fit = fit_linear({2, 2, 2}, {1, 2, 3});
+  EXPECT_EQ(fit.slope, 0.0);
+  const LinearFit fo = fit_through_origin({0, 0}, {1, 2});
+  EXPECT_EQ(fo.slope, 0.0);
+}
+
+TEST(RegressionTest, PredictUsesBothTerms) {
+  LinearFit fit;
+  fit.intercept = 10;
+  fit.slope = 2;
+  EXPECT_DOUBLE_EQ(fit.predict(5), 20.0);
+}
+
+TEST(RegressionTest, PearsonPerfectAndZero) {
+  std::vector<double> x, y_pos, y_neg;
+  Rng rng(4);
+  std::vector<double> y_rand;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(i);
+    y_pos.push_back(2.0 * i + 1);
+    y_neg.push_back(-0.5 * i);
+    y_rand.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y_neg), -1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y_rand), 0.0, 0.05);
+}
+
+TEST(RegressionTest, SkewnessSigns) {
+  Rng rng(8);
+  std::vector<double> right, sym;
+  for (int i = 0; i < 50000; ++i) {
+    right.push_back(rng.lognormal(0, 1));
+    sym.push_back(rng.normal(0, 1));
+  }
+  EXPECT_GT(skewness(right), 1.0);  // "highly right-skewed"
+  EXPECT_NEAR(skewness(sym), 0.0, 0.08);
+}
+
+TEST(RegressionTest, MultivariateExactFit) {
+  // y = 5 + 2*x1 + 7*x2, rows [1, x1, x2].
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double x1 = rng.uniform(0, 20);
+    const double x2 = rng.uniform(0, 5);
+    rows.push_back({1.0, x1, x2});
+    y.push_back(5.0 + 2.0 * x1 + 7.0 * x2);
+  }
+  const auto beta = fit_multivariate(rows, y);
+  ASSERT_EQ(beta.size(), 3u);
+  EXPECT_NEAR(beta[0], 5.0, 1e-8);
+  EXPECT_NEAR(beta[1], 2.0, 1e-9);
+  EXPECT_NEAR(beta[2], 7.0, 1e-9);
+}
+
+TEST(RegressionTest, MultivariateSingularReturnsEmpty) {
+  // Two identical columns -> singular normal equations.
+  std::vector<std::vector<double>> rows{{1, 1}, {2, 2}, {3, 3}};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_TRUE(fit_multivariate(rows, y).empty());
+}
+
+TEST(RegressionTest, MultivariateShapeMismatch) {
+  EXPECT_TRUE(fit_multivariate({{1.0}}, {1.0, 2.0}).empty());
+  EXPECT_TRUE(fit_multivariate({}, {}).empty());
+}
+
+TEST(RegressionTest, OnlineOriginFitMatchesBatch) {
+  Rng rng(21);
+  std::vector<double> x, y;
+  OnlineOriginFit online;
+  for (int i = 0; i < 5000; ++i) {
+    const double xi = static_cast<double>(rng.uniform_int(1, 19));
+    const double yi = 61827.0 * xi + rng.normal(0, 5000);
+    x.push_back(xi);
+    y.push_back(yi);
+    online.add(xi, yi);
+  }
+  const LinearFit batch = fit_through_origin(x, y);
+  EXPECT_NEAR(online.slope(), batch.slope, 1e-6);
+  EXPECT_NEAR(online.r_squared(), batch.r_squared, 1e-9);
+  EXPECT_EQ(online.n(), 5000u);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, PercentilesOfUniform) {
+  Histogram h(10.0, 100);
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform(0, 1000));
+  EXPECT_NEAR(h.percentile(50), 500, 15);
+  EXPECT_NEAR(h.percentile(95), 950, 15);
+  EXPECT_NEAR(h.percentile(99), 990, 15);
+}
+
+TEST(HistogramTest, OverflowBucket) {
+  Histogram h(1.0, 10);
+  h.add(5.0);
+  h.add(1e9);  // overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile(99), 5.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h(1.0, 10);
+  EXPECT_EQ(h.percentile(50), 0.0);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h(1.0, 10);
+  h.add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.percentile(100), 1.0);
+}
+
+TEST(HistogramTest, RenderProducesRows) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i % 5);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tart::stats

@@ -1,0 +1,17 @@
+// Test alias for the reference application components (the paper's
+// Figure-1 word-count pipeline and call-based services), which live in the
+// library's apps module so examples and benches share them.
+#pragma once
+
+#include "apps/wordcount.h"
+
+namespace tart::testing {
+
+using apps::CallingComponent;
+using apps::Passthrough;
+using apps::ScalingService;
+using apps::TotalingMerger;
+using apps::WordCountSender;
+using apps::sentence;
+
+}  // namespace tart::testing

@@ -1,0 +1,294 @@
+// Tests for the simulated network and the reliability layer: frames survive
+// loss, duplication, reordering, and transient link failure, arriving
+// exactly once and in order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "transport/channel.h"
+#include "transport/frame.h"
+#include "transport/network_link.h"
+#include "transport/reliable_link.h"
+
+namespace tart::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+Frame data_frame(std::uint32_t wire, std::int64_t vt, std::uint64_t seq) {
+  Message m;
+  m.wire = WireId(wire);
+  m.vt = VirtualTime(vt);
+  m.seq = seq;
+  m.payload = Payload(std::int64_t{static_cast<std::int64_t>(seq)});
+  return DataFrame{m};
+}
+
+// --- Frame codec -------------------------------------------------------------
+
+TEST(FrameTest, AllVariantsRoundTrip) {
+  const std::vector<Frame> frames = {
+      data_frame(3, 233000, 7),
+      SilenceFrame{WireId(2), VirtualTime(202000)},
+      ProbeFrame{WireId(9)},
+      ReplayRequestFrame{WireId(4), VirtualTime(100), 12},
+      StabilityFrame{WireId(5), VirtualTime::infinity()},
+  };
+  for (const Frame& f : frames) {
+    const auto bytes = frame_to_bytes(f);
+    const Frame g = frame_from_bytes(bytes);
+    EXPECT_EQ(g.index(), f.index());
+    EXPECT_EQ(frame_wire(g), frame_wire(f));
+  }
+}
+
+TEST(FrameTest, DataFramePreservesMessage) {
+  const Frame f = data_frame(3, 233000, 7);
+  const Frame g = frame_from_bytes(frame_to_bytes(f));
+  const auto& m = std::get<DataFrame>(g).msg;
+  EXPECT_EQ(m.vt, VirtualTime(233000));
+  EXPECT_EQ(m.seq, 7u);
+  EXPECT_EQ(m.payload.as_int(), 7);
+}
+
+TEST(FrameTest, TrailingBytesRejected) {
+  auto bytes = frame_to_bytes(ProbeFrame{WireId(1)});
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW((void)frame_from_bytes(bytes), serde::DecodeError);
+}
+
+// --- BlockingQueue ------------------------------------------------------------
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPop) {
+  BlockingQueue<int> q;
+  std::thread t([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  t.join();
+}
+
+TEST(BlockingQueueTest, CrossThreadDelivery) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) q.push(i);
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(*q.pop(), i);
+  producer.join();
+}
+
+// --- NetworkLink ----------------------------------------------------------------
+
+TEST(NetworkLinkTest, DeliversAllWithoutFaults) {
+  std::mutex mu;
+  std::vector<int> received;
+  LinkConfig cfg;
+  cfg.base_delay = 100us;
+  NetworkLink link(cfg, [&](std::vector<std::byte> p) {
+    const std::lock_guard<std::mutex> lk(mu);
+    received.push_back(static_cast<int>(p[0]));
+  });
+  for (int i = 0; i < 50; ++i)
+    link.send({std::byte{static_cast<unsigned char>(i)}});
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::lock_guard<std::mutex> lk(mu);
+    if (received.size() == 50) break;
+  }
+  link.shutdown();
+  const std::lock_guard<std::mutex> lk(mu);
+  ASSERT_EQ(received.size(), 50u);
+  // Equal delays preserve FIFO.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(NetworkLinkTest, LossDropsRoughlyTheConfiguredFraction) {
+  std::atomic<int> received{0};
+  LinkConfig cfg;
+  cfg.base_delay = 10us;
+  cfg.loss_probability = 0.5;
+  cfg.seed = 9;
+  NetworkLink link(cfg, [&](std::vector<std::byte>) { received++; });
+  for (int i = 0; i < 2000; ++i) link.send({std::byte{1}});
+  std::this_thread::sleep_for(200ms);
+  link.shutdown();
+  EXPECT_GT(received.load(), 800);
+  EXPECT_LT(received.load(), 1200);
+  EXPECT_EQ(link.packets_sent(), 2000u);
+  EXPECT_GT(link.packets_lost(), 800u);
+}
+
+TEST(NetworkLinkTest, DuplicationDeliversExtras) {
+  std::atomic<int> received{0};
+  LinkConfig cfg;
+  cfg.base_delay = 10us;
+  cfg.duplicate_probability = 1.0;
+  NetworkLink link(cfg, [&](std::vector<std::byte>) { received++; });
+  for (int i = 0; i < 100; ++i) link.send({std::byte{1}});
+  std::this_thread::sleep_for(200ms);
+  link.shutdown();
+  EXPECT_EQ(received.load(), 200);
+}
+
+TEST(NetworkLinkTest, DownLinkLosesEverything) {
+  std::atomic<int> received{0};
+  LinkConfig cfg;
+  cfg.base_delay = 10us;
+  NetworkLink link(cfg, [&](std::vector<std::byte>) { received++; });
+  link.set_down(true);
+  for (int i = 0; i < 100; ++i) link.send({std::byte{1}});
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(received.load(), 0);
+  link.set_down(false);
+  link.send({std::byte{2}});
+  std::this_thread::sleep_for(100ms);
+  link.shutdown();
+  EXPECT_EQ(received.load(), 1);
+}
+
+// --- ReliableChannel -------------------------------------------------------------
+
+class ReliableChannelTest : public ::testing::Test {
+ protected:
+  struct Collected {
+    std::mutex mu;
+    std::vector<std::uint64_t> seqs;
+    void add(const Frame& f) {
+      const std::lock_guard<std::mutex> lk(mu);
+      seqs.push_back(std::get<DataFrame>(f).msg.seq);
+    }
+    std::size_t size() {
+      const std::lock_guard<std::mutex> lk(mu);
+      return seqs.size();
+    }
+  };
+
+  static bool wait_for(Collected& c, std::size_t n,
+                       std::chrono::milliseconds timeout = 5000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (c.size() >= n) return true;
+      std::this_thread::sleep_for(1ms);
+    }
+    return false;
+  }
+};
+
+TEST_F(ReliableChannelTest, ExactlyOnceInOrderOverLossyLink) {
+  Collected at_b;
+  ReliableConfig cfg;
+  cfg.forward.base_delay = 50us;
+  cfg.forward.loss_probability = 0.3;
+  cfg.forward.duplicate_probability = 0.1;
+  cfg.forward.reorder_probability = 0.2;
+  cfg.forward.seed = 42;
+  cfg.backward = cfg.forward;
+  cfg.backward.seed = 43;
+  cfg.retransmit_timeout = 1ms;
+
+  ReliableChannel channel(
+      cfg, [](Frame) {}, [&](Frame f) { at_b.add(f); });
+  const int n = 500;
+  for (int i = 0; i < n; ++i)
+    channel.send_from_a(data_frame(1, 100 + i, static_cast<std::uint64_t>(i)));
+
+  ASSERT_TRUE(wait_for(at_b, n));
+  channel.shutdown();
+  ASSERT_EQ(at_b.seqs.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(at_b.seqs[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(i));
+  EXPECT_GT(channel.retransmissions(), 0u);
+}
+
+TEST_F(ReliableChannelTest, BothDirectionsIndependent) {
+  Collected at_a, at_b;
+  ReliableConfig cfg;
+  cfg.forward.base_delay = 20us;
+  cfg.backward.base_delay = 20us;
+  cfg.retransmit_timeout = 1ms;
+  ReliableChannel channel(
+      cfg, [&](Frame f) { at_a.add(f); }, [&](Frame f) { at_b.add(f); });
+  for (int i = 0; i < 50; ++i) {
+    channel.send_from_a(data_frame(1, i + 1, static_cast<std::uint64_t>(i)));
+    channel.send_from_b(data_frame(2, i + 1, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_TRUE(wait_for(at_b, 50));
+  EXPECT_TRUE(wait_for(at_a, 50));
+  channel.shutdown();
+}
+
+TEST_F(ReliableChannelTest, SurvivesTransientOutage) {
+  Collected at_b;
+  ReliableConfig cfg;
+  cfg.forward.base_delay = 20us;
+  cfg.backward.base_delay = 20us;
+  cfg.retransmit_timeout = 2ms;
+  ReliableChannel channel(
+      cfg, [](Frame) {}, [&](Frame f) { at_b.add(f); });
+
+  for (int i = 0; i < 10; ++i)
+    channel.send_from_a(data_frame(1, i + 1, static_cast<std::uint64_t>(i)));
+  ASSERT_TRUE(wait_for(at_b, 10));
+
+  // Link failure: everything sent during the outage is physically lost...
+  channel.set_down(true);
+  for (int i = 10; i < 20; ++i)
+    channel.send_from_a(data_frame(1, i + 1, static_cast<std::uint64_t>(i)));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(at_b.size(), 10u);
+
+  // ...but retransmission recovers it all, in order, once the link is back.
+  channel.set_down(false);
+  ASSERT_TRUE(wait_for(at_b, 20));
+  channel.shutdown();
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(at_b.seqs[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(i));
+}
+
+TEST_F(ReliableChannelTest, MixedFrameTypesArriveInSendOrder) {
+  std::mutex mu;
+  std::vector<std::size_t> kinds;
+  ReliableConfig cfg;
+  cfg.forward.base_delay = 20us;
+  cfg.forward.reorder_probability = 0.5;
+  cfg.retransmit_timeout = 1ms;
+  ReliableChannel channel(
+      cfg, [](Frame) {},
+      [&](Frame f) {
+        const std::lock_guard<std::mutex> lk(mu);
+        kinds.push_back(f.index());
+      });
+  channel.send_from_a(data_frame(1, 10, 0));
+  channel.send_from_a(SilenceFrame{WireId(1), VirtualTime(100)});
+  channel.send_from_a(ProbeFrame{WireId(1)});
+  channel.send_from_a(StabilityFrame{WireId(1), VirtualTime(50)});
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lk(mu);
+      if (kinds.size() == 4) break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+  channel.shutdown();
+  const std::vector<std::size_t> expected{0, 1, 2, 4};
+  EXPECT_EQ(kinds, expected);
+}
+
+}  // namespace
+}  // namespace tart::transport

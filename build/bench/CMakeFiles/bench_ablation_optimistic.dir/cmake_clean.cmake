@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optimistic.dir/bench_ablation_optimistic.cc.o"
+  "CMakeFiles/bench_ablation_optimistic.dir/bench_ablation_optimistic.cc.o.d"
+  "bench_ablation_optimistic"
+  "bench_ablation_optimistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_silence.dir/bench_ablation_silence.cc.o"
+  "CMakeFiles/bench_ablation_silence.dir/bench_ablation_silence.cc.o.d"
+  "bench_ablation_silence"
+  "bench_ablation_silence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_silence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dumb_estimator.dir/bench_dumb_estimator.cc.o"
+  "CMakeFiles/bench_dumb_estimator.dir/bench_dumb_estimator.cc.o.d"
+  "bench_dumb_estimator"
+  "bench_dumb_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dumb_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

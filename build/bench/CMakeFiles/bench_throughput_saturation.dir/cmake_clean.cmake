@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_saturation.dir/bench_throughput_saturation.cc.o"
+  "CMakeFiles/bench_throughput_saturation.dir/bench_throughput_saturation.cc.o.d"
+  "bench_throughput_saturation"
+  "bench_throughput_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/streamops.cc" "src/CMakeFiles/tart.dir/apps/streamops.cc.o" "gcc" "src/CMakeFiles/tart.dir/apps/streamops.cc.o.d"
+  "/root/repo/src/apps/wordcount.cc" "src/CMakeFiles/tart.dir/apps/wordcount.cc.o" "gcc" "src/CMakeFiles/tart.dir/apps/wordcount.cc.o.d"
+  "/root/repo/src/checkpoint/replica.cc" "src/CMakeFiles/tart.dir/checkpoint/replica.cc.o" "gcc" "src/CMakeFiles/tart.dir/checkpoint/replica.cc.o.d"
+  "/root/repo/src/checkpoint/snapshot.cc" "src/CMakeFiles/tart.dir/checkpoint/snapshot.cc.o" "gcc" "src/CMakeFiles/tart.dir/checkpoint/snapshot.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/tart.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tart.dir/common/logging.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/tart.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/tart.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/tart.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/tart.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/CMakeFiles/tart.dir/core/runtime.cc.o" "gcc" "src/CMakeFiles/tart.dir/core/runtime.cc.o.d"
+  "/root/repo/src/core/topology.cc" "src/CMakeFiles/tart.dir/core/topology.cc.o" "gcc" "src/CMakeFiles/tart.dir/core/topology.cc.o.d"
+  "/root/repo/src/estimator/calibrator.cc" "src/CMakeFiles/tart.dir/estimator/calibrator.cc.o" "gcc" "src/CMakeFiles/tart.dir/estimator/calibrator.cc.o.d"
+  "/root/repo/src/estimator/estimator_manager.cc" "src/CMakeFiles/tart.dir/estimator/estimator_manager.cc.o" "gcc" "src/CMakeFiles/tart.dir/estimator/estimator_manager.cc.o.d"
+  "/root/repo/src/log/fault_log.cc" "src/CMakeFiles/tart.dir/log/fault_log.cc.o" "gcc" "src/CMakeFiles/tart.dir/log/fault_log.cc.o.d"
+  "/root/repo/src/log/message_log.cc" "src/CMakeFiles/tart.dir/log/message_log.cc.o" "gcc" "src/CMakeFiles/tart.dir/log/message_log.cc.o.d"
+  "/root/repo/src/log/stable_store.cc" "src/CMakeFiles/tart.dir/log/stable_store.cc.o" "gcc" "src/CMakeFiles/tart.dir/log/stable_store.cc.o.d"
+  "/root/repo/src/serde/archive.cc" "src/CMakeFiles/tart.dir/serde/archive.cc.o" "gcc" "src/CMakeFiles/tart.dir/serde/archive.cc.o.d"
+  "/root/repo/src/sim/jitter.cc" "src/CMakeFiles/tart.dir/sim/jitter.cc.o" "gcc" "src/CMakeFiles/tart.dir/sim/jitter.cc.o.d"
+  "/root/repo/src/sim/tart_sim.cc" "src/CMakeFiles/tart.dir/sim/tart_sim.cc.o" "gcc" "src/CMakeFiles/tart.dir/sim/tart_sim.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/tart.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/tart.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/CMakeFiles/tart.dir/stats/regression.cc.o" "gcc" "src/CMakeFiles/tart.dir/stats/regression.cc.o.d"
+  "/root/repo/src/transport/frame.cc" "src/CMakeFiles/tart.dir/transport/frame.cc.o" "gcc" "src/CMakeFiles/tart.dir/transport/frame.cc.o.d"
+  "/root/repo/src/transport/network_link.cc" "src/CMakeFiles/tart.dir/transport/network_link.cc.o" "gcc" "src/CMakeFiles/tart.dir/transport/network_link.cc.o.d"
+  "/root/repo/src/transport/reliable_link.cc" "src/CMakeFiles/tart.dir/transport/reliable_link.cc.o" "gcc" "src/CMakeFiles/tart.dir/transport/reliable_link.cc.o.d"
+  "/root/repo/src/wire/inbox.cc" "src/CMakeFiles/tart.dir/wire/inbox.cc.o" "gcc" "src/CMakeFiles/tart.dir/wire/inbox.cc.o.d"
+  "/root/repo/src/wire/payload.cc" "src/CMakeFiles/tart.dir/wire/payload.cc.o" "gcc" "src/CMakeFiles/tart.dir/wire/payload.cc.o.d"
+  "/root/repo/src/wire/retention_buffer.cc" "src/CMakeFiles/tart.dir/wire/retention_buffer.cc.o" "gcc" "src/CMakeFiles/tart.dir/wire/retention_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for tart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_determinism_test.dir/property_determinism_test.cc.o"
+  "CMakeFiles/property_determinism_test.dir/property_determinism_test.cc.o.d"
+  "property_determinism_test"
+  "property_determinism_test.pdb"
+  "property_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

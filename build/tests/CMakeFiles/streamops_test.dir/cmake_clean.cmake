@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamops_test.dir/streamops_test.cc.o"
+  "CMakeFiles/streamops_test.dir/streamops_test.cc.o.d"
+  "streamops_test"
+  "streamops_test.pdb"
+  "streamops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

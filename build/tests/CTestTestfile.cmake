@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/serde_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/log_test[1]_include.cmake")
+include("/root/repo/build/tests/core_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/streamops_test[1]_include.cmake")
+include("/root/repo/build/tests/stable_store_test[1]_include.cmake")
+include("/root/repo/build/tests/property_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/property_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/property_inbox_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/timer_test[1]_include.cmake")

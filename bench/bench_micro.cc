@@ -9,6 +9,7 @@
 #include "checkpoint/snapshot.h"
 #include "common/rng.h"
 #include "estimator/estimator.h"
+#include "trace/recorder.h"
 #include "wire/inbox.h"
 #include "wire/retention_buffer.h"
 
@@ -138,6 +139,53 @@ void BM_RetentionRecordTrim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RetentionRecordTrim);
+
+// The flight recorder's hot-path contract: disabled tracing is one
+// null-pointer branch per hook (the <2% throughput budget rests on this);
+// enabled tracing is a mask test + relaxed fetch_add + lock-free ring push.
+void BM_TraceHookDisabled(benchmark::State& state) {
+  trace::TraceRecorder* tracer = nullptr;
+  std::int64_t vt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer);
+    if (tracer != nullptr)
+      tracer->record(ComponentId(0), trace::TraceEventKind::kDispatch,
+                     VirtualTime(vt), WireId(0), 0, 0);
+    ++vt;
+  }
+}
+BENCHMARK(BM_TraceHookDisabled);
+
+void BM_TraceRecordEnabled(benchmark::State& state) {
+  trace::TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 1 << 16;
+  cfg.drain_interval = std::chrono::microseconds(50);
+  trace::TraceRecorder tracer(cfg, {ComponentId(0)});
+  std::int64_t vt = 0;
+  for (auto _ : state) {
+    tracer.record(ComponentId(0), trace::TraceEventKind::kDispatch,
+                  VirtualTime(vt), WireId(0), 0, 0xAB);
+    ++vt;
+  }
+  state.counters["dropped"] =
+      static_cast<double>(tracer.total_dropped());
+}
+BENCHMARK(BM_TraceRecordEnabled);
+
+void BM_TraceRecordMasked(benchmark::State& state) {
+  trace::TraceConfig cfg;
+  cfg.enabled = true;  // scheduling-only mask: diagnostic records are a
+                       // single mask test
+  trace::TraceRecorder tracer(cfg, {ComponentId(0)});
+  std::int64_t vt = 0;
+  for (auto _ : state) {
+    tracer.record(ComponentId(0), trace::TraceEventKind::kCuriosityProbe,
+                  VirtualTime(vt), WireId(0));
+    ++vt;
+  }
+}
+BENCHMARK(BM_TraceRecordMasked);
 
 void BM_PayloadRoundTrip(benchmark::State& state) {
   const Payload p(std::vector<std::string>{"a", "sentence", "of", "words"});

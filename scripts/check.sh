@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: plain build + full ctest, then the same suite under
+# AddressSanitizer. Usage: scripts/check.sh [--no-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_asan=1
+[[ "${1:-}" == "--no-asan" ]] && run_asan=0
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== tier-1 under AddressSanitizer =="
+  cmake -B build-asan -S . -DTART_SANITIZE=address >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+fi
+
+echo "OK"

@@ -1,5 +1,7 @@
 #include "checkpoint/replica.h"
 
+#include "trace/recorder.h"
+
 namespace tart::checkpoint {
 
 bool ReplicaStore::store(ComponentSnapshot snapshot) {
@@ -11,7 +13,22 @@ bool ReplicaStore::store(ComponentSnapshot snapshot) {
     snapshot.encode(w);
     store_->append(w.bytes());
   }
-  return store_locked(std::move(snapshot));
+  const ComponentId component = snapshot.component;
+  const VirtualTime vt = snapshot.vt;
+  const std::uint64_t version = snapshot.version;
+  const bool accepted = store_locked(std::move(snapshot));
+  // Acceptance is what makes the checkpoint durable — a rejected delta
+  // never becomes part of a restore plan, so only acceptance is a
+  // scheduling event.
+  if (accepted && trace_ != nullptr)
+    trace_->record(component, trace::TraceEventKind::kCheckpoint, vt,
+                   WireId::invalid(), version);
+  return accepted;
+}
+
+void ReplicaStore::set_trace(trace::TraceRecorder* recorder) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trace_ = recorder;
 }
 
 bool ReplicaStore::store_locked(ComponentSnapshot snapshot) {

@@ -21,6 +21,10 @@
 #include "common/ids.h"
 #include "log/stable_store.h"
 
+namespace tart::trace {
+class TraceRecorder;
+}
+
 namespace tart::checkpoint {
 
 /// Everything needed to rebuild one component: the last full snapshot and
@@ -60,6 +64,10 @@ class ReplicaStore {
   /// accounting is not replayed — only the restore plans.
   void load_from(const std::string& path);
 
+  /// Flight recorder (may be null): an accepted snapshot is the durable
+  /// checkpoint event, so it is recorded here rather than at capture.
+  void set_trace(trace::TraceRecorder* recorder);
+
  private:
   bool store_locked(ComponentSnapshot snapshot);
 
@@ -68,6 +76,7 @@ class ReplicaStore {
   std::uint64_t bytes_ = 0;
   std::uint64_t count_ = 0;
   log::FileStableStore* store_ = nullptr;
+  trace::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace tart::checkpoint

@@ -11,6 +11,7 @@
 #include "common/virtual_time.h"
 #include "estimator/calibrator.h"
 #include "estimator/comm_delay.h"
+#include "trace/trace_config.h"
 #include "transport/network_link.h"
 
 namespace tart::core {
@@ -51,6 +52,11 @@ struct RuntimeConfig {
   SchedulingMode mode = SchedulingMode::kDeterministic;
   SilenceConfig silence;
   CheckpointConfig checkpoint;
+
+  /// Flight recorder (src/trace): VT-ordered event tracing for determinism
+  /// verification and performance forensics. Off by default; when off the
+  /// hot path pays one branch per record point.
+  trace::TraceConfig trace;
 
   /// Online estimator recalibration via determinism faults (§II.G.4).
   bool calibration = false;

@@ -7,13 +7,15 @@ namespace tart::core {
 Engine::Engine(EngineId id, const Topology& topology,
                const RuntimeConfig& config, FrameRouter& router,
                log::DeterminismFaultLog& fault_log,
-               checkpoint::ReplicaStore& replica)
+               checkpoint::ReplicaStore& replica,
+               trace::TraceRecorder* tracer)
     : id_(id),
       topology_(topology),
       config_(config),
       router_(router),
       fault_log_(fault_log),
-      replica_(replica) {}
+      replica_(replica),
+      tracer_(tracer) {}
 
 Engine::~Engine() { stop(); }
 
@@ -27,7 +29,7 @@ Engine::RunnerMap Engine::make_runners() const {
   for (const ComponentId c : placed_) {
     runners.emplace(c, std::make_shared<ComponentRunner>(
                            topology_, c, config_, router_, fault_log_,
-                           replica_));
+                           replica_, tracer_));
   }
   return runners;
 }
@@ -91,13 +93,33 @@ void Engine::crash() {
   // Join the scheduler threads with no lock held (they may be routing
   // frames into this very engine).
   for (auto& [c, r] : dead) r->stop();
+  if (tracer_ != nullptr) {
+    for (const ComponentId c : placed_)
+      tracer_->record(c, trace::TraceEventKind::kCrash, VirtualTime(-1),
+                      WireId::invalid(), id_.value());
+  }
   // Fail-stop: state dies when the last in-flight pin expires.
 }
 
 void Engine::recover() {
   assert(crashed_.load());
   RunnerMap runners = make_runners();
-  for (auto& [c, r] : runners) r->restore_from(replica_.restore(c));
+  for (auto& [c, r] : runners) {
+    const auto plan = replica_.restore(c);
+    // Recorded here rather than in restore_from so a component that never
+    // checkpointed (restart-from-scratch) still gets its recovery marker —
+    // the differ needs it to license the replayed dispatch stutter.
+    if (tracer_ != nullptr) {
+      const checkpoint::ComponentSnapshot* last =
+          plan ? (plan->deltas.empty() ? &plan->base : &plan->deltas.back())
+               : nullptr;
+      tracer_->record(c, trace::TraceEventKind::kRecoveryStart,
+                      last != nullptr ? last->vt : VirtualTime(-1),
+                      WireId::invalid(),
+                      last != nullptr ? last->version : 0);
+    }
+    r->restore_from(plan);
+  }
   // Request replays before the scheduler threads start: request_replays
   // reads the restored input positions, which the running threads mutate.
   // Replayed frames arriving before start() simply queue in the inboxes —

@@ -37,9 +37,10 @@ namespace tart::core {
 
 class Engine {
  public:
+  /// `tracer` may be null (tracing disabled).
   Engine(EngineId id, const Topology& topology, const RuntimeConfig& config,
          FrameRouter& router, log::DeterminismFaultLog& fault_log,
-         checkpoint::ReplicaStore& replica);
+         checkpoint::ReplicaStore& replica, trace::TraceRecorder* tracer);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -90,6 +91,7 @@ class Engine {
   FrameRouter& router_;
   log::DeterminismFaultLog& fault_log_;
   checkpoint::ReplicaStore& replica_;
+  trace::TraceRecorder* const tracer_;
 
   std::vector<ComponentId> placed_;
   mutable std::mutex map_mu_;  // guards runners_ only; never held across calls

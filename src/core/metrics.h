@@ -20,6 +20,8 @@ struct MetricsSnapshot {
   std::uint64_t duplicates_discarded = 0;
   std::uint64_t gaps_detected = 0;
   std::uint64_t checkpoints_taken = 0;
+  std::uint64_t trace_events_recorded = 0;
+  std::uint64_t trace_events_dropped = 0;  ///< flight-recorder ring overflow
 };
 
 class RunnerMetrics {
@@ -60,6 +62,8 @@ inline MetricsSnapshot& operator+=(MetricsSnapshot& a,
   a.duplicates_discarded += b.duplicates_discarded;
   a.gaps_detected += b.gaps_detected;
   a.checkpoints_taken += b.checkpoints_taken;
+  a.trace_events_recorded += b.trace_events_recorded;
+  a.trace_events_dropped += b.trace_events_dropped;
   return a;
 }
 

@@ -134,13 +134,15 @@ ComponentRunner::ComponentRunner(const Topology& topology, ComponentId id,
                                  const RuntimeConfig& config,
                                  FrameRouter& router,
                                  log::DeterminismFaultLog& fault_log,
-                                 checkpoint::ReplicaStore& replica)
+                                 checkpoint::ReplicaStore& replica,
+                                 trace::TraceRecorder* tracer)
     : topology_(topology),
       id_(id),
       name_(topology.component(id).name),
       config_(config),
       router_(router),
       replica_(replica),
+      tracer_(tracer),
       bias_([&] {
         const auto it = config.bias.find(id);
         return estimator::BiasPolicy(
@@ -150,6 +152,7 @@ ComponentRunner::ComponentRunner(const Topology& topology, ComponentId id,
       estimators_(id, topology.component(id).estimator_factory(),
                   config.calibration ? &fault_log : nullptr,
                   config.calibrator) {
+  inbox_.set_trace(tracer_, id_);
   for (const WireId w : topology.inputs_of(id)) {
     inbox_.add_wire(w);
     input_pos_.emplace(w, InputPos{});
@@ -289,6 +292,9 @@ void ComponentRunner::deliver_reply(const Message& m) {
       // Duplicate of an already-consumed reply (re-sent after a callee
       // failover, or in answer to a re-executed call we no longer await).
       metrics_.duplicates_discarded.fetch_add(1);
+      if (tracer_ != nullptr)
+        tracer_->record(id_, trace::TraceEventKind::kDuplicateDiscard, m.vt,
+                        m.wire, m.call_id, trace::hash_of(m.payload));
     }
   }
   reply_cv_.notify_all();
@@ -345,6 +351,7 @@ void ComponentRunner::run() {
   bool head_was_delayed = false;  // identity of the currently blocked head
   VirtualTime delayed_vt;
   WireId delayed_wire;
+  Clock::time_point stall_start{};
 
   try {
     while (!stop_.load()) {
@@ -374,6 +381,12 @@ void ComponentRunner::run() {
       }
 
       if (auto m = inbox_.pop()) {
+        if (head_was_delayed && tracer_ != nullptr) {
+          tracer_->record(id_, trace::TraceEventKind::kStallEnd, m->vt,
+                          m->wire,
+                          static_cast<std::uint64_t>(
+                              ns_between(stall_start, Clock::now())));
+        }
         head_was_delayed = false;
         in_handler_ = true;
         lk.unlock();
@@ -397,6 +410,10 @@ void ComponentRunner::run() {
           head_was_delayed = true;
           delayed_vt = head->vt;
           delayed_wire = head->wire;
+          stall_start = Clock::now();
+          if (tracer_ != nullptr)
+            tracer_->record(id_, trace::TraceEventKind::kStallBegin,
+                            head->vt, head->wire);
         }
         const auto t0 = Clock::now();
         if (config_.silence.curiosity) {
@@ -404,6 +421,9 @@ void ComponentRunner::run() {
           lk.unlock();
           for (const WireId w : targets) {
             metrics_.probes_sent.fetch_add(1);
+            if (tracer_ != nullptr)
+              tracer_->record(id_, trace::TraceEventKind::kCuriosityProbe,
+                              delayed_vt, w);
             router_.to_sender(w, transport::ProbeFrame{w});
           }
           lk.lock();
@@ -517,6 +537,12 @@ void ComponentRunner::serve_control(const ControlMsg& msg) {
 void ComponentRunner::process(const Message& m) {
   const auto& spec = topology_.wire(m.wire);
   const VirtualTime dequeue_vt = max(m.vt, current_vt_);
+  // The dispatch record IS the scheduling decision: replaying the same log
+  // must reproduce this stream exactly (§II.D), which the trace differ
+  // checks.
+  if (tracer_ != nullptr)
+    tracer_->record(id_, trace::TraceEventKind::kDispatch, m.vt, m.wire,
+                    m.seq, trace::hash_of(m.payload));
 
   TickDuration prescient_charge(0);
   if (config_.mode == SchedulingMode::kDeterministic) {
@@ -603,6 +629,10 @@ VirtualTime ComponentRunner::emit(OutputState& out, VirtualTime cursor,
   msg.call_id = call_id;
   msg.payload = std::move(payload);
 
+  if (tracer_ != nullptr)
+    tracer_->record(id_, trace::TraceEventKind::kEmit, vt, out.spec.id,
+                    msg.seq, trace::hash_of(msg.payload));
+
   out.retention.record(msg);
   out.last_sent = vt;
   router_.to_receiver(out.spec.id, transport::DataFrame{msg});
@@ -623,6 +653,12 @@ void ComponentRunner::advance_published(OutputState& out,
   while (through.ticks() > cur &&
          !out.published.compare_exchange_weak(cur, through.ticks())) {
   }
+  // cur holds the pre-advance value when the CAS won; diagnostic-class, so
+  // gate on the category mask before paying for the record.
+  if (through.ticks() > cur && tracer_ != nullptr &&
+      tracer_->wants(trace::TraceEventKind::kSilencePromise))
+    tracer_->record(id_, trace::TraceEventKind::kSilencePromise, through,
+                    out.spec.id);
 }
 
 void ComponentRunner::publish_busy_horizons(VirtualTime floor) {
@@ -761,6 +797,8 @@ void ComponentRunner::capture_checkpoint() {
     s.outputs.push_back(std::move(op));
   }
 
+  // The kCheckpoint trace event is recorded by the replica on acceptance
+  // (a rejected delta is not a durable checkpoint).
   const bool accepted = replica_.store(std::move(s));
   force_full_checkpoint_ = !accepted;
   metrics_.checkpoints_taken.fetch_add(1);
@@ -831,6 +869,9 @@ void ComponentRunner::restore_from(
 
 void ComponentRunner::request_replays() {
   for (const auto& [wire, pos] : input_pos_) {
+    if (tracer_ != nullptr)
+      tracer_->record(id_, trace::TraceEventKind::kReplayStart,
+                      pos.delivered_vt, wire, pos.delivered_seq);
     router_.to_sender(wire,
                       transport::ReplayRequestFrame{wire, pos.delivered_vt,
                                                     pos.delivered_seq});

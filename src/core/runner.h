@@ -52,6 +52,7 @@
 #include "estimator/comm_delay.h"
 #include "estimator/estimator_manager.h"
 #include "log/fault_log.h"
+#include "trace/recorder.h"
 #include "wire/inbox.h"
 #include "wire/retention_buffer.h"
 
@@ -76,10 +77,13 @@ using ControlMsg = std::variant<ReplayRequestCtl, StabilityCtl, DupCallCtl>;
 
 class ComponentRunner {
  public:
+  /// `tracer` may be null (tracing disabled): every record point then
+  /// costs a single branch.
   ComponentRunner(const Topology& topology, ComponentId id,
                   const RuntimeConfig& config, FrameRouter& router,
                   log::DeterminismFaultLog& fault_log,
-                  checkpoint::ReplicaStore& replica);
+                  checkpoint::ReplicaStore& replica,
+                  trace::TraceRecorder* tracer);
   ~ComponentRunner();
 
   ComponentRunner(const ComponentRunner&) = delete;
@@ -118,7 +122,14 @@ class ComponentRunner {
   [[nodiscard]] ComponentId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] VirtualTime published_horizon(WireId wire) const;
-  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  [[nodiscard]] MetricsSnapshot metrics() const {
+    MetricsSnapshot s = metrics_.snapshot();
+    if (tracer_ != nullptr) {
+      s.trace_events_recorded = tracer_->recorded(id_);
+      s.trace_events_dropped = tracer_->dropped(id_);
+    }
+    return s;
+  }
   /// All inputs closed and processed, no handler running.
   [[nodiscard]] bool exhausted() const;
   [[nodiscard]] VirtualTime current_vt() const;
@@ -212,6 +223,9 @@ class ComponentRunner {
   const RuntimeConfig& config_;
   FrameRouter& router_;
   checkpoint::ReplicaStore& replica_;
+  /// Flight recorder; null when tracing is off. Owned by the Runtime, so
+  /// a component's event stream continues across engine crash/recover.
+  trace::TraceRecorder* const tracer_;
   estimator::BiasPolicy bias_;
   /// Immutable after construction; safe to read from any thread (probe
   /// servicing fans transitive probes out over it).

@@ -12,12 +12,22 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
       placement_(std::move(placement)),
       config_(std::move(config)),
       epoch_(std::chrono::steady_clock::now()) {
+  // Flight recorder, shared by every engine (see member comment).
+  if (config_.trace.enabled) {
+    std::vector<ComponentId> traced;
+    traced.reserve(placement_.size());
+    for (const auto& [component, engine] : placement_)
+      traced.push_back(component);
+    tracer_ =
+        std::make_unique<trace::TraceRecorder>(config_.trace, traced);
+    replica_.set_trace(tracer_.get());
+  }
   // Engines named by the placement.
   for (const auto& [component, engine] : placement_) {
     if (!engines_.contains(engine)) {
       engines_.emplace(engine, std::make_unique<Engine>(
                                    engine, topology_, config_, *this,
-                                   fault_log_, replica_));
+                                   fault_log_, replica_, tracer_.get()));
     }
     engines_.at(engine)->add_component(component);
   }
@@ -101,6 +111,9 @@ bool Runtime::drain(std::chrono::milliseconds timeout) {
 void Runtime::stop() {
   for (auto& [id, engine] : engines_) engine->stop();
   for (auto& bridge : bridges_) bridge->channel->shutdown();
+  // After every producer thread is quiet: drain the rings, freeze the
+  // canonical per-component streams, and write the file. Idempotent.
+  if (tracer_ != nullptr) tracer_->finalize();
 }
 
 // ---------------------------------------------------------------------------

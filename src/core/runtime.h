@@ -33,6 +33,7 @@
 #include "core/topology.h"
 #include "log/fault_log.h"
 #include "log/message_log.h"
+#include "trace/recorder.h"
 #include "transport/reliable_link.h"
 
 namespace tart::core {
@@ -109,6 +110,11 @@ class Runtime final : public FrameRouter {
   }
   [[nodiscard]] log::DeterminismFaultLog& fault_log() { return fault_log_; }
   [[nodiscard]] checkpoint::ReplicaStore& replica() { return replica_; }
+  /// Flight recorder; nullptr when `config.trace.enabled` is false. The
+  /// trace file (if configured) is written when the runtime stops.
+  [[nodiscard]] trace::TraceRecorder* trace_recorder() {
+    return tracer_.get();
+  }
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] Engine& engine(EngineId id) { return *engines_.at(id); }
 
@@ -172,6 +178,12 @@ class Runtime final : public FrameRouter {
   std::unique_ptr<log::FileStableStore> message_store_;
   std::unique_ptr<log::FileStableStore> fault_store_;
   std::unique_ptr<log::FileStableStore> replica_store_;
+
+  /// Owned here, not by the engines: a component's trace stream (and its
+  /// sequence counter) must survive engine crash/recover for recovery
+  /// traces to be prefix-comparable. Declared before engines_ so it
+  /// outlives every runner holding a raw pointer to it.
+  std::unique_ptr<trace::TraceRecorder> tracer_;
 
   std::map<EngineId, std::unique_ptr<Engine>> engines_;
   std::map<WireId, std::unique_ptr<InputAdapter>> inputs_;

@@ -1,0 +1,184 @@
+// tart-trace: inspect and compare flight-recorder trace files.
+//
+//   tart-trace dump <file> [--merged] [--category=sched|diag|all]
+//   tart-trace diff <a> <b> [--recovery]
+//   tart-trace stats <file>
+//
+// Exit codes: 0 success (diff: traces match), 1 diff found a divergence,
+// 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "trace/diff.h"
+#include "trace/trace_event.h"
+#include "trace/trace_file.h"
+
+namespace {
+
+using tart::trace::Trace;
+using tart::trace::TraceCategory;
+using tart::trace::TraceEvent;
+using tart::trace::TraceEventKind;
+
+constexpr int kExitOk = 0;
+constexpr int kExitDivergence = 1;
+constexpr int kExitError = 2;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  tart-trace dump <file> [--merged] [--category=sched|diag|all]\n"
+         "  tart-trace diff <a> <b> [--recovery]\n"
+         "  tart-trace stats <file>\n";
+  return kExitError;
+}
+
+std::string category_names(std::uint32_t mask) {
+  std::string out;
+  if (mask & static_cast<std::uint32_t>(TraceCategory::kScheduling))
+    out += "scheduling";
+  if (mask & static_cast<std::uint32_t>(TraceCategory::kDiagnostic))
+    out += out.empty() ? "diagnostic" : "+diagnostic";
+  return out.empty() ? "none" : out;
+}
+
+void print_event(const TraceEvent& e, bool with_component) {
+  std::cout << std::setw(6) << e.seq << "  ";
+  if (with_component) std::cout << "c" << e.component.value() << "  ";
+  std::cout << std::left << std::setw(12) << tart::trace::name_of(e.kind)
+            << std::right << " vt=" << tart::to_string(e.vt);
+  if (e.wire.is_valid()) std::cout << " wire=" << e.wire.value();
+  std::cout << " aux=" << e.aux;
+  if (e.payload_hash != 0)
+    std::cout << " payload=" << std::hex << std::setw(16) << std::setfill('0')
+              << e.payload_hash << std::setfill(' ') << std::dec;
+  std::cout << "\n";
+}
+
+int cmd_dump(const Trace& trace, bool merged, std::uint32_t mask) {
+  std::cout << "format v" << trace.version
+            << "  categories=" << category_names(trace.categories)
+            << "  components=" << trace.components.size()
+            << "  events=" << trace.total_events() << "\n";
+  const auto wanted = [mask](const TraceEvent& e) {
+    return (static_cast<std::uint32_t>(tart::trace::category_of(e.kind)) &
+            mask) != 0;
+  };
+  if (merged) {
+    std::cout << "-- merged (vt, component, seq) --\n";
+    for (const TraceEvent& e : trace.merged())
+      if (wanted(e)) print_event(e, /*with_component=*/true);
+    return kExitOk;
+  }
+  for (const auto& ct : trace.components) {
+    std::cout << "-- component " << ct.component.value() << " ("
+              << ct.events.size() << " events) --\n";
+    for (const TraceEvent& e : ct.events)
+      if (wanted(e)) print_event(e, /*with_component=*/false);
+  }
+  return kExitOk;
+}
+
+int cmd_diff(const Trace& a, const Trace& b, bool recovery) {
+  tart::trace::DiffOptions options;
+  options.allow_stutter = recovery;
+  const tart::trace::DiffResult result =
+      tart::trace::diff_traces(a, b, options);
+  std::cout << "compared=" << result.compared
+            << " stutter=" << result.stutter_records
+            << " skipped=" << result.skipped << "\n";
+  if (result.identical()) {
+    std::cout << (recovery ? "traces match (stutter tolerated)\n"
+                           : "traces identical\n");
+    return kExitOk;
+  }
+  std::cout << "DIVERGENCE\n" << result.divergence->describe() << "\n";
+  return kExitDivergence;
+}
+
+int cmd_stats(const Trace& trace) {
+  std::map<TraceEventKind, std::uint64_t> by_kind;
+  // Pessimism-stall durations (kStallEnd aux = real ns stalled), bucketed
+  // at 100us out to 50ms — the range the paper's pessimism study covers.
+  tart::stats::Histogram stall_us(/*width=*/100.0, /*num_buckets=*/500);
+  for (const auto& ct : trace.components) {
+    for (const TraceEvent& e : ct.events) {
+      ++by_kind[e.kind];
+      if (e.kind == TraceEventKind::kStallEnd)
+        stall_us.add(static_cast<double>(e.aux) / 1000.0);
+    }
+  }
+  std::cout << "events by kind:\n";
+  for (const auto& [kind, count] : by_kind)
+    std::cout << "  " << std::left << std::setw(12)
+              << tart::trace::name_of(kind) << std::right << " " << count
+              << "\n";
+  std::cout << "events by component:\n";
+  for (const auto& ct : trace.components)
+    std::cout << "  c" << ct.component.value() << " " << ct.events.size()
+              << "\n";
+  if (stall_us.count() > 0) {
+    std::cout << "pessimism stall duration (us): count=" << stall_us.count()
+              << " p50=" << stall_us.percentile(50)
+              << " p99=" << stall_us.percentile(99) << "\n"
+              << stall_us.render() << "\n";
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+
+  std::vector<std::string> files;
+  bool merged = false;
+  bool recovery = false;
+  std::uint32_t mask = static_cast<std::uint32_t>(TraceCategory::kAll);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--merged") {
+      merged = true;
+    } else if (a == "--recovery") {
+      recovery = true;
+    } else if (a == "--category=sched") {
+      mask = static_cast<std::uint32_t>(TraceCategory::kScheduling);
+    } else if (a == "--category=diag") {
+      mask = static_cast<std::uint32_t>(TraceCategory::kDiagnostic);
+    } else if (a == "--category=all") {
+      mask = static_cast<std::uint32_t>(TraceCategory::kAll);
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown flag: " << a << "\n";
+      return usage();
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  try {
+    if (cmd == "dump" && files.size() == 1) {
+      return cmd_dump(tart::trace::TraceReader::read_file(files[0]), merged,
+                      mask);
+    }
+    if (cmd == "diff" && files.size() == 2) {
+      return cmd_diff(tart::trace::TraceReader::read_file(files[0]),
+                      tart::trace::TraceReader::read_file(files[1]), recovery);
+    }
+    if (cmd == "stats" && files.size() == 1) {
+      return cmd_stats(tart::trace::TraceReader::read_file(files[0]));
+    }
+  } catch (const tart::trace::TraceError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitError;
+  }
+  return usage();
+}

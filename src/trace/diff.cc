@@ -1,0 +1,179 @@
+#include "trace/diff.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tart::trace {
+
+namespace {
+
+bool is_scheduling(TraceEventKind kind) {
+  return category_of(kind) == TraceCategory::kScheduling;
+}
+
+std::vector<TraceEvent> filter(const std::vector<TraceEvent>& events,
+                               bool (*pred)(TraceEventKind)) {
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (const TraceEvent& e : events)
+    if (pred(e.kind)) out.push_back(e);
+  return out;
+}
+
+void describe_event(std::ostream& os, const std::optional<TraceEvent>& e) {
+  if (!e) {
+    os << "<end of stream>";
+    return;
+  }
+  os << name_of(e->kind) << " wire=" << e->wire << " vt=" << e->vt
+     << " aux=" << e->aux;
+  if (e->payload_hash != 0) {
+    os << " payload=" << std::hex << e->payload_hash << std::dec;
+  }
+}
+
+/// Strict: the filtered scheduling streams must be element-wise identical.
+std::optional<Divergence> diff_strict(const ComponentTrace& a,
+                                      const ComponentTrace& b,
+                                      DiffResult& result) {
+  const auto sa = filter(a.events, is_scheduling);
+  const auto sb = filter(b.events, is_scheduling);
+  const std::size_t n = std::min(sa.size(), sb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!sa[i].same_decision(sb[i])) {
+      return Divergence{a.component, i, i, sa[i], sb[i],
+                        "scheduling decision differs"};
+    }
+    ++result.compared;
+  }
+  if (sa.size() != sb.size()) {
+    Divergence d;
+    d.component = a.component;
+    d.index_a = n;
+    d.index_b = n;
+    if (n < sa.size()) d.expected = sa[n];
+    if (n < sb.size()) d.actual = sb[n];
+    d.reason = sa.size() > sb.size() ? "trace B ended early"
+                                     : "trace B has extra events";
+    return d;
+  }
+  return std::nullopt;
+}
+
+/// Recovery: compare dispatch decisions only; a kRecoveryStart in B
+/// licenses a rewind to any already-matched decision (stutter).
+std::optional<Divergence> diff_recovery(const ComponentTrace& a,
+                                        const ComponentTrace& b,
+                                        DiffResult& result) {
+  const auto ref = filter(a.events, [](TraceEventKind k) {
+    return k == TraceEventKind::kDispatch;
+  });
+  std::size_t i = 0;   // next expected decision in ref
+  std::size_t hi = 0;  // high-water mark of matched decisions
+  bool replay_licensed = false;
+
+  for (std::size_t bi = 0; bi < b.events.size(); ++bi) {
+    const TraceEvent& e = b.events[bi];
+    if (e.kind == TraceEventKind::kRecoveryStart) {
+      replay_licensed = true;
+      ++result.skipped;
+      continue;
+    }
+    if (e.kind != TraceEventKind::kDispatch) {
+      if (is_scheduling(e.kind)) ++result.skipped;
+      continue;
+    }
+    if (i < ref.size() && e.same_decision(ref[i])) {
+      if (i < hi) {
+        ++result.stutter_records;  // re-execution inside a replayed suffix
+      } else {
+        ++result.compared;
+      }
+      ++i;
+      hi = std::max(hi, i);
+      continue;
+    }
+    if (replay_licensed) {
+      // Rollback: the recovering component restarts from its checkpoint,
+      // somewhere at or before the high-water mark.
+      bool rewound = false;
+      for (std::size_t j = 0; j < hi; ++j) {
+        if (e.same_decision(ref[j])) {
+          i = j + 1;
+          ++result.stutter_records;
+          rewound = true;
+          break;
+        }
+      }
+      if (rewound) continue;
+    }
+    Divergence d;
+    d.component = a.component;
+    d.index_a = i;
+    d.index_b = bi;
+    if (i < ref.size()) d.expected = ref[i];
+    d.actual = e;
+    d.reason = replay_licensed
+                   ? "dispatch matches neither the next expected nor any "
+                     "replayed decision"
+                   : "dispatch decision differs";
+    return d;
+  }
+  if (hi < ref.size()) {
+    Divergence d;
+    d.component = a.component;
+    d.index_a = hi;
+    d.index_b = b.events.size();
+    d.expected = ref[hi];
+    d.reason = "trace B never reached this decision";
+    return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string Divergence::describe() const {
+  std::ostringstream os;
+  os << "component " << component << ": " << reason << " (decision "
+     << index_a << ")\n  expected: ";
+  describe_event(os, expected);
+  os << "\n  actual:   ";
+  describe_event(os, actual);
+  return os.str();
+}
+
+DiffResult diff_traces(const Trace& a, const Trace& b,
+                       const DiffOptions& options) {
+  DiffResult result;
+  // Component sets must agree (the deployment is part of the behaviour).
+  for (const auto& ca : a.components) {
+    if (b.find(ca.component) == nullptr) {
+      result.divergence = Divergence{ca.component, 0, 0, std::nullopt,
+                                     std::nullopt,
+                                     "component missing from trace B"};
+      return result;
+    }
+  }
+  for (const auto& cb : b.components) {
+    if (a.find(cb.component) == nullptr) {
+      result.divergence = Divergence{cb.component, 0, 0, std::nullopt,
+                                     std::nullopt,
+                                     "component missing from trace A"};
+      return result;
+    }
+  }
+  for (const auto& ca : a.components) {
+    const ComponentTrace& cb = *b.find(ca.component);
+    const auto divergence = options.allow_stutter
+                                ? diff_recovery(ca, cb, result)
+                                : diff_strict(ca, cb, result);
+    if (divergence) {
+      result.divergence = divergence;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace tart::trace

@@ -1,0 +1,69 @@
+// TraceDiff: pinpoints the first divergent scheduling decision between two
+// trace files.
+//
+// Two modes:
+//
+//   - *strict* (default): run B must reproduce run A's event stream
+//     exactly, component by component. This is the determinism check — two
+//     runs over the same external input log must not diverge at all
+//     (§II.A/§II.D); the first mismatch names the component, wire, virtual
+//     time, and payload hash where behaviour forked.
+//
+//   - *recovery* (allow_stutter): run B contains crashes. A recovering
+//     component rolls back to its last checkpoint and re-executes, so its
+//     dispatch stream repeats a suffix of what it already did — the trace
+//     analogue of output stutter (§II.A). In this mode only dispatch
+//     events are compared; a kRecoveryStart record licenses the stream to
+//     rewind to any already-matched decision and replay forward, with each
+//     re-executed dispatch counted as a stutter record. Replay artifacts
+//     (duplicate discards, gaps, crash markers, checkpoints — whose
+//     cadence legitimately shifts after rollback) are skipped and tallied.
+//     Any dispatch that matches neither the next expected decision nor an
+//     already-executed one is a true divergence.
+//
+// Diagnostic-class events (stalls, probes, silence promises) are never
+// compared: they depend on real time by design.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "trace/trace_file.h"
+
+namespace tart::trace {
+
+struct DiffOptions {
+  /// Tolerate post-recovery re-execution in trace B (see header comment).
+  bool allow_stutter = false;
+};
+
+/// The first point where the two traces disagree.
+struct Divergence {
+  ComponentId component;
+  /// Index into the compared (filtered) stream of each trace; the trace
+  /// whose stream ended early has index == its stream size.
+  std::size_t index_a = 0;
+  std::size_t index_b = 0;
+  std::optional<TraceEvent> expected;  ///< A's event, if any remained.
+  std::optional<TraceEvent> actual;    ///< B's event, if any remained.
+  std::string reason;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct DiffResult {
+  std::optional<Divergence> divergence;
+  std::uint64_t compared = 0;         ///< Decisions checked and matched.
+  std::uint64_t stutter_records = 0;  ///< Re-executed decisions (recovery).
+  std::uint64_t skipped = 0;          ///< Replay artifacts not compared.
+
+  [[nodiscard]] bool identical() const { return !divergence.has_value(); }
+};
+
+/// Streams the two traces and reports the first divergence, if any.
+/// `a` is the reference run, `b` the run under test.
+[[nodiscard]] DiffResult diff_traces(const Trace& a, const Trace& b,
+                                     const DiffOptions& options = {});
+
+}  // namespace tart::trace

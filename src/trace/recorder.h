@@ -1,0 +1,106 @@
+// TraceRecorder: the flight recorder.
+//
+// One bounded lock-free ring per component absorbs events from whichever
+// thread makes a scheduling decision (runner threads; frame-routing
+// threads for duplicate discards and probes). A background writer drains
+// the rings into per-component in-memory streams; finalize() (idempotent,
+// called from Runtime::stop and the destructor) sorts each stream by its
+// per-component sequence and writes the canonical file.
+//
+// Cost discipline: when tracing is disabled no recorder exists and every
+// hook site is a single null-pointer branch. When enabled, a record is one
+// category-mask test, one relaxed fetch_add for the sequence, and one ring
+// push; a full ring drops the record (counted, never blocking).
+//
+// Recording survives engine crash/recover: the recorder belongs to the
+// Runtime, so a component's stream continues across failover with the
+// same monotone sequence — recovery and replayed dispatches land in the
+// same stream the pre-crash events did, which is what lets the differ
+// check prefix-identical replay.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "trace/ring_buffer.h"
+#include "trace/trace_config.h"
+#include "trace/trace_event.h"
+#include "trace/trace_file.h"
+
+namespace tart::trace {
+
+class TraceRecorder {
+ public:
+  /// `components`: every component that may record (the deployment's
+  /// placement keys). Registration is fixed up front so lookups are
+  /// lock-free and the file layout is run-independent.
+  TraceRecorder(TraceConfig config, std::vector<ComponentId> components);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// True when events of this kind's category are being recorded. Hook
+  /// sites with non-trivial argument computation should test this first.
+  [[nodiscard]] bool wants(TraceEventKind kind) const {
+    return (config_.categories &
+            static_cast<std::uint32_t>(category_of(kind))) != 0;
+  }
+
+  /// Records one event. Thread-safe, wait-free, never blocks the caller;
+  /// silently drops (and counts) when the component's ring is full or the
+  /// category is masked off.
+  void record(ComponentId component, TraceEventKind kind, VirtualTime vt,
+              WireId wire, std::uint64_t aux = 0,
+              std::uint64_t payload_hash = 0);
+
+  /// Stops the writer, drains the rings, sorts the streams, and writes the
+  /// file (when a path is configured). Idempotent; record() calls after
+  /// finalize are dropped.
+  void finalize();
+
+  /// The assembled trace. Valid only after finalize().
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  [[nodiscard]] std::uint64_t recorded(ComponentId component) const;
+  [[nodiscard]] std::uint64_t dropped(ComponentId component) const;
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+ private:
+  struct Slot {
+    ComponentId id;
+    std::int64_t vt_skew = 0;
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> recorded{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::unique_ptr<RingBuffer<TraceEvent>> ring;
+    std::vector<TraceEvent> drained;  // writer thread / post-finalize only
+  };
+
+  void writer_loop();
+  void drain_all();
+  [[nodiscard]] const Slot* find(ComponentId component) const;
+
+  const TraceConfig config_;
+  std::map<ComponentId, std::size_t> index_;  // immutable after ctor
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  std::mutex writer_mu_;
+  std::condition_variable writer_cv_;
+  bool writer_stop_ = false;
+  std::thread writer_;
+
+  std::atomic<bool> finalized_{false};
+  Trace trace_;
+};
+
+}  // namespace tart::trace

@@ -1,0 +1,134 @@
+// Flight-recorder event taxonomy.
+//
+// Every scheduling decision a runner makes is describable as a typed event
+// stamped with the component that made it, the virtual time it concerns,
+// and a per-component sequence number assigned at record time. Events fall
+// into two categories:
+//
+//   - *scheduling* events are pure functions of the external input log
+//     (dispatch order, emitted messages, checkpoints, replay positions):
+//     two runs over the same log must produce byte-identical scheduling
+//     streams, which is the checkable form of the paper's determinism
+//     claim (§II.A, §II.D);
+//   - *diagnostic* events depend on real time (pessimism stalls, curiosity
+//     probes, silence publication): they explain performance but are not
+//     comparable across runs.
+//
+// Crash/recovery artifacts (kCrash, kRecoveryStart, kDuplicateDiscard,
+// kGap) are scheduling-class — they never occur in a failure-free run, and
+// in a failed run the differ treats them as documented stutter (§II.F.4:
+// replayed duplicates "will have duplicate timestamps and will be
+// discarded").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "serde/archive.h"
+
+namespace tart::trace {
+
+enum class TraceEventKind : std::uint8_t {
+  // Scheduling class.
+  kDispatch = 0,          ///< Handler invoked: vt = msg vt, aux = msg seq.
+  kEmit = 1,              ///< Message sent: vt = assigned vt, aux = seq.
+  kCheckpoint = 2,        ///< Soft checkpoint taken: aux = version.
+  kRecoveryStart = 3,     ///< Restored from replica: vt = restored, aux = version.
+  kReplayStart = 4,       ///< Replay requested on a wire: aux = from_seq.
+  kDuplicateDiscard = 5,  ///< Arrival with an already-accounted vt dropped.
+  kGap = 6,               ///< Sequence jump detected; replay needed.
+  kCrash = 7,             ///< Hosting engine fail-stopped.
+  // Diagnostic class.
+  kSilencePromise = 8,    ///< Output horizon advanced: vt = new horizon.
+  kCuriosityProbe = 9,    ///< Probe sent at a lagging input wire.
+  kStallBegin = 10,       ///< Head held back awaiting silence (§II.E).
+  kStallEnd = 11,         ///< Held head released: aux = real ns stalled.
+};
+
+inline constexpr std::uint8_t kMaxTraceEventKind = 11;
+
+enum class TraceCategory : std::uint32_t {
+  kScheduling = 1u << 0,
+  kDiagnostic = 1u << 1,
+  kAll = (1u << 0) | (1u << 1),
+};
+
+[[nodiscard]] constexpr TraceCategory category_of(TraceEventKind kind) {
+  return static_cast<std::uint8_t>(kind) <=
+                 static_cast<std::uint8_t>(TraceEventKind::kCrash)
+             ? TraceCategory::kScheduling
+             : TraceCategory::kDiagnostic;
+}
+
+[[nodiscard]] constexpr std::string_view name_of(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kDispatch: return "dispatch";
+    case TraceEventKind::kEmit: return "emit";
+    case TraceEventKind::kCheckpoint: return "checkpoint";
+    case TraceEventKind::kRecoveryStart: return "recovery";
+    case TraceEventKind::kReplayStart: return "replay";
+    case TraceEventKind::kDuplicateDiscard: return "dup-discard";
+    case TraceEventKind::kGap: return "gap";
+    case TraceEventKind::kCrash: return "crash";
+    case TraceEventKind::kSilencePromise: return "silence";
+    case TraceEventKind::kCuriosityProbe: return "probe";
+    case TraceEventKind::kStallBegin: return "stall-begin";
+    case TraceEventKind::kStallEnd: return "stall-end";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  ComponentId component;      ///< Implicit in the file (per-component section).
+  std::uint64_t seq = 0;      ///< Per-component record order.
+  TraceEventKind kind = TraceEventKind::kDispatch;
+  VirtualTime vt;             ///< Virtual time the event concerns.
+  WireId wire;                ///< Wire involved (invalid for e.g. checkpoints).
+  std::uint64_t aux = 0;      ///< Kind-specific (msg seq, version, ns, ...).
+  std::uint64_t payload_hash = 0;  ///< FNV of the payload bytes; 0 if none.
+
+  /// Semantic identity: everything except the record-order seq (the seq
+  /// shifts when categories are filtered; the decision itself does not).
+  [[nodiscard]] bool same_decision(const TraceEvent& o) const {
+    return kind == o.kind && vt == o.vt && wire == o.wire && aux == o.aux &&
+           payload_hash == o.payload_hash;
+  }
+
+  bool operator==(const TraceEvent&) const = default;
+
+  void encode(serde::Writer& w) const {
+    w.write_u8(static_cast<std::uint8_t>(kind));
+    w.write_varint(seq);
+    w.write_vt(vt);
+    w.write_u32(wire.value());
+    w.write_varint(aux);
+    w.write_u64(payload_hash);
+  }
+
+  [[nodiscard]] static TraceEvent decode(serde::Reader& r) {
+    TraceEvent e;
+    const std::uint8_t k = r.read_u8();
+    if (k > kMaxTraceEventKind)
+      throw serde::DecodeError("unknown trace event kind");
+    e.kind = static_cast<TraceEventKind>(k);
+    e.seq = r.read_varint();
+    e.vt = r.read_vt();
+    e.wire = WireId(r.read_u32());
+    e.aux = r.read_varint();
+    e.payload_hash = r.read_u64();
+    return e;
+  }
+};
+
+/// FNV hash of any serde-encodable value (used to stamp message payloads
+/// into events without storing them).
+template <typename T>
+[[nodiscard]] std::uint64_t hash_of(const T& value) {
+  serde::Writer w;
+  value.encode(w);
+  return serde::fingerprint(w.bytes());
+}
+
+}  // namespace tart::trace

@@ -1,0 +1,80 @@
+// Compact binary trace format and its reader.
+//
+// Layout (all integers via serde::Archive, little-endian / varint):
+//
+//   magic   8 bytes  "TARTTRC1"
+//   u32     format version (kTraceFormatVersion)
+//   u32     category mask the recorder ran with
+//   varint  component count
+//   per component, in ascending component-id order:
+//     u32     component id
+//     varint  event count
+//     events in per-component sequence order (see TraceEvent::encode)
+//
+// The file is canonical: events are grouped per component and ordered by
+// the per-component sequence, never by wall-clock drain order — so a
+// deterministic execution yields a byte-identical file regardless of how
+// threads interleaved or when the background writer drained. A global
+// virtual-time-ordered view is derived, not stored (Trace::merged).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "trace/trace_event.h"
+
+namespace tart::trace {
+
+inline constexpr char kTraceMagic[8] = {'T', 'A', 'R', 'T',
+                                        'T', 'R', 'C', '1'};
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// Corrupted, truncated, unreadable, or version-incompatible trace file.
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ComponentTrace {
+  ComponentId component;
+  std::vector<TraceEvent> events;  // per-component seq order
+
+  bool operator==(const ComponentTrace&) const = default;
+};
+
+struct Trace {
+  std::uint32_t version = kTraceFormatVersion;
+  std::uint32_t categories = 0;
+  std::vector<ComponentTrace> components;  // ascending component id
+
+  [[nodiscard]] const ComponentTrace* find(ComponentId id) const;
+  [[nodiscard]] std::size_t total_events() const;
+
+  /// Global virtual-time order: (vt, component, seq) — the deterministic
+  /// merge mirroring the schedulers' own tie-break discipline.
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  bool operator==(const Trace&) const = default;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_trace(const Trace& trace);
+
+class TraceReader {
+ public:
+  /// Decodes a trace from bytes. Throws TraceError on a bad magic,
+  /// unsupported version, or truncated/malformed body.
+  [[nodiscard]] static Trace read_bytes(const std::vector<std::byte>& bytes);
+
+  /// Loads and decodes a trace file. Throws TraceError (file missing or
+  /// unreadable included).
+  [[nodiscard]] static Trace read_file(const std::string& path);
+};
+
+/// Writes the canonical encoding to `path`. Throws TraceError on I/O error.
+void write_trace_file(const std::string& path, const Trace& trace);
+
+}  // namespace tart::trace

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "trace/recorder.h"
+
 namespace tart {
 
 void Inbox::add_wire(WireId wire) {
@@ -22,6 +24,22 @@ const Inbox::WireState* Inbox::find(WireId wire) const {
   return it == wires_.end() ? nullptr : &it->second;
 }
 
+// Out of line and cold: offer() is the hottest function in the merge and
+// inlining the hash/record machinery into its rejection branches costs
+// the accept path real cycles (bigger frame, more callee saves) even
+// when tracing is off.
+__attribute__((cold, noinline)) void Inbox::trace_discard(
+    const Message& m) const {
+  trace_->record(trace_self_, trace::TraceEventKind::kDuplicateDiscard, m.vt,
+                 m.wire, m.seq, trace::hash_of(m.payload));
+}
+
+__attribute__((cold, noinline)) void Inbox::trace_gap(
+    const Message& m) const {
+  trace_->record(trace_self_, trace::TraceEventKind::kGap, m.vt, m.wire,
+                 m.seq);
+}
+
 AcceptResult Inbox::offer(const Message& m) {
   auto it = wires_.find(m.wire);
   assert(it != wires_.end() && "message for unregistered wire");
@@ -30,12 +48,21 @@ AcceptResult Inbox::offer(const Message& m) {
   // Duplicate: vt already accounted (silent or delivered/pending data).
   // Replayed messages re-arrive with their original (identical) timestamps
   // and are discarded here.
-  if (m.vt <= w.horizon) return AcceptResult::kDuplicate;
+  if (m.vt <= w.horizon) {
+    if (trace_ != nullptr) trace_discard(m);
+    return AcceptResult::kDuplicate;
+  }
 
   // Gap: FIFO sequence jumped, meaning ticks were lost on the physical
   // link or the sender restarted ahead of us. Caller must request replay.
-  if (m.seq > w.next_seq) return AcceptResult::kGap;
-  if (m.seq < w.next_seq) return AcceptResult::kDuplicate;
+  if (m.seq > w.next_seq) {
+    if (trace_ != nullptr) trace_gap(m);
+    return AcceptResult::kGap;
+  }
+  if (m.seq < w.next_seq) {
+    if (trace_ != nullptr) trace_discard(m);
+    return AcceptResult::kDuplicate;
+  }
 
   w.next_seq = m.seq + 1;
   // The message's vt accounts all earlier ticks as (implied) silence and

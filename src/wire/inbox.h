@@ -40,6 +40,10 @@
 #include "common/virtual_time.h"
 #include "wire/message.h"
 
+namespace tart::trace {
+class TraceRecorder;
+}
+
 namespace tart {
 
 /// Outcome of offering an arriving message to the inbox.
@@ -66,6 +70,15 @@ class Inbox {
 
   [[nodiscard]] bool has_wire(WireId wire) const;
   [[nodiscard]] std::size_t wire_count() const { return wires_.size(); }
+
+  /// Attaches the flight recorder (§II.F.4 evidence: duplicate discards
+  /// and gap detections are recorded at the point of classification).
+  /// `self` is the receiving component. Null detaches; costs one branch
+  /// per rejection when detached.
+  void set_trace(trace::TraceRecorder* recorder, ComponentId self) {
+    trace_ = recorder;
+    trace_self_ = self;
+  }
 
   /// Offers an arriving message. FIFO per wire; the message's vt implicitly
   /// accounts all earlier ticks on that wire as silent.
@@ -141,7 +154,13 @@ class Inbox {
 
   [[nodiscard]] const WireState* find(WireId wire) const;
 
+  /// Cold out-of-line record paths (see inbox.cc).
+  void trace_discard(const Message& m) const;
+  void trace_gap(const Message& m) const;
+
   std::map<WireId, WireState> wires_;
+  trace::TraceRecorder* trace_ = nullptr;
+  ComponentId trace_self_;
 };
 
 }  // namespace tart

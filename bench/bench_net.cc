@@ -1,0 +1,234 @@
+// Socket-transport microbenchmark: what does crossing a real TCP loopback
+// cost relative to the in-process NetworkLink the single-process benches
+// use? Reports frames/sec (streaming) and p50/p99 round-trip latency
+// (ping-pong) for both transports at several payload sizes, so the
+// distributed figures can be read against the transport's own floor.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/virtual_time.h"
+#include "exp_util.h"
+#include "net/connection_manager.h"
+#include "transport/frame.h"
+#include "transport/network_link.h"
+#include "wire/message.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using tart::Message;
+using tart::Payload;
+using tart::VirtualTime;
+using tart::WireId;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kStreamFrames = 20000;
+constexpr int kPingPongs = 2000;
+
+tart::transport::Frame data_frame(std::size_t payload_bytes,
+                                  std::uint64_t seq) {
+  Message m;
+  m.wire = WireId(1);
+  m.vt = VirtualTime(static_cast<std::int64_t>(seq));
+  m.seq = seq;
+  m.payload = Payload(std::string(payload_bytes, 'x'));
+  return tart::transport::DataFrame{m};
+}
+
+double percentile(std::vector<double>& v, double p) {
+  std::sort(v.begin(), v.end());
+  if (v.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct Result {
+  double frames_per_sec = 0;
+  double mib_per_sec = 0;
+  double rtt_p50_us = 0;
+  double rtt_p99_us = 0;
+};
+
+// --- TCP over loopback ------------------------------------------------------
+
+/// A connected pair of ConnectionManagers on 127.0.0.1.
+struct TcpPair {
+  std::unique_ptr<tart::net::ConnectionManager> a;  // dials ("a" < "b")
+  std::unique_ptr<tart::net::ConnectionManager> b;
+
+  TcpPair(tart::net::ConnectionManager::FrameHandler on_a,
+          tart::net::ConnectionManager::FrameHandler on_b) {
+    tart::net::ConnectionManager::Options bo;
+    bo.node = "b";
+    bo.listen = "127.0.0.1:0";
+    bo.peers["a"] = "127.0.0.1:1";  // known for HELLO validation; never dialed
+    b = std::make_unique<tart::net::ConnectionManager>(
+        std::move(bo), std::move(on_b), [](const std::string&, bool) {});
+
+    tart::net::ConnectionManager::Options ao;
+    ao.node = "a";
+    ao.peers["b"] = "127.0.0.1:" + std::to_string(b->listen_port());
+    a = std::make_unique<tart::net::ConnectionManager>(
+        std::move(ao), std::move(on_a), [](const std::string&, bool) {});
+
+    while (!a->peer_up("b") || !b->peer_up("a"))
+      std::this_thread::sleep_for(1ms);
+  }
+
+  ~TcpPair() {
+    a->shutdown();
+    b->shutdown();
+  }
+};
+
+Result bench_tcp(std::size_t payload_bytes) {
+  Result r;
+  {
+    // Streaming: a -> b, count arrivals.
+    std::atomic<int> received{0};
+    TcpPair pair([](const std::string&, tart::transport::Frame) {},
+                 [&](const std::string&, tart::transport::Frame) {
+                   received.fetch_add(1);
+                 });
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kStreamFrames; ++i) {
+      const auto f = data_frame(payload_bytes, static_cast<std::uint64_t>(i));
+      while (!pair.a->send("b", f))  // bounded queue: wait out backpressure
+        std::this_thread::sleep_for(100us);
+    }
+    while (received.load() < kStreamFrames) std::this_thread::sleep_for(1ms);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    r.frames_per_sec = kStreamFrames / secs;
+    r.mib_per_sec = static_cast<double>(pair.a->counters().bytes_out) /
+                    (1024.0 * 1024.0) / secs;
+  }
+  {
+    // Ping-pong: b echoes every frame straight back from its net thread.
+    std::mutex mu;
+    std::condition_variable cv;
+    int pongs = 0;
+    tart::net::ConnectionManager* b_raw = nullptr;
+    TcpPair pair(
+        [&](const std::string&, tart::transport::Frame) {
+          const std::lock_guard<std::mutex> lk(mu);
+          ++pongs;
+          cv.notify_one();
+        },
+        [&](const std::string& peer, tart::transport::Frame f) {
+          b_raw->send(peer, f);
+        });
+    b_raw = pair.b.get();
+    std::vector<double> rtts_us;
+    rtts_us.reserve(kPingPongs);
+    for (int i = 0; i < kPingPongs; ++i) {
+      const auto t0 = Clock::now();
+      pair.a->send("b", data_frame(payload_bytes,
+                                   static_cast<std::uint64_t>(i)));
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return pongs > i; });
+      rtts_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+    }
+    r.rtt_p50_us = percentile(rtts_us, 0.50);
+    r.rtt_p99_us = percentile(rtts_us, 0.99);
+  }
+  return r;
+}
+
+// --- In-process NetworkLink baseline ---------------------------------------
+
+Result bench_link(std::size_t payload_bytes) {
+  Result r;
+  tart::transport::LinkConfig cfg;
+  cfg.base_delay = 0us;  // measure the mechanism, not a simulated wire
+  {
+    std::atomic<int> received{0};
+    std::uint64_t bytes = 0;
+    tart::transport::NetworkLink link(cfg, [&](std::vector<std::byte>) {
+      received.fetch_add(1);
+    });
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kStreamFrames; ++i) {
+      auto bytes_out = tart::transport::frame_to_bytes(
+          data_frame(payload_bytes, static_cast<std::uint64_t>(i)));
+      bytes += bytes_out.size();
+      link.send(std::move(bytes_out));
+    }
+    while (received.load() < kStreamFrames) std::this_thread::sleep_for(1ms);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    r.frames_per_sec = kStreamFrames / secs;
+    r.mib_per_sec = static_cast<double>(bytes) / (1024.0 * 1024.0) / secs;
+    link.shutdown();
+  }
+  {
+    // Ping-pong across two links (one per direction), echo in the
+    // receiver callback — the same topology as the TCP pair.
+    std::mutex mu;
+    std::condition_variable cv;
+    int pongs = 0;
+    std::unique_ptr<tart::transport::NetworkLink> back;
+    tart::transport::NetworkLink forth(cfg, [&](std::vector<std::byte> p) {
+      back->send(std::move(p));
+    });
+    back = std::make_unique<tart::transport::NetworkLink>(
+        cfg, [&](std::vector<std::byte>) {
+          const std::lock_guard<std::mutex> lk(mu);
+          ++pongs;
+          cv.notify_one();
+        });
+    std::vector<double> rtts_us;
+    rtts_us.reserve(kPingPongs);
+    for (int i = 0; i < kPingPongs; ++i) {
+      const auto t0 = Clock::now();
+      forth.send(tart::transport::frame_to_bytes(
+          data_frame(payload_bytes, static_cast<std::uint64_t>(i))));
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return pongs > i; });
+      rtts_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+    }
+    r.rtt_p50_us = percentile(rtts_us, 0.50);
+    r.rtt_p99_us = percentile(rtts_us, 0.99);
+    forth.shutdown();
+    back->shutdown();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  tart::bench::banner(
+      "Socket transport vs in-process link (loopback floor)",
+      "supports §III.A distributed runs: transport cost isolated from "
+      "protocol cost");
+
+  tart::bench::Table table({"transport", "payload B", "frames/s", "MiB/s",
+                            "rtt p50 us", "rtt p99 us"});
+  for (const std::size_t payload : {16u, 256u, 4096u}) {
+    const Result tcp = bench_tcp(payload);
+    table.row({"tcp-loopback", tart::bench::fmt("%zu", payload),
+               tart::bench::fmt("%.0f", tcp.frames_per_sec),
+               tart::bench::fmt("%.1f", tcp.mib_per_sec),
+               tart::bench::fmt("%.1f", tcp.rtt_p50_us),
+               tart::bench::fmt("%.1f", tcp.rtt_p99_us)});
+    const Result link = bench_link(payload);
+    table.row({"in-process", tart::bench::fmt("%zu", payload),
+               tart::bench::fmt("%.0f", link.frames_per_sec),
+               tart::bench::fmt("%.1f", link.mib_per_sec),
+               tart::bench::fmt("%.1f", link.rtt_p50_us),
+               tart::bench::fmt("%.1f", link.rtt_p99_us)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Multi-process soak: repeatedly runs the two-process deployment test
+# (real tart-node processes over loopback TCP, SIGKILL + restart included)
+# to shake out timing-dependent bugs in the socket transport and the
+# recovery path. Usage: scripts/net_soak.sh [iterations]   (default 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+iters="${1:-20}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" --target net_process_test net_loop_test \
+  tart-node tart-trace
+
+for i in $(seq 1 "$iters"); do
+  echo "== soak iteration $i/$iters =="
+  ./build/tests/net_loop_test --gtest_brief=1
+  ./build/tests/net_process_test --gtest_brief=1
+done
+
+echo "OK: $iters iterations clean"

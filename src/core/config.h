@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "common/ids.h"
 #include "common/virtual_time.h"
@@ -77,6 +78,15 @@ struct RuntimeConfig {
   /// traffic between two engines flows through a ReliableChannel over these
   /// faulty links; engine pairs without an entry communicate directly.
   std::map<std::pair<EngineId, EngineId>, transport::LinkConfig> links;
+
+  /// Partition-aware deployment: the engines hosted by THIS process. Empty
+  /// means every engine in the placement is local (the classic
+  /// single-process deployment). When non-empty, only local engines are
+  /// constructed; frames routed toward a non-local engine are handed to
+  /// the remote router (Runtime::set_remote_router) — the socket transport
+  /// bridge — and frames arriving from peer processes enter through
+  /// Runtime::deliver_from_peer.
+  std::set<EngineId> local_engines;
 
   /// Stable-storage directory (§II.C: the backup can be "a stable storage
   /// device"). When set, the external message log and the determinism

@@ -22,6 +22,18 @@ struct MetricsSnapshot {
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t trace_events_recorded = 0;
   std::uint64_t trace_events_dropped = 0;  ///< flight-recorder ring overflow
+
+  // Socket-transport counters (src/net), zero in single-process
+  // deployments. Filled by the hosting NetHost when it merges its
+  // ConnectionManager's counters into the runtime snapshot.
+  std::uint64_t net_bytes_in = 0;
+  std::uint64_t net_bytes_out = 0;
+  std::uint64_t net_frames_in = 0;
+  std::uint64_t net_frames_out = 0;
+  std::uint64_t net_reconnects = 0;
+  std::uint64_t net_heartbeat_misses = 0;
+  std::uint64_t net_frames_refused = 0;     ///< backpressure / link-down drops
+  std::uint64_t net_queue_high_water = 0;   ///< max frames queued to any peer
 };
 
 class RunnerMetrics {
@@ -64,6 +76,16 @@ inline MetricsSnapshot& operator+=(MetricsSnapshot& a,
   a.checkpoints_taken += b.checkpoints_taken;
   a.trace_events_recorded += b.trace_events_recorded;
   a.trace_events_dropped += b.trace_events_dropped;
+  a.net_bytes_in += b.net_bytes_in;
+  a.net_bytes_out += b.net_bytes_out;
+  a.net_frames_in += b.net_frames_in;
+  a.net_frames_out += b.net_frames_out;
+  a.net_reconnects += b.net_reconnects;
+  a.net_heartbeat_misses += b.net_heartbeat_misses;
+  a.net_frames_refused += b.net_frames_refused;
+  a.net_queue_high_water =
+      a.net_queue_high_water > b.net_queue_high_water ? a.net_queue_high_water
+                                                      : b.net_queue_high_water;
   return a;
 }
 

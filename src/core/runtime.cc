@@ -12,18 +12,23 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
       placement_(std::move(placement)),
       config_(std::move(config)),
       epoch_(std::chrono::steady_clock::now()) {
-  // Flight recorder, shared by every engine (see member comment).
+  // Flight recorder, shared by every engine (see member comment). In a
+  // partitioned deployment only local components record (each node owns
+  // its own trace file), plus the net pseudo-component for link events.
   if (config_.trace.enabled) {
     std::vector<ComponentId> traced;
-    traced.reserve(placement_.size());
+    traced.reserve(placement_.size() + 1);
     for (const auto& [component, engine] : placement_)
-      traced.push_back(component);
+      if (engine_is_local(engine)) traced.push_back(component);
+    if (!config_.local_engines.empty()) traced.push_back(kNetTraceComponent);
     tracer_ =
         std::make_unique<trace::TraceRecorder>(config_.trace, traced);
     replica_.set_trace(tracer_.get());
   }
-  // Engines named by the placement.
+  // Engines named by the placement; non-local engines live in peer
+  // processes and are reached through the remote router.
   for (const auto& [component, engine] : placement_) {
+    if (!engine_is_local(engine)) continue;
     if (!engines_.contains(engine)) {
       engines_.emplace(engine, std::make_unique<Engine>(
                                    engine, topology_, config_, *this,
@@ -48,21 +53,26 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
     replica_.attach_store(replica_store_.get());
   }
 
-  // External endpoints.
+  // External endpoints — only those adjacent to a local component: a
+  // remote partition owns (logs, timestamps, replays) its own boundary.
   for (const auto& spec : topology_.wires()) {
-    if (spec.kind == WireKind::kExternalInput) {
+    if (spec.kind == WireKind::kExternalInput &&
+        engine_is_local(engine_of(spec.to))) {
       auto adapter = std::make_unique<InputAdapter>();
       // Resume positions past anything recovered from stable storage.
       adapter->next_seq = message_log_.size(spec.id);
       adapter->last_vt = message_log_.last_vt(spec.id);
       inputs_.emplace(spec.id, std::move(adapter));
     }
-    if (spec.kind == WireKind::kExternalOutput)
+    if (spec.kind == WireKind::kExternalOutput &&
+        engine_is_local(engine_of(spec.from)))
       outputs_.emplace(spec.id, std::make_unique<OutputSink>());
   }
-  // Simulated links between engine pairs.
+  // Simulated links between engine pairs (local pairs only; cross-process
+  // pairs are bridged by the real socket transport instead).
   for (const auto& [pair, link_config] : config_.links) {
     const auto [a, b] = pair;
+    if (!engine_is_local(a) || !engine_is_local(b)) continue;
     const EngineId lo = a < b ? a : b;
     const EngineId hi = a < b ? b : a;
     if (bridge_between(lo, hi) != nullptr) continue;  // one per pair
@@ -207,7 +217,12 @@ void Runtime::deliver_external_output(WireId wire,
                                       const transport::Frame& frame) {
   const auto* data = std::get_if<transport::DataFrame>(&frame);
   if (data == nullptr) return;  // silence to the external world is dropped
-  OutputSink& sink = *outputs_.at(wire);
+  const auto it = outputs_.find(wire);
+  if (it == outputs_.end()) {  // output owned by a remote partition
+    remote_frames_dropped_.fetch_add(1);
+    return;
+  }
+  OutputSink& sink = *it->second;
   OutputCallback callback;
   OutputRecord record;
   {
@@ -227,7 +242,12 @@ void Runtime::deliver_external_output(WireId wire,
 
 void Runtime::handle_external_sender_frame(WireId wire,
                                            const transport::Frame& frame) {
-  InputAdapter& in = *inputs_.at(wire);
+  const auto it = inputs_.find(wire);
+  if (it == inputs_.end()) {  // input owned by a remote partition
+    remote_frames_dropped_.fetch_add(1);
+    return;
+  }
+  InputAdapter& in = *it->second;
   if (std::holds_alternative<transport::ProbeFrame>(frame)) {
     // A real-time source IS silent through "now": any future arrival will
     // be stamped with a later real time. Scripted sources (inject_at) have
@@ -277,6 +297,18 @@ EngineId Runtime::engine_of(ComponentId component) const {
   return placement_.at(component);
 }
 
+bool Runtime::engine_is_local(EngineId id) const {
+  return config_.local_engines.empty() || config_.local_engines.contains(id);
+}
+
+void Runtime::set_remote_router(RemoteRouter router) {
+  remote_router_ = std::move(router);
+}
+
+void Runtime::deliver_from_peer(const transport::Frame& frame) {
+  dispatch_local(frame);
+}
+
 Runtime::LinkBridge* Runtime::bridge_between(EngineId a, EngineId b) {
   const EngineId lo = a < b ? a : b;
   const EngineId hi = a < b ? b : a;
@@ -288,6 +320,15 @@ Runtime::LinkBridge* Runtime::bridge_between(EngineId a, EngineId b) {
 void Runtime::route(EngineId src, EngineId dst, WireId wire,
                     transport::Frame frame) {
   (void)wire;
+  // Cross-partition: the destination engine lives in another process.
+  if (dst.is_valid() && !engine_is_local(dst)) {
+    if (remote_router_) {
+      remote_router_(dst, frame);
+    } else {
+      remote_frames_dropped_.fetch_add(1);
+    }
+    return;
+  }
   if (src == dst || !src.is_valid() || !dst.is_valid()) {
     dispatch_local(frame);
     return;
@@ -323,6 +364,12 @@ void Runtime::dispatch_to_receiver_local(WireId wire,
     deliver_external_output(wire, frame);
     return;
   }
+  // A peer process may (buggily) hand us a frame for a component it hosts
+  // itself; dropping beats crashing the node.
+  if (!engine_is_local(engine_of(spec.to))) {
+    remote_frames_dropped_.fetch_add(1);
+    return;
+  }
   engines_.at(engine_of(spec.to))->deliver_to_receiver(wire, frame);
 }
 
@@ -331,6 +378,10 @@ void Runtime::dispatch_to_sender_local(WireId wire,
   const auto& spec = topology_.wire(wire);
   if (spec.kind == WireKind::kExternalInput) {
     handle_external_sender_frame(wire, frame);
+    return;
+  }
+  if (!engine_is_local(engine_of(spec.from))) {
+    remote_frames_dropped_.fetch_add(1);
     return;
   }
   engines_.at(engine_of(spec.from))->deliver_to_sender(wire, frame);
@@ -378,16 +429,19 @@ void Runtime::set_link_down(EngineId a, EngineId b, bool down) {
 
 MetricsSnapshot Runtime::metrics(ComponentId component) const {
   const EngineId e = engine_of(component);
+  if (!engine_is_local(e)) return MetricsSnapshot{};
   return engines_.at(e)->metrics(component);
 }
 
 std::uint64_t Runtime::state_fingerprint(ComponentId component) {
+  if (!engine_is_local(engine_of(component))) return 0;
   Engine& e = *engines_.at(engine_of(component));
   const auto r = e.runner(component);
   return r == nullptr ? 0 : r->state_fingerprint();
 }
 
 std::size_t Runtime::retained_messages(ComponentId component) {
+  if (!engine_is_local(engine_of(component))) return 0;
   Engine& e = *engines_.at(engine_of(component));
   const auto r = e.runner(component);
   return r == nullptr ? 0 : r->retained_messages();
@@ -396,6 +450,7 @@ std::size_t Runtime::retained_messages(ComponentId component) {
 MetricsSnapshot Runtime::total_metrics() const {
   MetricsSnapshot total;
   for (const auto& [component, engine] : placement_) {
+    if (!engine_is_local(engine)) continue;
     const MetricsSnapshot s = engines_.at(engine)->metrics(component);
     total += s;
   }

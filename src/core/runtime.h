@@ -16,6 +16,7 @@
 //   - failure injection: engine crash/recover and link up/down.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -37,6 +38,11 @@
 #include "transport/reliable_link.h"
 
 namespace tart::core {
+
+/// Pseudo-component the net layer records link-lifecycle trace events
+/// against (kLinkUp/kLinkDown). Registered with the flight recorder only
+/// in partitioned deployments; real component ids never reach this range.
+inline constexpr ComponentId kNetTraceComponent{0xFFFFFF00};
 
 /// One record delivered to an external consumer.
 struct OutputRecord {
@@ -87,6 +93,29 @@ class Runtime final : public FrameRouter {
   /// (stutter re-deliveries flagged).
   [[nodiscard]] std::vector<OutputRecord> output_records(
       WireId output_wire) const;
+
+  // --- Partition-aware wiring (multi-process deployments) ------------------
+
+  /// Sink for frames whose destination engine is not hosted by this
+  /// process (see RuntimeConfig::local_engines). Set before start(); the
+  /// net layer forwards them to the peer process hosting `dst`. Without a
+  /// router, cross-partition frames are dropped and counted — the replay
+  /// protocol recovers them once a router exists.
+  using RemoteRouter =
+      std::function<void(EngineId dst, const transport::Frame&)>;
+  void set_remote_router(RemoteRouter router);
+
+  /// Entry point for frames arriving from a peer process: dispatched
+  /// exactly as a local frame would be. Frames naming non-local components
+  /// are dropped (counted), never fatal — a confused peer must not crash
+  /// this node.
+  void deliver_from_peer(const transport::Frame& frame);
+
+  [[nodiscard]] bool engine_is_local(EngineId id) const;
+  /// Cross-partition frames dropped for lack of a route or local owner.
+  [[nodiscard]] std::uint64_t remote_frames_dropped() const {
+    return remote_frames_dropped_.load();
+  }
 
   // --- Failure injection ---------------------------------------------------
 
@@ -171,6 +200,9 @@ class Runtime final : public FrameRouter {
   Topology topology_;
   std::map<ComponentId, EngineId> placement_;
   RuntimeConfig config_;
+
+  RemoteRouter remote_router_;
+  std::atomic<std::uint64_t> remote_frames_dropped_{0};
 
   log::ExternalMessageLog message_log_;
   log::DeterminismFaultLog fault_log_;

@@ -1,0 +1,257 @@
+#include "net/control.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <thread>
+
+#include "serde/archive.h"
+
+namespace tart::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void write_all(int fd, const std::vector<std::byte>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      (void)::poll(&p, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw NetError("control: write failed");
+  }
+}
+
+}  // namespace
+
+// --- Bodies -----------------------------------------------------------------
+
+std::vector<std::byte> InjectBody::encode() const {
+  serde::Writer w;
+  w.write_string(input);
+  w.write_svarint(vt);
+  payload.encode(w);
+  return w.take();
+}
+
+InjectBody InjectBody::decode(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  InjectBody b;
+  b.input = r.read_string();
+  b.vt = r.read_svarint();
+  b.payload = Payload::decode(r);
+  if (!r.at_end()) throw NetError("inject body: trailing bytes");
+  return b;
+}
+
+std::vector<std::byte> encode_string_body(const std::string& s) {
+  serde::Writer w;
+  w.write_string(s);
+  return w.take();
+}
+
+std::string decode_string_body(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  std::string s = r.read_string();
+  if (!r.at_end()) throw NetError("string body: trailing bytes");
+  return s;
+}
+
+std::vector<std::byte> encode_i64_body(std::int64_t v) {
+  serde::Writer w;
+  w.write_svarint(v);
+  return w.take();
+}
+
+std::int64_t decode_i64_body(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  const std::int64_t v = r.read_svarint();
+  if (!r.at_end()) throw NetError("i64 body: trailing bytes");
+  return v;
+}
+
+std::vector<std::byte> encode_outputs_body(
+    const std::vector<ControlOutputRecord>& records) {
+  serde::Writer w;
+  w.write_varint(records.size());
+  for (const auto& rec : records) {
+    w.write_svarint(rec.vt);
+    rec.payload.encode(w);
+    w.write_bool(rec.stutter);
+  }
+  return w.take();
+}
+
+std::vector<ControlOutputRecord> decode_outputs_body(
+    const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  const auto n = r.read_varint();
+  std::vector<ControlOutputRecord> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ControlOutputRecord rec;
+    rec.vt = r.read_svarint();
+    rec.payload = Payload::decode(r);
+    rec.stutter = r.read_bool();
+    out.push_back(std::move(rec));
+  }
+  if (!r.at_end()) throw NetError("outputs body: trailing bytes");
+  return out;
+}
+
+std::vector<std::byte> encode_metrics_body(const core::MetricsSnapshot& m) {
+  serde::Writer w;
+  w.write_varint(m.messages_processed);
+  w.write_varint(m.calls_served);
+  w.write_varint(m.probes_sent);
+  w.write_varint(m.pessimism_events);
+  w.write_varint(m.pessimism_wait_ns);
+  w.write_varint(m.out_of_order_arrivals);
+  w.write_varint(m.duplicates_discarded);
+  w.write_varint(m.gaps_detected);
+  w.write_varint(m.checkpoints_taken);
+  w.write_varint(m.trace_events_recorded);
+  w.write_varint(m.trace_events_dropped);
+  w.write_varint(m.net_bytes_in);
+  w.write_varint(m.net_bytes_out);
+  w.write_varint(m.net_frames_in);
+  w.write_varint(m.net_frames_out);
+  w.write_varint(m.net_reconnects);
+  w.write_varint(m.net_heartbeat_misses);
+  w.write_varint(m.net_frames_refused);
+  w.write_varint(m.net_queue_high_water);
+  return w.take();
+}
+
+core::MetricsSnapshot decode_metrics_body(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  core::MetricsSnapshot m;
+  m.messages_processed = r.read_varint();
+  m.calls_served = r.read_varint();
+  m.probes_sent = r.read_varint();
+  m.pessimism_events = r.read_varint();
+  m.pessimism_wait_ns = r.read_varint();
+  m.out_of_order_arrivals = r.read_varint();
+  m.duplicates_discarded = r.read_varint();
+  m.gaps_detected = r.read_varint();
+  m.checkpoints_taken = r.read_varint();
+  m.trace_events_recorded = r.read_varint();
+  m.trace_events_dropped = r.read_varint();
+  m.net_bytes_in = r.read_varint();
+  m.net_bytes_out = r.read_varint();
+  m.net_frames_in = r.read_varint();
+  m.net_frames_out = r.read_varint();
+  m.net_reconnects = r.read_varint();
+  m.net_heartbeat_misses = r.read_varint();
+  m.net_frames_refused = r.read_varint();
+  m.net_queue_high_water = r.read_varint();
+  if (!r.at_end()) throw NetError("metrics body: trailing bytes");
+  return m;
+}
+
+// --- Client -----------------------------------------------------------------
+
+std::optional<ControlClient> ControlClient::connect(
+    const std::string& addr, std::chrono::milliseconds timeout) {
+  const auto parsed = SockAddr::parse(addr);
+  if (!parsed) return std::nullopt;
+  const auto deadline = Clock::now() + timeout;
+  do {
+    bool in_progress = false;
+    std::string err;
+    Fd fd = connect_tcp(*parsed, &in_progress, &err);
+    if (fd.valid() && in_progress) {
+      pollfd p{fd.get(), POLLOUT, 0};
+      const int rc = ::poll(&p, 1, 250);
+      if (rc > 0 && connect_error(fd.get()) == 0) in_progress = false;
+    }
+    if (fd.valid() && !in_progress && connect_error(fd.get()) == 0)
+      return ControlClient(std::move(fd));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  } while (Clock::now() < deadline);
+  return std::nullopt;
+}
+
+NetMessage ControlClient::request(NetMsgType type,
+                                  const std::vector<std::byte>& payload) {
+  write_all(fd_.get(), encode_message(type, payload));
+  for (;;) {
+    if (auto msg = decoder_.next()) {
+      if (msg->type == NetMsgType::kError)
+        throw NetError("control request failed: " +
+                       decode_string_body(msg->payload));
+      return std::move(*msg);
+    }
+    pollfd p{fd_.get(), POLLIN, 0};
+    const int rc = ::poll(&p, 1, 60000);
+    if (rc <= 0) throw NetError("control: response timeout");
+    std::byte buf[16384];
+    const ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n == 0) throw NetError("control: connection closed");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      throw NetError("control: read failed");
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+namespace {
+void expect(const NetMessage& msg, NetMsgType want, const char* what) {
+  if (msg.type != want)
+    throw NetError(std::string("control: unexpected response to ") + what);
+}
+}  // namespace
+
+void ControlClient::ping() {
+  expect(request(NetMsgType::kPing, {}), NetMsgType::kAck, "ping");
+}
+
+std::int64_t ControlClient::inject(const std::string& input, std::int64_t vt,
+                                   const Payload& payload) {
+  const auto resp =
+      request(NetMsgType::kInject, InjectBody{input, vt, payload}.encode());
+  expect(resp, NetMsgType::kInjectAck, "inject");
+  return decode_i64_body(resp.payload);
+}
+
+void ControlClient::close_input(const std::string& input) {
+  expect(request(NetMsgType::kCloseInput, encode_string_body(input)),
+         NetMsgType::kAck, "close-input");
+}
+
+bool ControlClient::drain(std::chrono::milliseconds timeout) {
+  const auto resp =
+      request(NetMsgType::kDrain, encode_i64_body(timeout.count()));
+  expect(resp, NetMsgType::kDrainAck, "drain");
+  return decode_i64_body(resp.payload) != 0;
+}
+
+std::vector<ControlOutputRecord> ControlClient::outputs(
+    const std::string& output) {
+  const auto resp =
+      request(NetMsgType::kGetOutputs, encode_string_body(output));
+  expect(resp, NetMsgType::kOutputs, "get-outputs");
+  return decode_outputs_body(resp.payload);
+}
+
+core::MetricsSnapshot ControlClient::metrics() {
+  const auto resp = request(NetMsgType::kGetMetrics, {});
+  expect(resp, NetMsgType::kMetrics, "get-metrics");
+  return decode_metrics_body(resp.payload);
+}
+
+void ControlClient::shutdown_node() {
+  expect(request(NetMsgType::kShutdown, {}), NetMsgType::kAck, "shutdown");
+}
+
+}  // namespace tart::net

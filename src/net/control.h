@@ -1,0 +1,98 @@
+// tart-node control protocol: how external drivers talk to a node.
+//
+// Each tart-node process listens on a second (control) address. Clients —
+// the multi-process tests, scripts, an operator's tooling — connect with
+// plain TCP, send one request envelope (wire_format.h, types kPing..),
+// and read one response. Requests on a connection are handled serially;
+// the server keeps the connection open for further requests.
+//
+// The control plane is intentionally OUTSIDE the deterministic protocol:
+// injections enter the runtime through Runtime::inject/inject_at, which
+// timestamp and log them exactly as any external arrival (§II.E), so a
+// control-driven run replays bit-identically from the external log alone.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "net/socket.h"
+#include "net/wire_format.h"
+#include "wire/payload.h"
+
+namespace tart::net {
+
+// --- Request/response bodies (serde-encoded envelope payloads) -------------
+
+struct InjectBody {
+  std::string input;        ///< external input name (topology catalog)
+  std::int64_t vt = -1;     ///< scripted virtual time; < 0 = realtime stamp
+  Payload payload;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static InjectBody decode(const std::vector<std::byte>& p);
+};
+
+/// One record of an external output, as reported over control.
+struct ControlOutputRecord {
+  std::int64_t vt = 0;
+  Payload payload;
+  bool stutter = false;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_string_body(const std::string& s);
+[[nodiscard]] std::string decode_string_body(const std::vector<std::byte>& p);
+
+[[nodiscard]] std::vector<std::byte> encode_i64_body(std::int64_t v);
+[[nodiscard]] std::int64_t decode_i64_body(const std::vector<std::byte>& p);
+
+[[nodiscard]] std::vector<std::byte> encode_outputs_body(
+    const std::vector<ControlOutputRecord>& records);
+[[nodiscard]] std::vector<ControlOutputRecord> decode_outputs_body(
+    const std::vector<std::byte>& p);
+
+[[nodiscard]] std::vector<std::byte> encode_metrics_body(
+    const core::MetricsSnapshot& m);
+[[nodiscard]] core::MetricsSnapshot decode_metrics_body(
+    const std::vector<std::byte>& p);
+
+// --- Blocking client --------------------------------------------------------
+
+/// Synchronous control connection. Methods throw NetError on transport or
+/// protocol failure (including a kError response, whose message is
+/// surfaced verbatim).
+class ControlClient {
+ public:
+  /// Connects, retrying until `timeout` (nodes take a moment to come up).
+  [[nodiscard]] static std::optional<ControlClient> connect(
+      const std::string& addr,
+      std::chrono::milliseconds timeout = std::chrono::seconds(5));
+
+  ControlClient(ControlClient&&) = default;
+  ControlClient& operator=(ControlClient&&) = default;
+
+  void ping();
+  /// Returns the virtual time the node assigned to the injection.
+  std::int64_t inject(const std::string& input, std::int64_t vt,
+                      const Payload& payload);
+  void close_input(const std::string& input);
+  [[nodiscard]] bool drain(std::chrono::milliseconds timeout);
+  [[nodiscard]] std::vector<ControlOutputRecord> outputs(
+      const std::string& output);
+  [[nodiscard]] core::MetricsSnapshot metrics();
+  void shutdown_node();
+
+  /// One raw round-trip (used by the helpers above).
+  NetMessage request(NetMsgType type, const std::vector<std::byte>& payload);
+
+ private:
+  explicit ControlClient(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  StreamDecoder decoder_;
+};
+
+}  // namespace tart::net

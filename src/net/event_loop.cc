@@ -1,0 +1,150 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace tart::net {
+
+EventLoop::EventLoop() {
+  int pipefd[2];
+  if (::pipe(pipefd) < 0) throw std::runtime_error("EventLoop: pipe failed");
+  for (const int fd : {pipefd[0], pipefd[1]}) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+  }
+  wake_read_ = pipefd[0];
+  wake_write_ = pipefd[1];
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_read_);
+  ::close(wake_write_);
+}
+
+void EventLoop::set_fd(int fd, bool want_read, bool want_write,
+                       FdCallback callback) {
+  fds_[fd] = FdEntry{want_read, want_write, std::move(callback)};
+}
+
+void EventLoop::set_interest(int fd, bool want_read, bool want_write) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+}
+
+void EventLoop::remove_fd(int fd) { fds_.erase(fd); }
+
+EventLoop::TimerId EventLoop::add_timer(Clock::time_point when,
+                                        std::function<void()> callback) {
+  const TimerId id = next_timer_++;
+  timers_.emplace(id, Timer{when, std::move(callback)});
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) { timers_.erase(id); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const char byte = 1;
+  // Full pipe is fine: a wake-up is already pending.
+  [[maybe_unused]] const auto n = ::write(wake_write_, &byte, 1);
+}
+
+void EventLoop::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mu_);
+    stop_requested_ = true;
+  }
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(wake_write_, &byte, 1);
+}
+
+void EventLoop::drain_wake_pipe() {
+  char buf[256];
+  while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EventLoop::run() {
+  std::vector<pollfd> pollset;
+  std::vector<std::function<void()>> run_now;
+  for (;;) {
+    // Posted work (and the stop flag) first: timers and fd callbacks it
+    // schedules take effect within this same iteration's poll.
+    {
+      const std::lock_guard<std::mutex> lock(posted_mu_);
+      run_now.swap(posted_);
+      if (stop_requested_) {
+        stop_requested_ = false;
+        return;
+      }
+    }
+    for (auto& fn : run_now) fn();
+    run_now.clear();
+
+    // Due timers (collect ids first: a timer callback may add/cancel).
+    const auto now = Clock::now();
+    std::vector<TimerId> due;
+    for (const auto& [id, timer] : timers_)
+      if (timer.when <= now) due.push_back(id);
+    for (const TimerId id : due) {
+      const auto it = timers_.find(id);
+      if (it == timers_.end()) continue;  // cancelled by an earlier callback
+      auto callback = std::move(it->second.callback);
+      timers_.erase(it);
+      callback();
+    }
+
+    // Poll timeout: until the next timer deadline, bounded for liveness.
+    int timeout_ms = 1000;
+    for (const auto& [id, timer] : timers_) {
+      const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             timer.when - Clock::now())
+                             .count();
+      timeout_ms = std::min<long long>(timeout_ms, std::max<long long>(delta, 0));
+    }
+
+    pollset.clear();
+    pollset.push_back(pollfd{wake_read_, POLLIN, 0});
+    for (const auto& [fd, entry] : fds_) {
+      short events = 0;
+      if (entry.want_read) events |= POLLIN;
+      if (entry.want_write) events |= POLLOUT;
+      pollset.push_back(pollfd{fd, events, 0});
+    }
+
+    const int n = ::poll(pollset.data(), pollset.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("EventLoop: poll failed");
+    }
+    if (pollset[0].revents != 0) drain_wake_pipe();
+    for (std::size_t i = 1; i < pollset.size(); ++i) {
+      const auto& p = pollset[i];
+      if (p.revents == 0) continue;
+      // Look the entry up again: an earlier callback this iteration may
+      // have removed or replaced it.
+      const auto it = fds_.find(p.fd);
+      if (it == fds_.end()) continue;
+      unsigned events = 0;
+      if (p.revents & POLLIN) events |= kReadable;
+      if (p.revents & POLLOUT) events |= kWritable;
+      if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) events |= kError;
+      if (events == 0) continue;
+      // Copy: the callback may remove_fd (destroying the stored function
+      // mid-call otherwise).
+      const FdCallback callback = it->second.callback;
+      callback(events);
+    }
+  }
+}
+
+}  // namespace tart::net

@@ -1,0 +1,85 @@
+// Single-threaded poll(2) event loop.
+//
+// One loop thread per ConnectionManager multiplexes every socket the node
+// owns: non-blocking fds with edge-free (level-triggered) readiness
+// callbacks, monotonic-deadline timers (heartbeats, reconnect backoff),
+// and a self-pipe so other threads can post() work into the loop. poll is
+// deliberate: a node talks to a handful of peers, so the O(fds) scan is
+// noise and the portability (macOS included) is free; swapping in epoll
+// later only touches this file.
+//
+// Threading contract: set_fd/remove_fd/add_timer/cancel_timer must be
+// called on the loop thread (post() a closure to get there); post() and
+// stop() are safe from any thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace tart::net {
+
+class EventLoop {
+ public:
+  /// Readiness bitmask handed to fd callbacks.
+  static constexpr unsigned kReadable = 1u << 0;
+  static constexpr unsigned kWritable = 1u << 1;
+  static constexpr unsigned kError = 1u << 2;  ///< POLLERR/POLLHUP/POLLNVAL
+
+  using FdCallback = std::function<void(unsigned events)>;
+  using TimerId = std::uint64_t;
+  using Clock = std::chrono::steady_clock;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers (or re-registers) a descriptor with its interest set. The
+  /// callback may call set_fd/remove_fd freely, including on itself.
+  void set_fd(int fd, bool want_read, bool want_write, FdCallback callback);
+  /// Updates only the interest set of an already-registered descriptor.
+  void set_interest(int fd, bool want_read, bool want_write);
+  void remove_fd(int fd);
+
+  TimerId add_timer(Clock::time_point when, std::function<void()> callback);
+  void cancel_timer(TimerId id);
+
+  /// Enqueues a closure to run on the loop thread. Thread-safe.
+  void post(std::function<void()> fn);
+
+  /// Runs until stop(). Call from exactly one thread.
+  void run();
+  /// Thread-safe; run() returns after finishing the current iteration.
+  void stop();
+
+ private:
+  struct FdEntry {
+    bool want_read = false;
+    bool want_write = false;
+    FdCallback callback;
+  };
+  struct Timer {
+    Clock::time_point when;
+    std::function<void()> callback;
+  };
+
+  void drain_wake_pipe();
+
+  std::map<int, FdEntry> fds_;
+  std::map<TimerId, Timer> timers_;
+  TimerId next_timer_ = 1;
+
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_requested_ = false;  // guarded by posted_mu_
+};
+
+}  // namespace tart::net

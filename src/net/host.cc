@@ -1,0 +1,292 @@
+#include "net/host.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tart::net {
+namespace {
+
+void write_all(int fd, const std::vector<std::byte>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      (void)::poll(&p, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw NetError("control: write failed");
+  }
+}
+
+}  // namespace
+
+NetHost::NetHost(DeploymentConfig deploy, const std::string& partition,
+                 HostOptions options)
+    : deploy_(std::move(deploy)),
+      options_(std::move(options)),
+      built_(build_topology(deploy_.topology, deploy_.params)) {
+  self_ = deploy_.find_partition(partition);
+  if (self_ == nullptr)
+    throw ConfigError("unknown partition '" + partition + "'");
+
+  for (const auto& [name, id] : built_.components) {
+    const auto it = deploy_.placement.find(name);
+    if (it == deploy_.placement.end())
+      throw ConfigError("component '" + name + "' has no placement");
+    placement_[id] = deploy_.find_partition(it->second)->engine;
+  }
+  for (const auto& [name, partition_name] : deploy_.placement)
+    if (!built_.components.contains(name))
+      throw ConfigError("placement names unknown component '" + name + "'");
+  for (const auto& p : deploy_.partitions)
+    partition_by_engine_[p.engine] = p.name;
+
+  core::RuntimeConfig config;
+  config.local_engines = {self_->engine};
+  config.log_dir = options_.log_dir;
+  if (!options_.trace_path.empty()) {
+    config.trace.enabled = true;
+    config.trace.path = options_.trace_path;
+    // Diagnostics included so link events land in the trace; the recovery
+    // differ only compares scheduling-class events, so this stays safe.
+    config.trace.categories =
+        static_cast<std::uint32_t>(trace::TraceCategory::kAll);
+  }
+  runtime_ = std::make_unique<core::Runtime>(built_.topology, placement_,
+                                             std::move(config));
+}
+
+NetHost::~NetHost() {
+  request_shutdown();
+  if (started_) (void)run_until_shutdown();
+}
+
+void NetHost::start() {
+  if (started_) return;
+
+  ConnectionManager::Options conn_options;
+  conn_options.node = self_->name;
+  conn_options.listen = self_->data_addr;
+  for (const auto& p : deploy_.partitions)
+    if (p.name != self_->name) conn_options.peers[p.name] = p.data_addr;
+  conn_options.deployment_fp = deploy_.fingerprint();
+  conn_options.tuning = options_.tuning;
+  conn_ = std::make_unique<ConnectionManager>(
+      std::move(conn_options),
+      [this](const std::string& peer, transport::Frame frame) {
+        on_peer_frame(peer, std::move(frame));
+      },
+      [this](const std::string& peer, bool up) { on_link(peer, up); });
+
+  runtime_->set_remote_router(
+      [this](EngineId dst, const transport::Frame& frame) {
+        const auto it = partition_by_engine_.find(dst);
+        if (it == partition_by_engine_.end()) return;
+        (void)conn_->send(it->second, frame);
+      });
+
+  if (!self_->control_addr.empty()) {
+    const auto addr = SockAddr::parse(self_->control_addr);
+    std::string err;
+    control_listener_ = listen_tcp(*addr, &err);
+    if (!control_listener_.valid())
+      throw ConfigError("control listen on " + self_->control_addr +
+                        " failed: " + err);
+    control_port_ = local_port(control_listener_.get());
+    control_thread_ = std::thread([this] { control_accept_loop(); });
+  }
+
+  runtime_->start();
+  started_ = true;
+}
+
+int NetHost::run_until_shutdown() {
+  while (!shutdown_requested_.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  if (stopping_.exchange(true)) return 0;
+  control_listener_.reset();
+  if (control_thread_.joinable()) control_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& t : conn_threads_)
+      if (t.joinable()) t.join();
+    conn_threads_.clear();
+  }
+  runtime_->stop();
+  if (conn_) conn_->shutdown();
+  return 0;
+}
+
+void NetHost::request_shutdown() { shutdown_requested_.store(true); }
+
+core::MetricsSnapshot NetHost::metrics() const {
+  core::MetricsSnapshot total = runtime_->total_metrics();
+  if (conn_) {
+    const NetCounters c = conn_->counters();
+    total.net_bytes_in = c.bytes_in;
+    total.net_bytes_out = c.bytes_out;
+    total.net_frames_in = c.frames_in;
+    total.net_frames_out = c.frames_out;
+    total.net_reconnects = c.reconnects;
+    total.net_heartbeat_misses = c.heartbeat_misses;
+    total.net_frames_refused = c.frames_refused;
+    total.net_queue_high_water = c.queue_high_water;
+  }
+  return total;
+}
+
+// --- Peer plane -------------------------------------------------------------
+
+void NetHost::on_peer_frame(const std::string& peer, transport::Frame frame) {
+  (void)peer;
+  runtime_->deliver_from_peer(frame);
+}
+
+void NetHost::on_link(const std::string& peer, bool up) {
+  const auto* spec = deploy_.find_partition(peer);
+  if (auto* tracer = runtime_->trace_recorder()) {
+    tracer->record(core::kNetTraceComponent,
+                   up ? trace::TraceEventKind::kLinkUp
+                      : trace::TraceEventKind::kLinkDown,
+                   VirtualTime(0), WireId::invalid(),
+                   spec != nullptr ? spec->engine.value() : 0);
+  }
+  if (up && spec != nullptr) probe_wires_behind(spec->engine);
+}
+
+void NetHost::probe_wires_behind(EngineId peer_engine) {
+  // A fresh (or restored) link means an unknown amount of traffic was lost
+  // while it was down. Probing every wire whose sender sits behind the
+  // peer makes the sender announce a fresh silence interval carrying its
+  // data-tick count (§II.F.1); our receivers compare that count with what
+  // they hold and request replay for the difference — the net layer never
+  // has to know *what* was lost.
+  for (const auto& spec : runtime_->topology().wires()) {
+    if (!spec.from.is_valid() || !spec.to.is_valid()) continue;
+    const auto from_it = placement_.find(spec.from);
+    const auto to_it = placement_.find(spec.to);
+    if (from_it == placement_.end() || to_it == placement_.end()) continue;
+    if (from_it->second != peer_engine) continue;
+    if (!runtime_->engine_is_local(to_it->second)) continue;
+    const auto peer_it = partition_by_engine_.find(peer_engine);
+    if (peer_it == partition_by_engine_.end()) continue;
+    (void)conn_->send(peer_it->second, transport::ProbeFrame{spec.id});
+  }
+}
+
+// --- Control plane ----------------------------------------------------------
+
+void NetHost::control_accept_loop() {
+  while (!stopping_.load() && !shutdown_requested_.load()) {
+    pollfd p{control_listener_.get(), POLLIN, 0};
+    const int rc = ::poll(&p, 1, 200);
+    if (rc <= 0) continue;
+    Fd fd = accept_tcp(control_listener_.get());
+    if (!fd.valid()) continue;
+    const std::lock_guard<std::mutex> lk(conns_mu_);
+    conn_threads_.emplace_back(
+        [this, shared = std::make_shared<Fd>(std::move(fd))]() mutable {
+          control_serve(std::move(*shared));
+        });
+  }
+}
+
+void NetHost::control_serve(Fd fd) {
+  StreamDecoder decoder;
+  try {
+    while (!stopping_.load()) {
+      while (auto msg = decoder.next()) {
+        const NetMessage response = handle_control(*msg);
+        write_all(fd.get(), encode_message(response.type, response.payload));
+      }
+      pollfd p{fd.get(), POLLIN, 0};
+      const int rc = ::poll(&p, 1, 200);
+      if (rc <= 0) continue;
+      std::byte buf[16384];
+      const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+      if (n == 0) return;  // client went away
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          continue;
+        return;
+      }
+      decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+  } catch (const std::exception& e) {
+    TART_WARN << "control connection dropped: " << e.what();
+  }
+}
+
+NetMessage NetHost::handle_control(const NetMessage& request) {
+  const auto error = [](const std::string& what) {
+    return NetMessage{NetMsgType::kError, encode_string_body(what)};
+  };
+  try {
+    switch (request.type) {
+      case NetMsgType::kPing:
+        return NetMessage{NetMsgType::kAck, {}};
+      case NetMsgType::kInject: {
+        const InjectBody body = InjectBody::decode(request.payload);
+        const auto it = built_.inputs.find(body.input);
+        if (it == built_.inputs.end())
+          return error("unknown input '" + body.input + "'");
+        const VirtualTime vt =
+            body.vt < 0
+                ? runtime_->inject(it->second, body.payload)
+                : runtime_->inject_at(it->second, VirtualTime(body.vt),
+                                      body.payload);
+        return NetMessage{NetMsgType::kInjectAck,
+                          encode_i64_body(vt.ticks())};
+      }
+      case NetMsgType::kCloseInput: {
+        const std::string name = decode_string_body(request.payload);
+        const auto it = built_.inputs.find(name);
+        if (it == built_.inputs.end())
+          return error("unknown input '" + name + "'");
+        runtime_->close_input(it->second);
+        return NetMessage{NetMsgType::kAck, {}};
+      }
+      case NetMsgType::kDrain: {
+        const auto timeout =
+            std::chrono::milliseconds(decode_i64_body(request.payload));
+        const bool ok = runtime_->drain(timeout);
+        return NetMessage{NetMsgType::kDrainAck, encode_i64_body(ok ? 1 : 0)};
+      }
+      case NetMsgType::kGetOutputs: {
+        const std::string name = decode_string_body(request.payload);
+        const auto it = built_.outputs.find(name);
+        if (it == built_.outputs.end())
+          return error("unknown output '" + name + "'");
+        std::vector<ControlOutputRecord> records;
+        for (const auto& rec : runtime_->output_records(it->second))
+          records.push_back(
+              ControlOutputRecord{rec.vt.ticks(), rec.payload, rec.stutter});
+        return NetMessage{NetMsgType::kOutputs, encode_outputs_body(records)};
+      }
+      case NetMsgType::kGetMetrics:
+        return NetMessage{NetMsgType::kMetrics, encode_metrics_body(metrics())};
+      case NetMsgType::kShutdown:
+        request_shutdown();
+        return NetMessage{NetMsgType::kAck, {}};
+      default:
+        return error("unexpected control message type");
+    }
+  } catch (const std::exception& e) {
+    return error(e.what());
+  }
+}
+
+}  // namespace tart::net

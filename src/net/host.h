@@ -1,0 +1,111 @@
+// NetHost: one partition of a deployment, hosted in this process.
+//
+// Glues the three planes of a tart-node together:
+//
+//   - deterministic plane: a Runtime restricted to the partition's engine
+//     (RuntimeConfig::local_engines). Every process builds the identical
+//     global topology/placement from the shared deployment file, so wire
+//     ids and routing agree everywhere by construction.
+//   - peer plane: a ConnectionManager carrying transport::Frames to the
+//     other partitions. Outbound frames leave through the Runtime's remote
+//     router; inbound frames enter through Runtime::deliver_from_peer.
+//     Link transitions are recorded as diagnostic trace events against
+//     kNetTraceComponent, and every link-up re-probes the wires whose
+//     sender lives behind that peer — prompting fresh silence intervals
+//     (and, via sequence accounting, replay of anything lost while the
+//     link was down or this node was dead). §II.F.4's recovery story over
+//     real sockets.
+//   - control plane: a small blocking TCP server (control.h protocol) for
+//     external drivers to inject inputs, drain, and read outputs/metrics.
+//     Injections flow through the normal external-input adapters, so they
+//     are timestamped + logged and a control-driven run cold-restarts from
+//     log_dir exactly like any other (§II.E).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.h"
+#include "net/connection_manager.h"
+#include "net/control.h"
+#include "net/partition_config.h"
+#include "net/topologies.h"
+
+namespace tart::net {
+
+struct HostOptions {
+  std::string log_dir;     ///< stable storage; empty = volatile node
+  std::string trace_path;  ///< flight-recorder file; empty = tracing off
+  NetTuning tuning;
+};
+
+class NetHost {
+ public:
+  /// Builds the partition's runtime (throws ConfigError on a bad
+  /// deployment: unknown partition, unplaced component, ...). Nothing
+  /// listens until start().
+  NetHost(DeploymentConfig deploy, const std::string& partition,
+          HostOptions options = {});
+  ~NetHost();
+
+  NetHost(const NetHost&) = delete;
+  NetHost& operator=(const NetHost&) = delete;
+
+  /// Starts the runtime, the peer transport, and the control server.
+  void start();
+
+  /// Blocks until request_shutdown() (control kShutdown or a signal
+  /// handler), then tears everything down. Returns a process exit code.
+  int run_until_shutdown();
+
+  /// Thread- and signal-safe (only sets a flag and pokes a condvar).
+  void request_shutdown();
+
+  [[nodiscard]] core::Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] const BuiltTopology& built() const { return built_; }
+  /// Runtime totals merged with the socket-transport counters.
+  [[nodiscard]] core::MetricsSnapshot metrics() const;
+  [[nodiscard]] std::uint16_t control_port() const { return control_port_; }
+  [[nodiscard]] std::uint16_t data_port() const {
+    return conn_ ? conn_->listen_port() : 0;
+  }
+
+ private:
+  void on_peer_frame(const std::string& peer, transport::Frame frame);
+  void on_link(const std::string& peer, bool up);
+  void probe_wires_behind(EngineId peer_engine);
+
+  void control_accept_loop();
+  void control_serve(Fd fd);
+  [[nodiscard]] NetMessage handle_control(const NetMessage& request);
+
+  DeploymentConfig deploy_;
+  const PartitionSpec* self_ = nullptr;  // points into deploy_
+  HostOptions options_;
+
+  BuiltTopology built_;
+  std::map<ComponentId, EngineId> placement_;
+  std::map<EngineId, std::string> partition_by_engine_;
+
+  std::unique_ptr<core::Runtime> runtime_;
+  std::unique_ptr<ConnectionManager> conn_;
+
+  Fd control_listener_;
+  std::uint16_t control_port_ = 0;
+  std::thread control_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace tart::net

@@ -1,0 +1,71 @@
+// Deployment description for multi-process (partitioned) runs.
+//
+// A deployment file names a topology from the catalog (src/net/topologies),
+// declares the partitions (one OS process each, with a data address the
+// socket transport listens on and a control address for external drivers),
+// and places every component onto a partition. The format is line-oriented:
+//
+//   # comment
+//   topology = wordcount
+//   param senders = 2
+//   partition left  = 127.0.0.1:7101
+//   control  left   = 127.0.0.1:7201
+//   partition right = 127.0.0.1:7102
+//   control  right  = 127.0.0.1:7202
+//   place sender1 = left
+//   place sender2 = left
+//   place merger  = right
+//
+// Every process parses the SAME file and builds the SAME global topology;
+// only construction is restricted to the local partition. Engine ids are
+// assigned by sorted partition name — a pure function of the file — so
+// placement (and therefore wire routing) is identical in every process.
+// The deployment fingerprint hashes the canonical form of the file; peers
+// exchange it in the HELLO handshake and refuse mismatched connections,
+// catching the "two nodes run different configs" operator error early.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tart::net {
+
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PartitionSpec {
+  std::string name;
+  std::string data_addr;     ///< host:port the ConnectionManager listens on
+  std::string control_addr;  ///< host:port the control server listens on
+  EngineId engine;           ///< index in sorted-name order
+};
+
+struct DeploymentConfig {
+  std::string topology;
+  std::map<std::string, std::string> params;
+  std::vector<PartitionSpec> partitions;  ///< sorted by name
+  std::map<std::string, std::string> placement;  ///< component -> partition
+
+  [[nodiscard]] const PartitionSpec* find_partition(
+      const std::string& name) const;
+  [[nodiscard]] const PartitionSpec* partition_of_engine(EngineId id) const;
+
+  /// FNV-1a over the canonical serialization (sorted, whitespace-free);
+  /// identical files — and only identical deployments — agree.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Parses the format above. Throws ConfigError with a line number on any
+  /// malformed or inconsistent input (unknown directive, duplicate
+  /// partition, placement onto an undeclared partition, ...).
+  [[nodiscard]] static DeploymentConfig parse(const std::string& text);
+  [[nodiscard]] static DeploymentConfig parse_file(const std::string& path);
+};
+
+}  // namespace tart::net

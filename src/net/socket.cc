@@ -1,0 +1,144 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tart::net {
+
+namespace {
+
+bool set_nonblocking_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  const int fdflags = ::fcntl(fd, F_GETFD, 0);
+  return fdflags >= 0 && ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) >= 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool to_sockaddr(const SockAddr& addr, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(addr.port);
+  return ::inet_pton(AF_INET, addr.host.c_str(), &out->sin_addr) == 1;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::optional<SockAddr> SockAddr::parse(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
+    return std::nullopt;
+  SockAddr addr;
+  addr.host = spec.substr(0, colon);
+  if (addr.host == "localhost") addr.host = "127.0.0.1";
+  long port = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  addr.port = static_cast<std::uint16_t>(port);
+  sockaddr_in check;
+  if (!to_sockaddr(addr, &check)) return std::nullopt;
+  return addr;
+}
+
+Fd listen_tcp(const SockAddr& addr, std::string* error) {
+  sockaddr_in sa;
+  if (!to_sockaddr(addr, &sa)) {
+    if (error) *error = "bad address " + addr.to_string();
+    return Fd();
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error) *error = errno_string("socket");
+    return Fd();
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (!set_nonblocking_cloexec(fd.get())) {
+    if (error) *error = errno_string("fcntl");
+    return Fd();
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    if (error) *error = errno_string(("bind " + addr.to_string()).c_str());
+    return Fd();
+  }
+  if (::listen(fd.get(), 64) < 0) {
+    if (error) *error = errno_string("listen");
+    return Fd();
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in sa;
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) return 0;
+  return ntohs(sa.sin_port);
+}
+
+Fd accept_tcp(int listen_fd) {
+  Fd fd(::accept(listen_fd, nullptr, nullptr));
+  if (!fd.valid()) return Fd();
+  if (!set_nonblocking_cloexec(fd.get())) return Fd();
+  set_nodelay(fd.get());
+  return fd;
+}
+
+Fd connect_tcp(const SockAddr& addr, bool* in_progress, std::string* error) {
+  *in_progress = false;
+  sockaddr_in sa;
+  if (!to_sockaddr(addr, &sa)) {
+    if (error) *error = "bad address " + addr.to_string();
+    return Fd();
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error) *error = errno_string("socket");
+    return Fd();
+  }
+  if (!set_nonblocking_cloexec(fd.get())) {
+    if (error) *error = errno_string("fcntl");
+    return Fd();
+  }
+  set_nodelay(fd.get());
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0)
+    return fd;
+  if (errno == EINPROGRESS) {
+    *in_progress = true;
+    return fd;
+  }
+  if (error) *error = errno_string(("connect " + addr.to_string()).c_str());
+  return Fd();
+}
+
+int connect_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return errno;
+  return err;
+}
+
+}  // namespace tart::net

@@ -1,0 +1,76 @@
+// Thin RAII + helper layer over POSIX TCP sockets.
+//
+// Everything the net layer opens is non-blocking (the event loop never
+// sleeps in a socket call) and CLOEXEC (tart-node fork/execs nothing, but
+// test drivers fork tart-node itself). Addresses are numeric IPv4
+// "host:port" strings ("localhost" accepted as 127.0.0.1): deployment
+// configs name concrete endpoints, name resolution stays out of scope.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tart::net {
+
+/// Owning file descriptor. Closes on destruction; -1 means empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Parsed "host:port". Parsing failures return nullopt (no exceptions: a
+/// malformed peer address in a config is a startup error, not a crash).
+struct SockAddr {
+  std::string host;  ///< dotted-quad IPv4
+  std::uint16_t port = 0;
+
+  [[nodiscard]] static std::optional<SockAddr> parse(const std::string& spec);
+  [[nodiscard]] std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Non-blocking listening socket (SO_REUSEADDR). Invalid Fd + `error` set
+/// on failure. Port 0 binds an ephemeral port (query with local_port).
+[[nodiscard]] Fd listen_tcp(const SockAddr& addr, std::string* error);
+
+/// The locally bound port of a socket (0 on error).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Accepts one pending connection, returned non-blocking with TCP_NODELAY.
+/// Invalid Fd when nothing is pending or accept failed.
+[[nodiscard]] Fd accept_tcp(int listen_fd);
+
+/// Starts a non-blocking connect. On return either the connect completed
+/// (*in_progress=false), is pending writability (*in_progress=true), or
+/// failed (invalid Fd, `error` set).
+[[nodiscard]] Fd connect_tcp(const SockAddr& addr, bool* in_progress,
+                             std::string* error);
+
+/// SO_ERROR after a pending connect becomes writable; 0 means connected.
+[[nodiscard]] int connect_error(int fd);
+
+}  // namespace tart::net

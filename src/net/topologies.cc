@@ -1,0 +1,82 @@
+#include "net/topologies.h"
+
+#include <memory>
+
+#include "apps/wordcount.h"
+
+namespace tart::net {
+namespace {
+
+int int_param(const std::map<std::string, std::string>& params,
+              const std::string& key, int fallback, int lo, int hi) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  int v = 0;
+  for (const char c : it->second) {
+    if (c < '0' || c > '9')
+      throw ConfigError("param " + key + ": not a number: " + it->second);
+    v = v * 10 + (c - '0');
+    if (v > hi) break;
+  }
+  if (v < lo || v > hi)
+    throw ConfigError("param " + key + ": out of range [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return v;
+}
+
+BuiltTopology build_wordcount(
+    const std::map<std::string, std::string>& params) {
+  const int senders = int_param(params, "senders", 2, 1, 64);
+  BuiltTopology built;
+  const auto merger = built.topology.add("merger", [] {
+    return std::make_unique<apps::TotalingMerger>();
+  });
+  built.components["merger"] = merger;
+  for (int i = 1; i <= senders; ++i) {
+    const std::string name = "sender" + std::to_string(i);
+    const auto id = built.topology.add(name, [] {
+      return std::make_unique<apps::WordCountSender>();
+    });
+    built.components[name] = id;
+    built.inputs[name] = built.topology.external_input(id, PortId(0));
+    built.topology.connect(id, PortId(0), merger, PortId(0));
+  }
+  built.outputs["total"] =
+      built.topology.external_output(merger, PortId(0));
+  return built;
+}
+
+BuiltTopology build_chain(const std::map<std::string, std::string>& params) {
+  const int stages = int_param(params, "stages", 3, 1, 64);
+  BuiltTopology built;
+  ComponentId prev = ComponentId::invalid();
+  for (int i = 1; i <= stages; ++i) {
+    const std::string name = "stage" + std::to_string(i);
+    const auto id = built.topology.add(name, [] {
+      return std::make_unique<apps::Passthrough>();
+    });
+    built.components[name] = id;
+    if (i == 1) {
+      built.inputs["in"] = built.topology.external_input(id, PortId(0));
+    } else {
+      built.topology.connect(prev, PortId(0), id, PortId(0));
+    }
+    prev = id;
+  }
+  built.outputs["out"] = built.topology.external_output(prev, PortId(0));
+  return built;
+}
+
+}  // namespace
+
+BuiltTopology build_topology(
+    const std::string& name,
+    const std::map<std::string, std::string>& params) {
+  if (name == "wordcount") return build_wordcount(params);
+  if (name == "chain") return build_chain(params);
+  throw ConfigError("unknown topology '" + name + "' (known: wordcount, chain)");
+}
+
+std::vector<std::string> topology_names() { return {"wordcount", "chain"}; }
+
+}  // namespace tart::net

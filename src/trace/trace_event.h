@@ -45,9 +45,11 @@ enum class TraceEventKind : std::uint8_t {
   kCuriosityProbe = 9,    ///< Probe sent at a lagging input wire.
   kStallBegin = 10,       ///< Head held back awaiting silence (§II.E).
   kStallEnd = 11,         ///< Held head released: aux = real ns stalled.
+  kLinkUp = 12,           ///< Socket link to a peer node established.
+  kLinkDown = 13,         ///< Socket link lost (EOF, error, heartbeat miss).
 };
 
-inline constexpr std::uint8_t kMaxTraceEventKind = 11;
+inline constexpr std::uint8_t kMaxTraceEventKind = 13;
 
 enum class TraceCategory : std::uint32_t {
   kScheduling = 1u << 0,
@@ -76,6 +78,8 @@ enum class TraceCategory : std::uint32_t {
     case TraceEventKind::kCuriosityProbe: return "probe";
     case TraceEventKind::kStallBegin: return "stall-begin";
     case TraceEventKind::kStallEnd: return "stall-end";
+    case TraceEventKind::kLinkUp: return "link-up";
+    case TraceEventKind::kLinkDown: return "link-down";
   }
   return "?";
 }

@@ -13,13 +13,17 @@ namespace tart::transport {
 template <typename T>
 class BlockingQueue {
  public:
-  void push(T item) {
+  /// False when the queue is closed: the item was NOT enqueued. Callers
+  /// that care about delivery (rather than racing a shutdown) must check —
+  /// a silently swallowed push during teardown once masked message loss.
+  [[nodiscard]] bool push(T item) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) return;
+      if (closed_) return false;
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Blocks until an item is available or the queue is closed.

@@ -65,11 +65,20 @@ TEST(FrameTest, TrailingBytesRejected) {
 
 TEST(BlockingQueueTest, FifoOrder) {
   BlockingQueue<int> q;
-  q.push(1);
-  q.push(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
   EXPECT_EQ(*q.pop(), 1);
   EXPECT_EQ(*q.pop(), 2);
   EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueueTest, PushAfterCloseIsRefusedNotSwallowed) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_FALSE(q.push(2));       // refused, and the caller can tell
+  EXPECT_EQ(*q.pop(), 1);        // pre-close items still drain
+  EXPECT_FALSE(q.pop().has_value());
 }
 
 TEST(BlockingQueueTest, CloseWakesBlockedPop) {
@@ -83,7 +92,7 @@ TEST(BlockingQueueTest, CloseWakesBlockedPop) {
 TEST(BlockingQueueTest, CrossThreadDelivery) {
   BlockingQueue<int> q;
   std::thread producer([&] {
-    for (int i = 0; i < 100; ++i) q.push(i);
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(q.push(i));
   });
   for (int i = 0; i < 100; ++i) EXPECT_EQ(*q.pop(), i);
   producer.join();

@@ -1,0 +1,176 @@
+// Ingress gateway throughput: what does log-before-ack cost, and how much
+// of it does group commit buy back? Closed-loop HTTP clients (1/8/64) blast
+// POST /inject against an in-process Gateway whose runtime persists to a
+// fresh log directory, with the group-commit batcher on vs off (off = one
+// write+fsync per request). Reports acked req/s and client-observed p50/p99
+// ack latency, plus the committer's realized batch shape.
+//
+//   bench_gateway [--smoke]   (--smoke: tiny load, CI sanity check)
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/runtime.h"
+#include "exp_util.h"
+#include "gateway/gateway.h"
+#include "gateway/http_client.h"
+#include "net/topologies.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  double acked_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t commit_batches = 0;
+  std::uint64_t commit_records = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx =
+      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/tart_bench_gw_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return dir;
+}
+
+/// One configuration: `clients` closed-loop connections for `duration`,
+/// against a fresh runtime + gateway + log directory.
+Result run_config(int clients, bool group_commit,
+                  std::chrono::milliseconds duration) {
+  const std::string dir = make_temp_dir();
+
+  auto built = tart::net::build_topology("chain", {{"stages", "1"}});
+  std::map<tart::ComponentId, tart::EngineId> placement;
+  for (const auto& [name, id] : built.components)
+    placement[id] = tart::EngineId(0);
+  tart::core::RuntimeConfig config;
+  config.log_dir = dir;  // durability on: every ack is preceded by an fsync
+  tart::core::Runtime rt(built.topology, placement, config);
+  rt.start();
+
+  tart::gateway::Gateway::Options options;
+  options.group_commit = group_commit;
+  tart::gateway::Gateway gw(&rt, options, built.inputs, built.outputs);
+  const std::string addr = "127.0.0.1:" + std::to_string(gw.port());
+
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::vector<double> all_latencies_us;
+  std::atomic<std::uint64_t> acked{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&] {
+      auto http = tart::gateway::BlockingHttpClient::connect(addr, 5s);
+      if (!http) return;
+      std::vector<double> latencies_us;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto t0 = Clock::now();
+        try {
+          const auto resp = http->post("/inject/in", "x", "text/plain");
+          if (resp.status != 200) continue;  // e.g. 429 under overload
+        } catch (const std::exception&) {
+          break;
+        }
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count());
+        acked.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::lock_guard<std::mutex> lk(mu);
+      all_latencies_us.insert(all_latencies_us.end(), latencies_us.begin(),
+                              latencies_us.end());
+    });
+  }
+
+  const auto t0 = Clock::now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  Result r;
+  r.acked = acked.load();
+  r.acked_per_sec = static_cast<double>(r.acked) / secs;
+  r.p50_us = percentile(all_latencies_us, 0.50);
+  r.p99_us = percentile(all_latencies_us, 0.99);
+  const auto counters = gw.counters();
+  r.commit_batches = counters.commit_batches;
+  r.commit_records = counters.commit_records;
+
+  gw.shutdown();
+  rt.stop();
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  tart::set_log_level(tart::LogLevel::kError);
+
+  tart::bench::banner(
+      "HTTP ingress gateway: log-before-ack throughput, group commit on/off",
+      "§II.E external inputs are logged before they affect the system; "
+      "group commit amortizes the per-ack fsync");
+
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 8, 64};
+  const auto duration = smoke ? 200ms : 2000ms;
+
+  tart::bench::Table table({"clients", "group commit", "acked req/s",
+                            "ack p50 us", "ack p99 us", "avg batch"});
+  double best_ratio = 0;
+  for (const int clients : client_counts) {
+    double grouped_rate = 0;
+    for (const bool group_commit : {true, false}) {
+      const Result r = run_config(clients, group_commit, duration);
+      const double avg_batch =
+          r.commit_batches == 0
+              ? 0.0
+              : static_cast<double>(r.commit_records) /
+                    static_cast<double>(r.commit_batches);
+      table.row({tart::bench::fmt("%d", clients), group_commit ? "on" : "off",
+                 tart::bench::fmt("%.0f", r.acked_per_sec),
+                 tart::bench::fmt("%.1f", r.p50_us),
+                 tart::bench::fmt("%.1f", r.p99_us),
+                 tart::bench::fmt("%.1f", avg_batch)});
+      if (group_commit)
+        grouped_rate = r.acked_per_sec;
+      else if (r.acked_per_sec > 0)
+        best_ratio = std::max(best_ratio, grouped_rate / r.acked_per_sec);
+    }
+  }
+  table.print();
+  std::printf("\nbest group-commit speedup: %.2fx\n", best_ratio);
+  if (smoke) std::printf("smoke ok\n");
+  return 0;
+}

@@ -12,11 +12,18 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+echo "== gateway bench smoke =="
+./build/bench/bench_gateway --smoke
+
 if [[ "$run_asan" == 1 ]]; then
   echo "== tier-1 under AddressSanitizer =="
   cmake -B build-asan -S . -DTART_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+  # The HTTP parser fuzz tests (gateway_test) run again here under ASan —
+  # that is the memory-safety net for the byte-mutation corpus.
+  echo "== gateway bench smoke (ASan) =="
+  ./build-asan/bench/bench_gateway --smoke
 fi
 
 echo "OK"

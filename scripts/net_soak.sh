@@ -10,12 +10,13 @@ iters="${1:-20}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)" --target net_process_test net_loop_test \
-  tart-node tart-trace
+  gateway_process_test tart-node tart-trace tart-gateway
 
 for i in $(seq 1 "$iters"); do
   echo "== soak iteration $i/$iters =="
   ./build/tests/net_loop_test --gtest_brief=1
   ./build/tests/net_process_test --gtest_brief=1
+  ./build/tests/gateway_process_test --gtest_brief=1
 done
 
 echo "OK: $iters iterations clean"

@@ -34,6 +34,23 @@ struct MetricsSnapshot {
   std::uint64_t net_heartbeat_misses = 0;
   std::uint64_t net_frames_refused = 0;     ///< backpressure / link-down drops
   std::uint64_t net_queue_high_water = 0;   ///< max frames queued to any peer
+
+  // Stable-store durability counters (src/log), zero without a log_dir.
+  // flushes < records_written means group commit coalesced appends.
+  std::uint64_t store_records_written = 0;
+  std::uint64_t store_flushes = 0;
+
+  // HTTP ingress gateway counters (src/gateway), zero without a gateway.
+  // Filled by the hosting Gateway when it merges its counters into the
+  // snapshot; the ack-latency and batch-size histograms stay in the
+  // gateway (exposed via GET /metrics) — only scalars travel here.
+  std::uint64_t gw_requests = 0;        ///< HTTP requests parsed
+  std::uint64_t gw_acked = 0;           ///< injections acked 200 (durable)
+  std::uint64_t gw_rejected = 0;        ///< 429 admission rejections
+  std::uint64_t gw_errors = 0;          ///< other 4xx/5xx responses
+  std::uint64_t gw_commit_batches = 0;  ///< group-commit rounds
+  std::uint64_t gw_commit_records = 0;  ///< injections across all rounds
+  std::uint64_t gw_commit_batch_max = 0;  ///< largest single round
 };
 
 class RunnerMetrics {
@@ -86,6 +103,17 @@ inline MetricsSnapshot& operator+=(MetricsSnapshot& a,
   a.net_queue_high_water =
       a.net_queue_high_water > b.net_queue_high_water ? a.net_queue_high_water
                                                       : b.net_queue_high_water;
+  a.store_records_written += b.store_records_written;
+  a.store_flushes += b.store_flushes;
+  a.gw_requests += b.gw_requests;
+  a.gw_acked += b.gw_acked;
+  a.gw_rejected += b.gw_rejected;
+  a.gw_errors += b.gw_errors;
+  a.gw_commit_batches += b.gw_commit_batches;
+  a.gw_commit_records += b.gw_commit_records;
+  a.gw_commit_batch_max = a.gw_commit_batch_max > b.gw_commit_batch_max
+                              ? a.gw_commit_batch_max
+                              : b.gw_commit_batch_max;
   return a;
 }
 

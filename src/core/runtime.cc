@@ -184,6 +184,89 @@ VirtualTime Runtime::inject_at(WireId input_wire, VirtualTime vt,
   return m.vt;
 }
 
+InjectResult Runtime::try_inject(WireId input_wire, Payload payload) {
+  return try_inject_batch({{input_wire, -1, std::move(payload)}}).front();
+}
+
+InjectResult Runtime::try_inject_at(WireId input_wire, VirtualTime vt,
+                                    Payload payload) {
+  return try_inject_batch({{input_wire, vt.ticks(), std::move(payload)}})
+      .front();
+}
+
+std::vector<InjectResult> Runtime::try_inject_batch(
+    const std::vector<InjectRequest>& requests) {
+  std::vector<InjectResult> results(requests.size());
+
+  // Adapters of every wire named by the batch, locked in WireId order (the
+  // single-inject paths take one adapter lock at a time, so any consistent
+  // multi-lock order is deadlock-free against them).
+  std::map<WireId, InputAdapter*> adapters;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto it = inputs_.find(requests[i].wire);
+    if (it == inputs_.end()) {
+      results[i].status = InjectStatus::kUnknownWire;
+    } else {
+      adapters.emplace(requests[i].wire, it->second.get());
+    }
+  }
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(adapters.size());
+  for (auto& [wire, adapter] : adapters) guards.emplace_back(adapter->mu);
+
+  // Stamp and log while holding the locks: per-wire memory order, stable
+  // store order and seq order must agree even against concurrent single
+  // injections (which block on the same adapter locks meanwhile).
+  std::vector<Message> batch;
+  std::vector<std::size_t> batch_to_request;
+  batch.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (results[i].status != InjectStatus::kOk) continue;
+    const InjectRequest& req = requests[i];
+    InputAdapter& in = *adapters.at(req.wire);
+    if (in.closed) {
+      results[i].status = InjectStatus::kClosed;
+      continue;
+    }
+    Message m;
+    if (req.vt < 0) {
+      // Real-time stamping, exactly as inject().
+      if (in.source == InputAdapter::Source::kUnknown)
+        in.source = InputAdapter::Source::kRealtime;
+      m.vt = max(max(real_now(), in.last_vt.next()), in.promised.next());
+    } else {
+      // Scripted: refuse rather than clamp — the requested timestamp must
+      // land strictly after everything already logged or promised silent.
+      const VirtualTime vt{req.vt};
+      if (vt <= in.last_vt || vt <= in.promised) {
+        results[i].status = InjectStatus::kVtRegressed;
+        continue;
+      }
+      in.source = InputAdapter::Source::kScripted;
+      m.vt = vt;
+    }
+    m.wire = req.wire;
+    m.seq = in.next_seq++;
+    m.kind = MessageKind::kData;
+    m.payload = req.payload;
+    in.last_vt = m.vt;
+    results[i].vt = m.vt;
+    batch.push_back(std::move(m));
+    batch_to_request.push_back(i);
+  }
+  // One framed append + one flush for the whole batch: the group commit.
+  const bool durable = message_log_.append_batch(batch);
+  guards.clear();
+
+  // Logged (durably or not) — now, and only now, let the messages affect
+  // the system (§II.E: log before delivery).
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    if (!durable) results[batch_to_request[b]].status = InjectStatus::kStoreFailed;
+    to_receiver(batch[b].wire, transport::DataFrame{batch[b]});
+  }
+  return results;
+}
+
 void Runtime::close_input(WireId input_wire) {
   InputAdapter& in = *inputs_.at(input_wire);
   std::uint64_t seq;
@@ -453,6 +536,12 @@ MetricsSnapshot Runtime::total_metrics() const {
     if (!engine_is_local(engine)) continue;
     const MetricsSnapshot s = engines_.at(engine)->metrics(component);
     total += s;
+  }
+  for (const auto* store :
+       {message_store_.get(), fault_store_.get(), replica_store_.get()}) {
+    if (store == nullptr) continue;
+    total.store_records_written += store->records_written();
+    total.store_flushes += store->flushes();
   }
   return total;
 }

@@ -51,6 +51,30 @@ struct OutputRecord {
   bool stutter = false;  ///< re-delivery of an already-delivered tick
 };
 
+/// Typed outcome of a non-throwing injection (try_inject*): production
+/// ingress gateways map these to protocol-level failures (404/409/503)
+/// instead of catching logic_error.
+enum class InjectStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownWire,  ///< no local external-input adapter for the wire
+  kClosed,       ///< the input was closed (silence-forever promised)
+  kVtRegressed,  ///< scripted vt not strictly after last logged/promised vt
+  kStoreFailed,  ///< stable-store append failed: message delivered but NOT
+                 ///< durable — log-before-ack callers must refuse the ack
+};
+
+/// One injection of a batch (vt < 0 = real-time stamping, like inject()).
+struct InjectRequest {
+  WireId wire;
+  std::int64_t vt = -1;
+  Payload payload;
+};
+
+struct InjectResult {
+  InjectStatus status = InjectStatus::kOk;
+  VirtualTime vt{-1};  ///< assigned virtual time when status != error
+};
+
 class Runtime final : public FrameRouter {
  public:
   using OutputCallback =
@@ -80,6 +104,25 @@ class Runtime final : public FrameRouter {
   /// Injects with a scripted virtual time (clamped to stay monotone per
   /// wire). Deterministic tests use this so the log is run-independent.
   VirtualTime inject_at(WireId input_wire, VirtualTime vt, Payload payload);
+
+  /// Non-throwing inject: returns a typed status instead of throwing on a
+  /// closed input or asserting on an unknown wire. Unlike inject_at, a
+  /// scripted vt that cannot be honored exactly (it does not land strictly
+  /// after the wire's last logged vt and silence promise) is REFUSED with
+  /// kVtRegressed rather than clamped — an external client asked for a
+  /// specific timestamp and must learn it did not get it.
+  [[nodiscard]] InjectResult try_inject(WireId input_wire, Payload payload);
+  [[nodiscard]] InjectResult try_inject_at(WireId input_wire, VirtualTime vt,
+                                           Payload payload);
+
+  /// Group commit: stamps and logs a whole batch with ONE stable-store
+  /// flush (§II.E's "(a) given a timestamp, and then (b) logged" for every
+  /// message, amortizing the durability cost), then delivers. Results are
+  /// positional; failed entries are neither logged nor delivered (except
+  /// kStoreFailed, see InjectStatus). Per-wire arrival order follows batch
+  /// order.
+  [[nodiscard]] std::vector<InjectResult> try_inject_batch(
+      const std::vector<InjectRequest>& requests);
 
   /// Marks an external input finished: the source promises silence forever.
   void close_input(WireId input_wire);

@@ -1,0 +1,766 @@
+#include "gateway/gateway.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/partition_config.h"
+
+namespace tart::gateway {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Media type without parameters, lowercased ("Text/Plain; charset=utf-8"
+/// -> "text/plain").
+std::string media_type(const HttpRequest& req) {
+  const std::string* ct = req.header("Content-Type");
+  if (ct == nullptr) return "text/plain";
+  std::string_view v = *ct;
+  const std::size_t semi = v.find(';');
+  if (semi != std::string_view::npos) v = v.substr(0, semi);
+  while (!v.empty() && v.back() == ' ') v.remove_suffix(1);
+  while (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+  std::string out(v);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+Payload payload_from_body(const HttpRequest& req) {
+  const std::string type = media_type(req);
+  if (type == "text/plain" || type.empty()) {
+    std::vector<std::string> words;
+    std::istringstream in(req.body);
+    std::string word;
+    while (in >> word) words.push_back(std::move(word));
+    return Payload(std::move(words));
+  }
+  if (type == "application/x-tart-int") {
+    const auto v = parse_i64(req.body);
+    if (!v) throw HttpError(400, "body is not an integer");
+    return Payload(*v);
+  }
+  if (type == "application/x-tart-double") {
+    char* end = nullptr;
+    const double v = std::strtod(req.body.c_str(), &end);
+    if (req.body.empty() || end != req.body.c_str() + req.body.size())
+      throw HttpError(400, "body is not a number");
+    return Payload(v);
+  }
+  if (type == "application/x-tart-string") return Payload(req.body);
+  if (type == "application/octet-stream") {
+    std::vector<std::byte> bytes(req.body.size());
+    std::memcpy(bytes.data(), req.body.data(), req.body.size());
+    return Payload(std::move(bytes));
+  }
+  throw HttpError(415, "unsupported Content-Type '" + type + "'");
+}
+
+std::string render_payload(const Payload& payload) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return ""; }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+    std::string operator()(const std::string& v) const { return v; }
+    std::string operator()(const std::vector<std::int64_t>& v) const {
+      std::string out;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) out += ' ';
+        out += std::to_string(v[i]);
+      }
+      return out;
+    }
+    std::string operator()(const std::vector<std::string>& v) const {
+      std::string out;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) out += ' ';
+        out += v[i];
+      }
+      return out;
+    }
+    std::string operator()(const std::vector<std::byte>& v) const {
+      static constexpr char kHex[] = "0123456789abcdef";
+      std::string out;
+      out.reserve(v.size() * 2);
+      for (const std::byte b : v) {
+        out += kHex[std::to_integer<unsigned>(b) >> 4];
+        out += kHex[std::to_integer<unsigned>(b) & 0xF];
+      }
+      return out;
+    }
+  };
+  return std::visit(Visitor{}, payload.value());
+}
+
+// --- Construction / teardown ------------------------------------------------
+
+Gateway::Gateway(core::Runtime* runtime, Options options,
+                 std::map<std::string, WireId> inputs,
+                 std::map<std::string, WireId> outputs, MetricsFn metrics_fn,
+                 std::function<void()> on_shutdown)
+    : runtime_(runtime),
+      options_(std::move(options)),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)),
+      metrics_fn_(std::move(metrics_fn)),
+      on_shutdown_(std::move(on_shutdown)),
+      // Ack latencies: 50us buckets to 250ms, overflow above (fsync-bound
+      // tails on loaded disks land in the overflow bucket, still counted).
+      ack_latency_us_(50.0, 5000),
+      batch_size_(1.0, options_.max_batch + 1) {
+  for (const auto& [name, wire] : inputs_) {
+    (void)name;
+    inflight_[wire].store(0);
+  }
+
+  const auto addr = net::SockAddr::parse(options_.listen);
+  if (!addr) throw net::ConfigError("gateway: bad listen address '" +
+                                    options_.listen + "'");
+  std::string err;
+  listener_ = net::listen_tcp(*addr, &err);
+  if (!listener_.valid())
+    throw net::ConfigError("gateway: listen on " + options_.listen +
+                           " failed: " + err);
+  port_ = net::local_port(listener_.get());
+
+  committer_ = std::thread([this] { committer_main(); });
+  loop_.post([this] {
+    loop_.set_fd(listener_.get(), true, false,
+                 [this](unsigned) { on_accept(); });
+  });
+  loop_thread_ = std::thread([this] { loop_.run(); });
+}
+
+Gateway::~Gateway() { shutdown(); }
+
+void Gateway::shutdown() {
+  if (stopping_.exchange(true)) return;
+
+  // Committer first: it finishes the in-flight round, then every queued
+  // injection is failed 503 (never silently acked — the contract is that
+  // an un-acked request is absent-or-once after recovery, so refusing is
+  // always safe).
+  commit_cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+
+  {
+    const std::lock_guard<std::mutex> lk(workers_mu_);
+    for (auto& t : workers_)
+      if (t.joinable()) t.join();
+    workers_.clear();
+  }
+
+  // Tear sockets down on the loop thread, then stop from within so every
+  // completion posted above runs before the loop exits.
+  loop_.post([this] {
+    loop_.remove_fd(listener_.get());
+    for (auto& [id, conn] : conns_) loop_.remove_fd(conn->fd.get());
+    conns_.clear();
+    loop_.stop();
+  });
+  if (loop_thread_.joinable()) loop_thread_.join();
+  listener_.reset();
+}
+
+GatewayCounters Gateway::counters() const {
+  GatewayCounters c;
+  c.requests = requests_.load();
+  c.acked = acked_.load();
+  c.rejected = rejected_.load();
+  c.errors = errors_.load();
+  c.commit_batches = commit_batches_.load();
+  c.commit_records = commit_records_.load();
+  c.commit_batch_max = commit_batch_max_.load();
+  return c;
+}
+
+void Gateway::fill(core::MetricsSnapshot& snapshot) const {
+  const GatewayCounters c = counters();
+  snapshot.gw_requests = c.requests;
+  snapshot.gw_acked = c.acked;
+  snapshot.gw_rejected = c.rejected;
+  snapshot.gw_errors = c.errors;
+  snapshot.gw_commit_batches = c.commit_batches;
+  snapshot.gw_commit_records = c.commit_records;
+  snapshot.gw_commit_batch_max = c.commit_batch_max;
+}
+
+// --- Loop thread: connections ----------------------------------------------
+
+void Gateway::on_accept() {
+  for (;;) {
+    net::Fd fd = net::accept_tcp(listener_.get());
+    if (!fd.valid()) return;
+    const std::uint64_t id = next_conn_++;
+    auto conn = std::make_unique<Conn>();
+    conn->parser = HttpParser(options_.limits);
+    const int raw = fd.get();
+    conn->fd = std::move(fd);
+    conns_[id] = std::move(conn);
+    loop_.set_fd(raw, true, false,
+                 [this, id](unsigned events) { on_conn_event(id, events); });
+  }
+}
+
+void Gateway::on_conn_event(std::uint64_t id, unsigned events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+
+  if ((events & net::EventLoop::kError) != 0) {
+    drop_conn(id);
+    return;
+  }
+  if ((events & net::EventLoop::kWritable) != 0) {
+    flush_out(id);
+    if (!conns_.contains(id)) return;
+  }
+  if ((events & net::EventLoop::kReadable) != 0) {
+    std::byte buf[16384];
+    for (;;) {
+      const ssize_t n = ::read(c->fd.get(), buf, sizeof(buf));
+      if (n > 0) {
+        try {
+          c->parser.feed(buf, static_cast<std::size_t>(n));
+        } catch (const HttpError&) {
+          // Poisoned earlier; the error response is already queued.
+          drop_conn(id);
+          return;
+        }
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) {
+        drop_conn(id);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      drop_conn(id);
+      return;
+    }
+    serve_next(id);
+  }
+}
+
+void Gateway::serve_next(std::uint64_t id) {
+  for (;;) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn* c = it->second.get();
+    if (c->awaiting || c->close_after_write) return;
+    std::optional<HttpRequest> req;
+    try {
+      req = c->parser.next();
+    } catch (const HttpError& e) {
+      // Typed protocol violation: answer with its status and close (the
+      // byte stream cannot be re-synchronized).
+      errors_.fetch_add(1);
+      respond(id, e.status(), {}, std::string(e.what()) + "\n", false);
+      return;
+    }
+    if (!req) return;
+    requests_.fetch_add(1);
+    try {
+      handle_request(id, std::move(*req));
+    } catch (const HttpError& e) {
+      // Bad query string etc. — request-scoped, but simplest to close
+      // (the handler had not responded yet when it threw).
+      errors_.fetch_add(1);
+      respond(id, e.status(), {}, std::string(e.what()) + "\n", false);
+      return;
+    } catch (const std::exception& e) {
+      errors_.fetch_add(1);
+      respond(id, 500, {}, std::string(e.what()) + "\n", false);
+      return;
+    }
+  }
+}
+
+void Gateway::handle_request(std::uint64_t id, HttpRequest req) {
+  const std::string& path = req.path;
+  const auto strip = [&](std::string_view prefix) -> std::string_view {
+    return std::string_view(path).substr(prefix.size());
+  };
+
+  if (path.rfind("/inject/", 0) == 0) {
+    if (req.method != "POST") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "POST"}}, "POST only\n", req.keep_alive);
+      return;
+    }
+    handle_inject(id, req, strip("/inject/"));
+    return;
+  }
+  if (path.rfind("/close/", 0) == 0) {
+    if (req.method != "POST") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "POST"}}, "POST only\n", req.keep_alive);
+      return;
+    }
+    const auto it = inputs_.find(std::string(strip("/close/")));
+    if (it == inputs_.end()) {
+      errors_.fetch_add(1);
+      respond(id, 404, {}, "unknown input\n", req.keep_alive);
+      return;
+    }
+    runtime_->close_input(it->second);
+    respond(id, 200, {}, "closed\n", req.keep_alive);
+    return;
+  }
+  if (path.rfind("/outputs/", 0) == 0) {
+    if (req.method != "GET") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "GET"}}, "GET only\n", req.keep_alive);
+      return;
+    }
+    handle_outputs(id, req, strip("/outputs/"));
+    return;
+  }
+  if (path == "/drain") {
+    if (req.method != "POST") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "POST"}}, "POST only\n", req.keep_alive);
+      return;
+    }
+    const auto params = parse_query(req.query);
+    std::int64_t timeout_ms = 30000;
+    if (const auto t = query_param(params, "timeout_ms")) {
+      const auto v = parse_i64(*t);
+      if (!v || *v < 0) {
+        errors_.fetch_add(1);
+        respond(id, 400, {}, "bad timeout_ms\n", req.keep_alive);
+        return;
+      }
+      timeout_ms = *v;
+    }
+    // drain() blocks up to the timeout — never on the loop thread.
+    const auto conn_it = conns_.find(id);
+    Conn* c = conn_it->second.get();
+    c->awaiting = true;
+    loop_.set_interest(c->fd.get(), false, c->out_off < c->outbuf.size());
+    const bool keep = req.keep_alive;
+    const std::lock_guard<std::mutex> lk(workers_mu_);
+    workers_.emplace_back([this, id, timeout_ms, keep] {
+      const bool ok =
+          runtime_->drain(std::chrono::milliseconds(timeout_ms));
+      loop_.post([this, id, ok, keep] {
+        if (!conns_.contains(id)) return;
+        if (ok) {
+          respond(id, 200, {}, "drained\n", keep);
+        } else {
+          errors_.fetch_add(1);
+          respond(id, 503, {}, "drain timeout\n", keep);
+        }
+        serve_next(id);
+      });
+    });
+    return;
+  }
+  if (path == "/shutdown") {
+    if (req.method != "POST") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "POST"}}, "POST only\n", req.keep_alive);
+      return;
+    }
+    respond(id, 200, {}, "shutting down\n", req.keep_alive);
+    if (on_shutdown_) on_shutdown_();
+    return;
+  }
+  if (path == "/metrics") {
+    if (req.method != "GET") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "GET"}}, "GET only\n", req.keep_alive);
+      return;
+    }
+    respond(id, 200, {{"Content-Type", "text/plain"}}, render_metrics(),
+            req.keep_alive);
+    return;
+  }
+  if (path == "/healthz") {
+    respond(id, 200, {}, "ok\n", req.keep_alive);
+    return;
+  }
+  errors_.fetch_add(1);
+  respond(id, 404, {}, "unknown endpoint\n", req.keep_alive);
+}
+
+void Gateway::handle_inject(std::uint64_t id, const HttpRequest& req,
+                            std::string_view name) {
+  const auto input = inputs_.find(std::string(name));
+  if (input == inputs_.end()) {
+    errors_.fetch_add(1);
+    respond(id, 404, {}, "unknown input\n", req.keep_alive);
+    return;
+  }
+  const WireId wire = input->second;
+
+  std::int64_t vt = -1;
+  const auto params = parse_query(req.query);
+  if (const auto v = query_param(params, "vt")) {
+    const auto parsed = parse_i64(*v);
+    if (!parsed || *parsed < 0) {
+      errors_.fetch_add(1);
+      respond(id, 400, {}, "bad vt\n", req.keep_alive);
+      return;
+    }
+    vt = *parsed;
+  }
+
+  Payload payload;
+  try {
+    payload = payload_from_body(req);
+  } catch (const HttpError& e) {
+    errors_.fetch_add(1);
+    respond(id, e.status(), {}, std::string(e.what()) + "\n", req.keep_alive);
+    return;
+  }
+
+  // Admission control: beyond the per-wire bound the honest answer is
+  // "try again later", not an ever-growing commit queue.
+  auto& inflight = inflight_.at(wire);
+  if (inflight.load(std::memory_order_relaxed) >=
+      options_.max_inflight_per_wire) {
+    rejected_.fetch_add(1);
+    respond(id, 429,
+            {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+            "input queue full\n", req.keep_alive);
+    return;
+  }
+  inflight.fetch_add(1, std::memory_order_relaxed);
+
+  Conn* c = conns_.find(id)->second.get();
+  c->awaiting = true;
+  loop_.set_interest(c->fd.get(), false, c->out_off < c->outbuf.size());
+
+  PendingInject pending;
+  pending.conn_id = id;
+  pending.wire = wire;
+  pending.request = core::InjectRequest{wire, vt, std::move(payload)};
+  pending.keep_alive = req.keep_alive;
+  pending.enqueued = Clock::now();
+  {
+    const std::lock_guard<std::mutex> lk(commit_mu_);
+    pending_.push_back(std::move(pending));
+  }
+  commit_cv_.notify_one();
+}
+
+void Gateway::handle_outputs(std::uint64_t id, const HttpRequest& req,
+                             std::string_view name) {
+  const auto output = outputs_.find(std::string(name));
+  if (output == outputs_.end()) {
+    errors_.fetch_add(1);
+    respond(id, 404, {}, "unknown output\n", req.keep_alive);
+    return;
+  }
+  const auto params = parse_query(req.query);
+  std::size_t after = 0;
+  std::size_t max = 100000;
+  std::int64_t wait_ms = 0;
+  if (const auto v = query_param(params, "after")) {
+    const auto parsed = parse_i64(*v);
+    if (!parsed || *parsed < 0) {
+      errors_.fetch_add(1);
+      respond(id, 400, {}, "bad after\n", req.keep_alive);
+      return;
+    }
+    after = static_cast<std::size_t>(*parsed);
+  }
+  if (const auto v = query_param(params, "max")) {
+    const auto parsed = parse_i64(*v);
+    if (!parsed || *parsed <= 0) {
+      errors_.fetch_add(1);
+      respond(id, 400, {}, "bad max\n", req.keep_alive);
+      return;
+    }
+    max = static_cast<std::size_t>(*parsed);
+  }
+  if (const auto v = query_param(params, "wait_ms")) {
+    const auto parsed = parse_i64(*v);
+    if (!parsed || *parsed < 0) {
+      errors_.fetch_add(1);
+      respond(id, 400, {}, "bad wait_ms\n", req.keep_alive);
+      return;
+    }
+    wait_ms = *parsed;
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(wait_ms);
+  poll_outputs(id, output->second, after, max, deadline, req.keep_alive);
+}
+
+void Gateway::poll_outputs(std::uint64_t id, WireId wire, std::size_t after,
+                           std::size_t max, Clock::time_point deadline,
+                           bool keep_alive) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+
+  const auto records = runtime_->output_records(wire);
+  if (records.size() <= after && Clock::now() < deadline &&
+      !stopping_.load()) {
+    // Long-poll: nothing new yet; re-check on a short timer. The
+    // connection stays read-paused so pipelined requests wait their turn.
+    if (!c->awaiting) {
+      c->awaiting = true;
+      loop_.set_interest(c->fd.get(), false, c->out_off < c->outbuf.size());
+    }
+    loop_.add_timer(Clock::now() + std::chrono::milliseconds(10),
+                    [this, id, wire, after, max, deadline, keep_alive] {
+                      poll_outputs(id, wire, after, max, deadline, keep_alive);
+                    });
+    return;
+  }
+
+  std::string body;
+  const std::size_t end = std::min(records.size(), after + max);
+  for (std::size_t i = after; i < end; ++i) {
+    body += std::to_string(records[i].vt.ticks());
+    body += '\t';
+    body += records[i].stutter ? '1' : '0';
+    body += '\t';
+    body += render_payload(records[i].payload);
+    body += '\n';
+  }
+  const bool was_awaiting = c->awaiting;
+  respond(id, 200,
+          {{"Content-Type", "text/plain"},
+           {"X-Tart-Next", std::to_string(end)}},
+          body, keep_alive);
+  if (was_awaiting) serve_next(id);
+}
+
+void Gateway::respond(std::uint64_t id, int status,
+                      std::vector<std::pair<std::string, std::string>> extra,
+                      std::string_view body, bool keep_alive) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+  c->awaiting = false;
+  if (!keep_alive) c->close_after_write = true;
+  c->outbuf += http_response(status, extra, body, keep_alive);
+  flush_out(id);
+}
+
+void Gateway::flush_out(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+  while (c->out_off < c->outbuf.size()) {
+    const ssize_t n = ::write(c->fd.get(), c->outbuf.data() + c->out_off,
+                              c->outbuf.size() - c->out_off);
+    if (n > 0) {
+      c->out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    drop_conn(id);
+    return;
+  }
+  if (c->out_off >= c->outbuf.size()) {
+    c->outbuf.clear();
+    c->out_off = 0;
+    if (c->close_after_write) {
+      drop_conn(id);
+      return;
+    }
+    loop_.set_interest(c->fd.get(), !c->awaiting, false);
+  } else {
+    // Reads stay paused while a response is queued behind a slow client
+    // that is also closing: nothing it sends can matter anymore.
+    loop_.set_interest(c->fd.get(), !c->awaiting && !c->close_after_write,
+                       true);
+  }
+}
+
+void Gateway::drop_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  loop_.remove_fd(it->second->fd.get());
+  conns_.erase(it);
+}
+
+// --- Committer thread -------------------------------------------------------
+
+void Gateway::committer_main() {
+  for (;;) {
+    std::vector<PendingInject> batch;
+    {
+      std::unique_lock<std::mutex> lk(commit_mu_);
+      commit_cv_.wait(lk,
+                      [this] { return !pending_.empty() || stopping_.load(); });
+      if (pending_.empty() && stopping_.load()) return;
+      if (pending_.size() <= options_.max_batch) {
+        batch.swap(pending_);
+      } else {
+        batch.assign(std::make_move_iterator(pending_.begin()),
+                     std::make_move_iterator(pending_.begin() +
+                                             options_.max_batch));
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + options_.max_batch);
+      }
+    }
+
+    std::vector<core::InjectResult> results;
+    if (stopping_.load()) {
+      // Refuse instead of racing runtime teardown: un-acked implies
+      // absent-or-once, so a 503 here never breaks the contract.
+      results.assign(batch.size(),
+                     core::InjectResult{core::InjectStatus::kStoreFailed,
+                                        VirtualTime(-1)});
+    } else if (options_.group_commit) {
+      std::vector<core::InjectRequest> requests;
+      requests.reserve(batch.size());
+      for (const auto& p : batch) requests.push_back(p.request);
+      results = runtime_->try_inject_batch(requests);
+    } else {
+      // Baseline mode: identical durability, one flush per request.
+      results.reserve(batch.size());
+      for (const auto& p : batch) {
+        results.push_back(runtime_->try_inject_batch({p.request}).front());
+      }
+    }
+
+    commit_batches_.fetch_add(1);
+    commit_records_.fetch_add(batch.size());
+    std::uint64_t prev = commit_batch_max_.load();
+    while (prev < batch.size() &&
+           !commit_batch_max_.compare_exchange_weak(prev, batch.size())) {
+    }
+    {
+      const std::lock_guard<std::mutex> lk(hist_mu_);
+      batch_size_.add(static_cast<double>(batch.size()));
+    }
+    for (const auto& p : batch) {
+      inflight_.at(p.wire).fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    auto shared = std::make_shared<std::pair<std::vector<PendingInject>,
+                                             std::vector<core::InjectResult>>>(
+        std::move(batch), std::move(results));
+    loop_.post([this, shared] {
+      complete_commits(std::move(shared->first), std::move(shared->second));
+    });
+  }
+}
+
+void Gateway::complete_commits(std::vector<PendingInject> batch,
+                               std::vector<core::InjectResult> results) {
+  const auto now = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingInject& p = batch[i];
+    const core::InjectResult& r = results[i];
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(now - p.enqueued).count();
+
+    if (r.status == core::InjectStatus::kOk) {
+      acked_.fetch_add(1);
+      const std::lock_guard<std::mutex> lk(hist_mu_);
+      ack_latency_us_.add(latency_us);
+    } else {
+      errors_.fetch_add(1);
+    }
+    if (!conns_.contains(p.conn_id)) continue;
+
+    switch (r.status) {
+      case core::InjectStatus::kOk:
+        respond(p.conn_id, 200,
+                {{"X-Tart-Vt", std::to_string(r.vt.ticks())}},
+                "vt=" + std::to_string(r.vt.ticks()) + "\n", p.keep_alive);
+        break;
+      case core::InjectStatus::kUnknownWire:
+        respond(p.conn_id, 404, {}, "unknown input\n", p.keep_alive);
+        break;
+      case core::InjectStatus::kClosed:
+        respond(p.conn_id, 409, {}, "input closed\n", p.keep_alive);
+        break;
+      case core::InjectStatus::kVtRegressed:
+        respond(p.conn_id, 409, {}, "vt not after last logged vt\n",
+                p.keep_alive);
+        break;
+      case core::InjectStatus::kStoreFailed:
+        // Delivered but NOT durable: acking would claim replayability the
+        // log cannot honor, so the ack is refused (client must retry).
+        respond(p.conn_id, 503, {}, "stable store append failed\n",
+                p.keep_alive);
+        break;
+    }
+    serve_next(p.conn_id);
+  }
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+std::string Gateway::render_metrics() const {
+  core::MetricsSnapshot m =
+      metrics_fn_ ? metrics_fn_() : runtime_->total_metrics();
+  fill(m);
+
+  std::ostringstream os;
+  const auto line = [&os](std::string_view k, std::uint64_t v) {
+    os << k << ' ' << v << '\n';
+  };
+  line("tart_messages_processed", m.messages_processed);
+  line("tart_calls_served", m.calls_served);
+  line("tart_probes_sent", m.probes_sent);
+  line("tart_pessimism_events", m.pessimism_events);
+  line("tart_pessimism_wait_ns", m.pessimism_wait_ns);
+  line("tart_out_of_order_arrivals", m.out_of_order_arrivals);
+  line("tart_duplicates_discarded", m.duplicates_discarded);
+  line("tart_gaps_detected", m.gaps_detected);
+  line("tart_checkpoints_taken", m.checkpoints_taken);
+  line("tart_trace_events_recorded", m.trace_events_recorded);
+  line("tart_trace_events_dropped", m.trace_events_dropped);
+  line("tart_net_bytes_in", m.net_bytes_in);
+  line("tart_net_bytes_out", m.net_bytes_out);
+  line("tart_net_frames_in", m.net_frames_in);
+  line("tart_net_frames_out", m.net_frames_out);
+  line("tart_net_reconnects", m.net_reconnects);
+  line("tart_net_heartbeat_misses", m.net_heartbeat_misses);
+  line("tart_net_frames_refused", m.net_frames_refused);
+  line("tart_net_queue_high_water", m.net_queue_high_water);
+  line("tart_store_records_written", m.store_records_written);
+  line("tart_store_flushes", m.store_flushes);
+  line("tart_gw_requests", m.gw_requests);
+  line("tart_gw_acked", m.gw_acked);
+  line("tart_gw_rejected", m.gw_rejected);
+  line("tart_gw_errors", m.gw_errors);
+  line("tart_gw_commit_batches", m.gw_commit_batches);
+  line("tart_gw_commit_records", m.gw_commit_records);
+  line("tart_gw_commit_batch_max", m.gw_commit_batch_max);
+  {
+    const std::lock_guard<std::mutex> lk(hist_mu_);
+    os << "tart_gw_ack_latency_us_p50 " << ack_latency_us_.percentile(50)
+       << '\n';
+    os << "tart_gw_ack_latency_us_p99 " << ack_latency_us_.percentile(99)
+       << '\n';
+    os << "tart_gw_commit_batch_p50 " << batch_size_.percentile(50) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tart::gateway

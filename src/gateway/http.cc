@@ -1,0 +1,293 @@
+#include "gateway/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tart::gateway {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_token_char(char c) {
+  // RFC 7230 token characters.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  return std::string_view("!#$%&'*+-.^_`|~").find(c) != std::string_view::npos;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Percent-decodes; '+' becomes a space only when `plus_is_space`. A bad
+/// escape is a client syntax error (400).
+std::string percent_decode(std::string_view in, bool plus_is_space) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '%') {
+      if (i + 2 >= in.size()) throw HttpError(400, "truncated percent escape");
+      const int hi = hex_digit(in[i + 1]);
+      const int lo = hex_digit(in[i + 2]);
+      if (hi < 0 || lo < 0) throw HttpError(400, "bad percent escape");
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (c == '+' && plus_is_space) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+void HttpParser::feed(const std::byte* data, std::size_t size) {
+  if (poisoned_) throw HttpError(400, "parser poisoned");
+  buf_.append(reinterpret_cast<const char*>(data), size);
+}
+
+std::optional<HttpRequest> HttpParser::next() {
+  if (poisoned_) throw HttpError(400, "parser poisoned");
+  try {
+    // Tolerate blank lines between pipelined requests (robustness note in
+    // RFC 7230 §3.5).
+    while (pos_ < buf_.size() &&
+           (buf_[pos_] == '\r' || buf_[pos_] == '\n')) {
+      ++pos_;
+    }
+    if (pos_ >= buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+      return std::nullopt;
+    }
+
+    // --- Request line -----------------------------------------------------
+    const std::size_t line_end = buf_.find('\n', pos_);
+    if (line_end == std::string::npos) {
+      if (buf_.size() - pos_ > limits_.max_request_line) {
+        throw HttpError(414, "request line too long");
+      }
+      return std::nullopt;
+    }
+    if (line_end - pos_ > limits_.max_request_line) {
+      throw HttpError(414, "request line too long");
+    }
+    std::string_view line(buf_.data() + pos_, line_end - pos_);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+      throw HttpError(400, "malformed request line");
+    }
+    HttpRequest req;
+    req.method = std::string(line.substr(0, sp1));
+    if (req.method.empty() ||
+        !std::all_of(req.method.begin(), req.method.end(), is_token_char)) {
+      throw HttpError(400, "bad method token");
+    }
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+    if (target.empty()) throw HttpError(400, "empty request target");
+    if (version == "HTTP/1.1") {
+      req.version_minor = 1;
+    } else if (version == "HTTP/1.0") {
+      req.version_minor = 0;
+    } else if (version.rfind("HTTP/", 0) == 0) {
+      throw HttpError(505, "unsupported HTTP version");
+    } else {
+      throw HttpError(400, "malformed HTTP version");
+    }
+    const std::size_t qmark = target.find('?');
+    req.path = percent_decode(target.substr(0, qmark), false);
+    if (qmark != std::string_view::npos) {
+      req.query = std::string(target.substr(qmark + 1));
+    }
+
+    // --- Header block -----------------------------------------------------
+    std::size_t cursor = line_end + 1;
+    std::size_t header_bytes = 0;
+    for (;;) {
+      const std::size_t eol = buf_.find('\n', cursor);
+      if (eol == std::string::npos) {
+        if (buf_.size() - cursor > limits_.max_header_bytes) {
+          throw HttpError(431, "header block too large");
+        }
+        return std::nullopt;
+      }
+      std::string_view hline(buf_.data() + cursor, eol - cursor);
+      if (!hline.empty() && hline.back() == '\r') hline.remove_suffix(1);
+      cursor = eol + 1;
+      if (hline.empty()) break;  // end of headers
+
+      header_bytes += hline.size();
+      if (header_bytes > limits_.max_header_bytes) {
+        throw HttpError(431, "header block too large");
+      }
+      if (req.headers.size() >= limits_.max_headers) {
+        throw HttpError(431, "too many header fields");
+      }
+      if (hline.front() == ' ' || hline.front() == '\t') {
+        throw HttpError(400, "obsolete header folding");
+      }
+      const std::size_t colon = hline.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        throw HttpError(400, "malformed header field");
+      }
+      const std::string_view name = hline.substr(0, colon);
+      if (!std::all_of(name.begin(), name.end(), is_token_char)) {
+        throw HttpError(400, "bad header name");
+      }
+      req.headers.emplace_back(std::string(name),
+                               std::string(trim_ows(hline.substr(colon + 1))));
+    }
+
+    // --- Body framing -----------------------------------------------------
+    if (req.header("Transfer-Encoding") != nullptr) {
+      throw HttpError(501, "transfer codings not implemented");
+    }
+    std::size_t body_len = 0;
+    if (const std::string* cl = req.header("Content-Length")) {
+      if (cl->empty() || !std::all_of(cl->begin(), cl->end(), [](char c) {
+            return c >= '0' && c <= '9';
+          })) {
+        throw HttpError(400, "bad Content-Length");
+      }
+      // Reject before converting so a huge header cannot overflow.
+      if (cl->size() > 12) throw HttpError(413, "body too large");
+      body_len = static_cast<std::size_t>(std::stoull(*cl));
+      if (body_len > limits_.max_body) throw HttpError(413, "body too large");
+    }
+    if (buf_.size() - cursor < body_len) return std::nullopt;
+    req.body.assign(buf_.data() + cursor, body_len);
+    cursor += body_len;
+
+    // Keep-alive: default on for 1.1, off for 1.0; Connection overrides.
+    req.keep_alive = req.version_minor >= 1;
+    if (const std::string* conn = req.header("Connection")) {
+      if (iequals(*conn, "close")) req.keep_alive = false;
+      if (iequals(*conn, "keep-alive")) req.keep_alive = true;
+    }
+
+    // Consume the request; compact once the prefix dominates the buffer.
+    pos_ = cursor;
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    return req;
+  } catch (const HttpError&) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+std::string_view http_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 415: return "Unsupported Media Type";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(
+    int status, const std::vector<std::pair<std::string, std::string>>& extra,
+    std::string_view body, bool keep_alive) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += http_reason(status);
+  out += "\r\n";
+  for (const auto& [k, v] : extra) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        params.emplace_back(percent_decode(pair, true), "");
+      } else {
+        params.emplace_back(percent_decode(pair.substr(0, eq), true),
+                            percent_decode(pair.substr(eq + 1), true));
+      }
+    }
+    start = end + 1;
+  }
+  return params;
+}
+
+std::optional<std::string> query_param(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::string_view key) {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tart::gateway

@@ -1,0 +1,110 @@
+// Minimal, hardened HTTP/1.1 server-side codec for the ingress gateway.
+//
+// The parser is incremental and pipelining-safe in exactly the way
+// net::StreamDecoder is: feed() whatever the socket produced, next() whole
+// requests in order; a truncated request simply waits for more bytes,
+// while a malformed one raises HttpError — typed, connection-fatal, and
+// carrying the HTTP status the server should send before closing (400 bad
+// syntax, 413 body too large, 431 headers too large, 501 transfer-encoding
+// not implemented, 505 unknown version). After a throw the parser is
+// poisoned: the byte stream cannot be re-synchronized, so the connection
+// must be dropped — never UB, never an unbounded allocation (tested by
+// feeding every truncation prefix and random mutations under ASan,
+// mirroring tests/net_frame_test.cc).
+//
+// Scope is deliberately narrow: request-line + headers + Content-Length
+// bodies. Chunked transfer coding, upgrades and multipart are refused with
+// typed errors; TLS is an open ROADMAP item (terminate it in front).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tart::gateway {
+
+/// Connection-fatal protocol violation. `status` is the HTTP status code
+/// the server should answer with before closing the connection.
+class HttpError : public std::runtime_error {
+ public:
+  HttpError(int status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  [[nodiscard]] int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+/// One parsed request. `target` is split into `path` and the raw query
+/// string; header names are matched case-insensitively via header().
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET", "POST" (token, case-sensitive)
+  std::string path;     ///< target up to '?', percent-decoded
+  std::string query;    ///< raw query string after '?', possibly empty
+  int version_minor = 1;  ///< HTTP/1.<n>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+/// Per-parser hardening limits.
+struct HttpLimits {
+  std::size_t max_request_line = 8192;
+  std::size_t max_header_bytes = 32768;  ///< all header lines together
+  std::size_t max_headers = 100;
+  std::size_t max_body = 4u * 1024 * 1024;
+};
+
+class HttpParser {
+ public:
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  void feed(const std::byte* data, std::size_t size);
+  void feed(std::string_view data) {
+    feed(reinterpret_cast<const std::byte*>(data.data()), data.size());
+  }
+
+  /// Extracts the next complete request, or nullopt when more bytes are
+  /// needed. Throws HttpError on malformed input; the parser is then
+  /// poisoned (every later call throws) — drop the connection.
+  [[nodiscard]] std::optional<HttpRequest> next();
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  HttpLimits limits_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+// --- Response serialization -------------------------------------------------
+
+/// Standard reason phrase for the handful of statuses the gateway emits.
+[[nodiscard]] std::string_view http_reason(int status);
+
+/// Serializes a full response with Content-Length and Connection headers.
+[[nodiscard]] std::string http_response(
+    int status, const std::vector<std::pair<std::string, std::string>>& extra,
+    std::string_view body, bool keep_alive);
+
+// --- Small target/query helpers ---------------------------------------------
+
+/// Parses "k1=v1&k2=v2" (percent-decoded, '+' as space). Later keys win.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query);
+
+/// First value of `key` in a parsed query, or nullopt.
+[[nodiscard]] std::optional<std::string> query_param(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::string_view key);
+
+}  // namespace tart::gateway

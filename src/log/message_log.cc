@@ -18,6 +18,28 @@ void ExternalMessageLog::append(const Message& message) {
   }
 }
 
+bool ExternalMessageLog::append_batch(const std::vector<Message>& messages) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool durable = true;
+  if (store_ != nullptr && !messages.empty()) {
+    std::vector<std::vector<std::byte>> records;
+    records.reserve(messages.size());
+    for (const Message& m : messages) {
+      serde::Writer w;
+      m.encode(w);
+      records.push_back(w.take());
+    }
+    durable = store_->append_batch(records);
+  }
+  for (const Message& m : messages) {
+    auto& list = entries_[m.wire];
+    assert(list.empty() ||
+           (m.seq == list.back().seq + 1 && m.vt >= list.back().vt));
+    list.push_back(m);
+  }
+  return durable;
+}
+
 void ExternalMessageLog::attach_store(FileStableStore* store) {
   const std::lock_guard<std::mutex> lock(mutex_);
   store_ = store;
@@ -30,6 +52,11 @@ void ExternalMessageLog::load_from(const std::string& path) {
     const Message m = Message::decode(r);
     entries_[m.wire].push_back(m);
   }
+  // Batched appends from one writer may interleave with single appends
+  // from another across wires; per wire the seq order is authoritative.
+  for (auto& [wire, list] : entries_)
+    std::sort(list.begin(), list.end(),
+              [](const Message& a, const Message& b) { return a.seq < b.seq; });
 }
 
 std::vector<Message> ExternalMessageLog::replay_after(

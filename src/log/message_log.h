@@ -30,6 +30,15 @@ class ExternalMessageLog {
   /// wire must arrive with increasing seq and nondecreasing vt.
   void append(const Message& message);
 
+  /// Appends N arrivals with ONE stable-store flush (group commit): the
+  /// attached store's append_batch frames every record and fsyncs once.
+  /// Per-wire ordering rules are those of append(); messages for the same
+  /// wire must appear in seq order within the batch. Returns false when a
+  /// store is attached and its batched write failed — the messages are
+  /// still appended in memory (the system keeps running) but callers that
+  /// promised durability (log-before-ack) must surface the failure.
+  bool append_batch(const std::vector<Message>& messages);
+
   /// All logged messages on `wire` with vt strictly greater than `after`,
   /// in order — the replay feed after a failover.
   [[nodiscard]] std::vector<Message> replay_after(WireId wire,

@@ -1,31 +1,64 @@
 #include "log/stable_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+
 #include "serde/archive.h"
 
 namespace tart::log {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x54A27106;  // frame marker
+
+void frame_record(serde::Writer& out, const std::vector<std::byte>& record) {
+  out.write_u32(kMagic);
+  out.write_u32(static_cast<std::uint32_t>(record.size()));
+  out.write_u64(serde::fingerprint(record));
+  out.write_raw(record.data(), record.size());
+}
+
+bool write_all(int fd, const std::vector<std::byte>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 FileStableStore::FileStableStore(std::string path) : path_(std::move(path)) {
-  out_.open(path_, std::ios::binary | std::ios::app);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+}
+
+FileStableStore::~FileStableStore() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 bool FileStableStore::append(const std::vector<std::byte>& record) {
-  if (!out_.is_open()) return false;
-  serde::Writer frame;
-  frame.write_u32(kMagic);
-  frame.write_u32(static_cast<std::uint32_t>(record.size()));
-  frame.write_u64(serde::fingerprint(record));
-  const auto& header = frame.bytes();
-  out_.write(reinterpret_cast<const char*>(header.data()),
-             static_cast<std::streamsize>(header.size()));
-  out_.write(reinterpret_cast<const char*>(record.data()),
-             static_cast<std::streamsize>(record.size()));
-  out_.flush();
-  if (!out_.good()) return false;
-  ++written_;
+  return append_batch({&record, 1});
+}
+
+bool FileStableStore::append_batch(
+    std::span<const std::vector<std::byte>> records) {
+  if (fd_ < 0) return false;
+  if (records.empty()) return true;
+  serde::Writer buf;
+  for (const auto& record : records) frame_record(buf, record);
+  if (!write_all(fd_, buf.bytes())) return false;
+  // One durability point for the whole batch — this is the group commit.
+  if (::fsync(fd_) != 0) return false;
+  written_.fetch_add(records.size(), std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -4,17 +4,25 @@
 // a passive replica on another machine (ReplicaStore / in-memory logs) or
 // "a stable storage device for holding checkpoints". This is the stable
 // storage device: length-and-checksum framed records appended to a file,
-// flushed on every append, and scanned back on recovery. A torn final
+// synced on every append, and scanned back on recovery. A torn final
 // record (crash mid-write) is detected by the checksum and dropped —
 // everything before it is intact.
+//
+// Durability granularity is the *flush*, not the record: append() writes
+// and fsyncs one record; append_batch() frames N records into one write
+// and one fsync — the group-commit primitive the HTTP ingress gateway
+// uses so durability does not cost one fsync per request. A crash during
+// a batched write tears at a record boundary exactly like a single
+// append: scan() recovers the intact prefix of the batch.
 //
 // ExternalMessageLog and DeterminismFaultLog can attach a store for
 // write-through persistence and be reloaded from one after a process
 // restart.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,16 +32,32 @@ class FileStableStore {
  public:
   /// Opens (creating if absent) the store for appending.
   explicit FileStableStore(std::string path);
+  ~FileStableStore();
 
   FileStableStore(const FileStableStore&) = delete;
   FileStableStore& operator=(const FileStableStore&) = delete;
 
-  /// Appends one record durably (framed + checksummed + flushed). Returns
+  /// Appends one record durably (framed + checksummed + fsynced). Returns
   /// false on I/O failure.
   bool append(const std::vector<std::byte>& record);
 
+  /// Appends N records with ONE write and ONE fsync: the records become
+  /// durable together, for the cost of a single flush. Returns false on
+  /// I/O failure (no record of the batch should then be trusted durable,
+  /// though an intact prefix may still survive a scan). An empty batch is
+  /// a no-op that succeeds without flushing.
+  bool append_batch(std::span<const std::vector<std::byte>> records);
+
   [[nodiscard]] const std::string& path() const { return path_; }
-  [[nodiscard]] std::uint64_t records_written() const { return written_; }
+  [[nodiscard]] std::uint64_t records_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  /// Durability flushes issued (fsync calls): one per append(), one per
+  /// non-empty append_batch(). records_written / flushes is the achieved
+  /// group-commit factor.
+  [[nodiscard]] std::uint64_t flushes() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
 
   /// Reads every intact record from a store file, stopping at the first
   /// torn or corrupted frame. Missing file yields an empty list.
@@ -42,8 +66,9 @@ class FileStableStore {
 
  private:
   std::string path_;
-  std::ofstream out_;
-  std::uint64_t written_ = 0;
+  int fd_ = -1;
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> flushes_{0};
 };
 
 }  // namespace tart::log

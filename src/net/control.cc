@@ -129,6 +129,15 @@ std::vector<std::byte> encode_metrics_body(const core::MetricsSnapshot& m) {
   w.write_varint(m.net_heartbeat_misses);
   w.write_varint(m.net_frames_refused);
   w.write_varint(m.net_queue_high_water);
+  w.write_varint(m.store_records_written);
+  w.write_varint(m.store_flushes);
+  w.write_varint(m.gw_requests);
+  w.write_varint(m.gw_acked);
+  w.write_varint(m.gw_rejected);
+  w.write_varint(m.gw_errors);
+  w.write_varint(m.gw_commit_batches);
+  w.write_varint(m.gw_commit_records);
+  w.write_varint(m.gw_commit_batch_max);
   return w.take();
 }
 
@@ -154,6 +163,15 @@ core::MetricsSnapshot decode_metrics_body(const std::vector<std::byte>& p) {
   m.net_heartbeat_misses = r.read_varint();
   m.net_frames_refused = r.read_varint();
   m.net_queue_high_water = r.read_varint();
+  m.store_records_written = r.read_varint();
+  m.store_flushes = r.read_varint();
+  m.gw_requests = r.read_varint();
+  m.gw_acked = r.read_varint();
+  m.gw_rejected = r.read_varint();
+  m.gw_errors = r.read_varint();
+  m.gw_commit_batches = r.read_varint();
+  m.gw_commit_records = r.read_varint();
+  m.gw_commit_batch_max = r.read_varint();
   if (!r.at_end()) throw NetError("metrics body: trailing bytes");
   return m;
 }

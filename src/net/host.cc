@@ -83,12 +83,20 @@ void NetHost::start() {
     if (p.name != self_->name) conn_options.peers[p.name] = p.data_addr;
   conn_options.deployment_fp = deploy_.fingerprint();
   conn_options.tuning = options_.tuning;
+  // A peer that is already dialing can complete its handshake the moment
+  // our listener binds — i.e. while this constructor call is still on the
+  // stack and conn_ is not yet assigned. Park such early callbacks on the
+  // latch until the host is actually wired up.
   conn_ = std::make_unique<ConnectionManager>(
       std::move(conn_options),
       [this](const std::string& peer, transport::Frame frame) {
+        conn_ready_.wait(false);
         on_peer_frame(peer, std::move(frame));
       },
-      [this](const std::string& peer, bool up) { on_link(peer, up); });
+      [this](const std::string& peer, bool up) {
+        conn_ready_.wait(false);
+        on_link(peer, up);
+      });
 
   runtime_->set_remote_router(
       [this](EngineId dst, const transport::Frame& frame) {
@@ -96,6 +104,8 @@ void NetHost::start() {
         if (it == partition_by_engine_.end()) return;
         (void)conn_->send(it->second, frame);
       });
+  conn_ready_.store(true);
+  conn_ready_.notify_all();
 
   if (!self_->control_addr.empty()) {
     const auto addr = SockAddr::parse(self_->control_addr);
@@ -109,6 +119,31 @@ void NetHost::start() {
   }
 
   runtime_->start();
+
+  if (!options_.http_addr.empty()) {
+    // Serve only what this partition can adapt: the input's receiver (or
+    // output's sender) must live on a local engine, because that is where
+    // the external-input adapter timestamps + logs (§II.E).
+    std::map<std::string, WireId> local_inputs;
+    for (const auto& [name, wire] : built_.inputs) {
+      const auto& spec = built_.topology.wire(wire);
+      if (runtime_->engine_is_local(placement_.at(spec.to)))
+        local_inputs[name] = wire;
+    }
+    std::map<std::string, WireId> local_outputs;
+    for (const auto& [name, wire] : built_.outputs) {
+      const auto& spec = built_.topology.wire(wire);
+      if (runtime_->engine_is_local(placement_.at(spec.from)))
+        local_outputs[name] = wire;
+    }
+    gateway::Gateway::Options gw_options;
+    gw_options.listen = options_.http_addr;
+    gw_options.group_commit = options_.http_group_commit;
+    gateway_ = std::make_unique<gateway::Gateway>(
+        runtime_.get(), std::move(gw_options), std::move(local_inputs),
+        std::move(local_outputs), [this] { return metrics(); },
+        [this] { request_shutdown(); });
+  }
   started_ = true;
 }
 
@@ -117,6 +152,9 @@ int NetHost::run_until_shutdown() {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   if (stopping_.exchange(true)) return 0;
+  // Gateway first: it holds a raw Runtime pointer, so no injection may be
+  // in flight once the runtime starts stopping.
+  if (gateway_) gateway_->shutdown();
   control_listener_.reset();
   if (control_thread_.joinable()) control_thread_.join();
   {
@@ -145,6 +183,7 @@ core::MetricsSnapshot NetHost::metrics() const {
     total.net_frames_refused = c.frames_refused;
     total.net_queue_high_water = c.queue_high_water;
   }
+  if (gateway_) gateway_->fill(total);
   return total;
 }
 
@@ -243,13 +282,27 @@ NetMessage NetHost::handle_control(const NetMessage& request) {
         const auto it = built_.inputs.find(body.input);
         if (it == built_.inputs.end())
           return error("unknown input '" + body.input + "'");
-        const VirtualTime vt =
+        const core::InjectResult r =
             body.vt < 0
-                ? runtime_->inject(it->second, body.payload)
-                : runtime_->inject_at(it->second, VirtualTime(body.vt),
-                                      body.payload);
-        return NetMessage{NetMsgType::kInjectAck,
-                          encode_i64_body(vt.ticks())};
+                ? runtime_->try_inject(it->second, body.payload)
+                : runtime_->try_inject_at(it->second, VirtualTime(body.vt),
+                                          body.payload);
+        switch (r.status) {
+          case core::InjectStatus::kOk:
+            return NetMessage{NetMsgType::kInjectAck,
+                              encode_i64_body(r.vt.ticks())};
+          case core::InjectStatus::kUnknownWire:
+            return error("input '" + body.input + "' not adaptable here");
+          case core::InjectStatus::kClosed:
+            return error("input '" + body.input + "' is closed");
+          case core::InjectStatus::kVtRegressed:
+            return error("vt " + std::to_string(body.vt) +
+                         " is not after the last logged vt on '" +
+                         body.input + "'");
+          case core::InjectStatus::kStoreFailed:
+            return error("stable store append failed (injection NOT durable)");
+        }
+        return error("unreachable");
       }
       case NetMsgType::kCloseInput: {
         const std::string name = decode_string_body(request.payload);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/runtime.h"
+#include "gateway/gateway.h"
 #include "net/connection_manager.h"
 #include "net/control.h"
 #include "net/partition_config.h"
@@ -41,6 +42,11 @@ namespace tart::net {
 struct HostOptions {
   std::string log_dir;     ///< stable storage; empty = volatile node
   std::string trace_path;  ///< flight-recorder file; empty = tracing off
+  /// HTTP ingress listen address ("127.0.0.1:8080"); empty = no gateway.
+  /// The gateway serves only the inputs/outputs adaptable on THIS
+  /// partition (clients talk to the node hosting the component).
+  std::string http_addr;
+  bool http_group_commit = true;  ///< see gateway::Gateway::Options
   NetTuning tuning;
 };
 
@@ -74,6 +80,10 @@ class NetHost {
   [[nodiscard]] std::uint16_t data_port() const {
     return conn_ ? conn_->listen_port() : 0;
   }
+  /// HTTP ingress port (0 when no gateway is configured).
+  [[nodiscard]] std::uint16_t http_port() const {
+    return gateway_ ? gateway_->port() : 0;
+  }
 
  private:
   void on_peer_frame(const std::string& peer, transport::Frame frame);
@@ -94,6 +104,12 @@ class NetHost {
 
   std::unique_ptr<core::Runtime> runtime_;
   std::unique_ptr<ConnectionManager> conn_;
+  /// The manager's net thread can deliver frames / link-up callbacks the
+  /// instant its listener binds — before make_unique even returns and
+  /// assigns conn_. Callbacks wait on this latch so they never observe a
+  /// half-initialized host (on_link dereferences conn_ to probe wires).
+  std::atomic<bool> conn_ready_{false};
+  std::unique_ptr<gateway::Gateway> gateway_;
 
   Fd control_listener_;
   std::uint16_t control_port_ = 0;

@@ -79,6 +79,11 @@ class Writer {
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   }
 
+  /// Appends raw bytes with no length prefix (caller-framed data).
+  void write_raw(const std::byte* data, std::size_t size) {
+    buf_.insert(buf_.end(), data, data + size);
+  }
+
   void write_vt(VirtualTime t) { write_svarint(t.ticks()); }
 
   [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }

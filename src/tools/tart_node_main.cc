@@ -1,7 +1,7 @@
 // tart-node: hosts one partition of a deployment in this OS process.
 //
 //   tart-node <deployment.conf> <partition> [--log-dir=DIR] [--trace=FILE]
-//             [--verbose]
+//             [--http=ADDR|PORT] [--no-group-commit] [--verbose]
 //
 // Every node of a deployment runs this binary with the SAME config file and
 // its own partition name. The node builds the global topology, constructs
@@ -16,6 +16,10 @@
 // timestamp, and the stream continues — the paper's transparent-recovery
 // story (§II.F) demonstrated across real processes (see
 // scripts/net_soak.sh, which SIGKILLs a node mid-run).
+//
+// With --http, the node additionally serves the HTTP ingress gateway
+// (docs/GATEWAY.md) for this partition's external inputs/outputs: POSTed
+// injections are acked only once durable in the log (log-before-ack).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -35,8 +39,14 @@ void on_signal(int) {
 int usage() {
   std::fprintf(stderr,
                "usage: tart-node <deployment.conf> <partition> "
-               "[--log-dir=DIR] [--trace=FILE] [--verbose]\n");
+               "[--log-dir=DIR] [--trace=FILE] [--http=ADDR|PORT] "
+               "[--no-group-commit] [--verbose]\n");
   return 2;
+}
+
+/// "8080" -> "127.0.0.1:8080"; "0.0.0.0:80" passes through.
+std::string http_addr_of(const std::string& arg) {
+  return arg.find(':') == std::string::npos ? "127.0.0.1:" + arg : arg;
 }
 
 }  // namespace
@@ -53,6 +63,10 @@ int main(int argc, char** argv) {
       options.log_dir = arg.substr(std::strlen("--log-dir="));
     } else if (arg.rfind("--trace=", 0) == 0) {
       options.trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg.rfind("--http=", 0) == 0) {
+      options.http_addr = http_addr_of(arg.substr(std::strlen("--http=")));
+    } else if (arg == "--no-group-commit") {
+      options.http_group_commit = false;
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
@@ -71,8 +85,11 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
     host.start();
-    std::fprintf(stderr, "tart-node: partition '%s' up (data :%u, control :%u)\n",
-                 partition.c_str(), host.data_port(), host.control_port());
+    std::fprintf(stderr,
+                 "tart-node: partition '%s' up (data :%u, control :%u, "
+                 "http :%u)\n",
+                 partition.c_str(), host.data_port(), host.control_port(),
+                 host.http_port());
     const int rc = host.run_until_shutdown();
     g_host = nullptr;
     return rc;

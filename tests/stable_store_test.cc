@@ -53,6 +53,68 @@ TEST_F(StableStoreTest, AppendScanRoundTrip) {
   EXPECT_EQ(records[2], bytes({42}));
 }
 
+TEST_F(StableStoreTest, AppendBatchRoundTripWithOneFlush) {
+  const std::string p = path("log");
+  {
+    FileStableStore store(p);
+    const std::vector<std::vector<std::byte>> batch = {
+        bytes({1, 2}), bytes({}), bytes({3, 4, 5})};
+    EXPECT_TRUE(store.append_batch(batch));
+    EXPECT_EQ(store.records_written(), 3u);
+    // The whole batch became durable at ONE flush — the group commit.
+    EXPECT_EQ(store.flushes(), 1u);
+    EXPECT_TRUE(store.append(bytes({9})));
+    EXPECT_EQ(store.flushes(), 2u);
+  }
+  const auto records = FileStableStore::scan(p);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0], bytes({1, 2}));
+  EXPECT_EQ(records[1], bytes({}));
+  EXPECT_EQ(records[2], bytes({3, 4, 5}));
+  EXPECT_EQ(records[3], bytes({9}));
+}
+
+TEST_F(StableStoreTest, EmptyBatchDoesNotFlush) {
+  FileStableStore store(path("log"));
+  EXPECT_TRUE(store.append_batch({}));
+  EXPECT_EQ(store.records_written(), 0u);
+  EXPECT_EQ(store.flushes(), 0u);
+}
+
+TEST_F(StableStoreTest, TornBatchedWriteRecoversIntactPrefix) {
+  const std::string p = path("log");
+  {
+    FileStableStore store(p);
+    const std::vector<std::vector<std::byte>> batch = {
+        bytes({1, 1}), bytes({2, 2}), bytes({3, 3})};
+    ASSERT_TRUE(store.append_batch(batch));
+  }
+  // Crash mid-batch: the tail of the single batched write never hit disk.
+  // The intact per-record frames before the tear must still scan.
+  const auto size = std::filesystem::file_size(p);
+  std::filesystem::resize_file(p, size - 3);
+  const auto records = FileStableStore::scan(p);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], bytes({1, 1}));
+  EXPECT_EQ(records[1], bytes({2, 2}));
+}
+
+TEST_F(StableStoreTest, TornBatchHeaderDropsOnlyTornRecord) {
+  const std::string p = path("log");
+  {
+    FileStableStore store(p);
+    ASSERT_TRUE(store.append_batch(
+        std::vector<std::vector<std::byte>>{bytes({5, 5, 5}), bytes({6})}));
+  }
+  // Tear inside the second record's frame HEADER (frame = 16-byte header
+  // + payload: file is 16+3 + 16+1; chop 9 bytes to land mid-header).
+  const auto size = std::filesystem::file_size(p);
+  std::filesystem::resize_file(p, size - 9);
+  const auto records = FileStableStore::scan(p);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], bytes({5, 5, 5}));
+}
+
 TEST_F(StableStoreTest, ReopenAppends) {
   const std::string p = path("log");
   {
@@ -125,6 +187,35 @@ TEST_F(StableStoreTest, MessageLogWriteThroughAndRecover) {
   ASSERT_EQ(replay.size(), 2u);
   EXPECT_EQ(replay[0].payload.as_string(), "sentence");
   EXPECT_EQ(recovered.last_vt(WireId(3)), VirtualTime(80000));
+}
+
+TEST_F(StableStoreTest, MessageLogAppendBatchOneFlushAndRecover) {
+  const std::string p = path("messages");
+  {
+    ExternalMessageLog log;
+    FileStableStore store(p);
+    log.attach_store(&store);
+    std::vector<Message> batch;
+    for (int i = 0; i < 5; ++i) {
+      Message m;
+      m.wire = WireId(i % 2);  // interleave two wires in one batch
+      m.seq = static_cast<std::uint64_t>(i / 2);
+      m.vt = VirtualTime(1000 * (i + 1));
+      m.payload = Payload(static_cast<std::int64_t>(i));
+      batch.push_back(std::move(m));
+    }
+    EXPECT_TRUE(log.append_batch(batch));
+    EXPECT_EQ(store.records_written(), 5u);
+    EXPECT_EQ(store.flushes(), 1u);
+  }
+  ExternalMessageLog recovered;
+  recovered.load_from(p);
+  EXPECT_EQ(recovered.size(WireId(0)), 3u);
+  EXPECT_EQ(recovered.size(WireId(1)), 2u);
+  const auto replay = recovered.replay_after(WireId(0), VirtualTime(-1));
+  ASSERT_EQ(replay.size(), 3u);
+  EXPECT_EQ(replay[0].payload.as_int(), 0);
+  EXPECT_EQ(replay[2].payload.as_int(), 4);
 }
 
 TEST_F(StableStoreTest, FaultLogWriteThroughAndRecover) {

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -52,6 +53,11 @@ struct RunOutcome {
   double avg = 0, p95 = 0;
   std::uint64_t probes = 0;
   double pessimism_ms = 0;
+  // Per-episode stall distribution at the merger, read back from the
+  // telemetry registry (all input wires merged) — the distributional view
+  // behind the pessimism_ms total.
+  std::uint64_t stall_episodes = 0;
+  double stall_p50_us = 0, stall_p99_us = 0, stall_max_us = 0;
 };
 
 RunOutcome run_config(SchedulingMode mode, bool curiosity) {
@@ -146,6 +152,27 @@ RunOutcome run_config(SchedulingMode mode, bool curiosity) {
   const auto m = rt.metrics(merger);
   outcome.probes = m.probes_sent;
   outcome.pessimism_ms = static_cast<double>(m.pessimism_wait_ns) / 1e6;
+  {
+    // Merge the merger's per-wire stall-attribution histograms.
+    std::optional<tart::stats::Histogram> stall;
+    for (const auto& s : rt.registry().samples()) {
+      if (s.name != "tart_pessimism_stall_seconds" || !s.hist) continue;
+      bool is_merger = false;
+      for (const auto& l : s.labels)
+        if (l.key == "component" && l.value == "merger") is_merger = true;
+      if (!is_merger) continue;
+      if (!stall)
+        stall = *s.hist;
+      else
+        (void)stall->merge(*s.hist);
+    }
+    if (stall && stall->count() > 0) {
+      outcome.stall_episodes = stall->count();
+      outcome.stall_p50_us = stall->percentile(50) * 1e6;
+      outcome.stall_p99_us = stall->percentile(99) * 1e6;
+      outcome.stall_max_us = stall->max_seen() * 1e6;
+    }
+  }
   rt.stop();
 
   tart::stats::OnlineStats stats;
@@ -191,6 +218,24 @@ int main() {
   add("deterministic, lazy silence", lazy);
   add("deterministic, curiosity", cur);
   table.print();
+
+  // The stall distribution behind the pessimism totals (merger, all input
+  // wires merged) — same series GET /metrics exposes per wire.
+  std::printf("\nMerger stall-attribution histogram (us/episode):\n");
+  tart::bench::Table stalls({"configuration", "episodes", "p50", "p99",
+                             "max"});
+  const auto add_stalls = [&](const char* name, const RunOutcome& r) {
+    stalls.row({name,
+                tart::bench::fmt("%llu", static_cast<unsigned long long>(
+                                             r.stall_episodes)),
+                tart::bench::fmt("%.0f", r.stall_p50_us),
+                tart::bench::fmt("%.0f", r.stall_p99_us),
+                tart::bench::fmt("%.0f", r.stall_max_us)});
+  };
+  add_stalls("non-deterministic", nd);
+  add_stalls("deterministic, lazy silence", lazy);
+  add_stalls("deterministic, curiosity", cur);
+  stalls.print();
 
   // The per-request latency series of the paper's figure, bucketed.
   std::printf("\nLatency by request-number window (us):\n");

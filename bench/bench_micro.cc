@@ -9,6 +9,7 @@
 #include "checkpoint/snapshot.h"
 #include "common/rng.h"
 #include "estimator/estimator.h"
+#include "obs/registry.h"
 #include "trace/recorder.h"
 #include "wire/inbox.h"
 #include "wire/retention_buffer.h"
@@ -186,6 +187,52 @@ void BM_TraceRecordMasked(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceRecordMasked);
+
+// Telemetry-registry hot path: every scheduler counter bump is one relaxed
+// fetch_add on a pre-resolved cell (the registry mutex is registration-time
+// only), so full instrumentation must cost nanoseconds per op — the
+// acceptance bar is ~20ns/counter inc.
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("tart_bench_total", "bench counter",
+                                {{"component", "bench"}});
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("tart_bench_seconds", "bench histogram",
+                                    {{"component", "bench"},
+                                     {"wire", "w0"}},
+                                    100e-6, 256);
+  double x = 0.0;
+  for (auto _ : state) {
+    h.record(x);
+    x += 13e-6;
+    if (x > 25e-3) x = 0.0;  // spread across buckets incl. overflow misses
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+// Compiled-out baseline: the shape instrumented code takes when a cell is
+// absent (null-handle branch). This is the floor the enabled paths are
+// compared against.
+void BM_ObsCounterCompiledOut(benchmark::State& state) {
+  obs::Counter* c = nullptr;
+  std::uint64_t fallback = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c);
+    if (c != nullptr)
+      c->inc();
+    else
+      ++fallback;
+  }
+  benchmark::DoNotOptimize(fallback);
+}
+BENCHMARK(BM_ObsCounterCompiledOut);
 
 void BM_PayloadRoundTrip(benchmark::State& state) {
   const Payload p(std::vector<std::string>{"a", "sentence", "of", "words"});

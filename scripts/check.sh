@@ -15,6 +15,17 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== gateway bench smoke =="
 ./build/bench/bench_gateway --smoke
 
+# Exposition lint: the Prometheus-conventions linter (obs::lint_exposition)
+# must pass both on synthetic pages (obs_test) and against a real gateway
+# scrape (gateway_test's MetricsAndHealthz). Run them by name so a filter
+# change in the suites can't silently drop the gate.
+echo "== exposition lint =="
+./build/tests/obs_test \
+  --gtest_filter='ExpositionLint.*:Exposition.*' --gtest_brief=1
+./build/tests/gateway_test \
+  --gtest_filter='*MetricsAndHealthz*:*StatusReportsSilenceWavefront*' \
+  --gtest_brief=1
+
 if [[ "$run_asan" == 1 ]]; then
   echo "== tier-1 under AddressSanitizer =="
   cmake -B build-asan -S . -DTART_SANITIZE=address >/dev/null

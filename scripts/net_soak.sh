@@ -2,7 +2,12 @@
 # Multi-process soak: repeatedly runs the two-process deployment test
 # (real tart-node processes over loopback TCP, SIGKILL + restart included)
 # to shake out timing-dependent bugs in the socket transport and the
-# recovery path. Usage: scripts/net_soak.sh [iterations]   (default 20)
+# recovery path. Each run also boots a live two-node deployment and
+# scrapes /metrics + /status from both gateways mid-run with
+# `tart-obs --scrape` (lint-clean exposition, stall-attribution series
+# present, parsable wavefront JSON) and aggregates both control ports
+# once with `tart-obs --once`.
+# Usage: scripts/net_soak.sh [iterations]   (default 20)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +15,92 @@ iters="${1:-20}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)" --target net_process_test net_loop_test \
-  gateway_process_test tart-node tart-trace tart-gateway
+  gateway_process_test tart-node tart-trace tart-gateway tart-obs
+
+wait_healthy() {
+  local addr="$1"
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "ERROR: node at $addr never became healthy" >&2
+  return 1
+}
+
+# Live telemetry scrape against a real two-node deployment. Traffic is
+# still flowing when tart-obs runs — this is the "scrape a busy cluster"
+# path, not a quiesced snapshot.
+scrape_phase() {
+  echo "== live two-node telemetry scrape =="
+  local dir
+  dir="$(mktemp -d)"
+  local ports=()
+  local i
+  for i in 1 2 3 4 5 6; do ports+=("$((20000 + RANDOM % 30000))"); done
+  local left_ctl="127.0.0.1:${ports[1]}" right_ctl="127.0.0.1:${ports[3]}"
+  local left_http="127.0.0.1:${ports[4]}" right_http="127.0.0.1:${ports[5]}"
+  cat > "$dir/deploy.conf" <<EOF
+topology = wordcount
+param senders = 2
+partition left = 127.0.0.1:${ports[0]}
+control left = $left_ctl
+partition right = 127.0.0.1:${ports[2]}
+control right = $right_ctl
+place sender1 = left
+place sender2 = left
+place merger = right
+EOF
+  mkdir -p "$dir/left" "$dir/right"
+  ./build/src/tools/tart-node "$dir/deploy.conf" left \
+    --http="$left_http" --log-dir="$dir/left" \
+    --sample="$dir/left.jsonl" --sample-interval-ms=100 \
+    > "$dir/left.out" 2>&1 &
+  local left_pid=$!
+  ./build/src/tools/tart-node "$dir/deploy.conf" right \
+    --http="$right_http" --log-dir="$dir/right" > "$dir/right.out" 2>&1 &
+  local right_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $left_pid $right_pid 2>/dev/null || true; rm -rf '$dir'" RETURN
+
+  wait_healthy "$left_http"
+  wait_healthy "$right_http"
+
+  # Keep traffic flowing in the background while the scrape happens.
+  (
+    for i in $(seq 1 200); do
+      curl -fsS -X POST --data "word$((i % 7))" \
+        -H 'Content-Type: text/plain' \
+        "http://$left_http/inject/sender$(((i % 2) + 1))" >/dev/null || true
+    done
+  ) &
+  local feeder_pid=$!
+
+  # Mid-run: both gateways must serve a lint-clean Prometheus page with
+  # the per-wire stall-attribution family, and a parsable /status page.
+  ./build/src/tools/tart-obs --scrape "$left_http" "$right_http"
+  # Both control ports aggregated into one cluster table.
+  ./build/src/tools/tart-obs --once "$left_ctl" "$right_ctl"
+
+  wait "$feeder_pid" || true
+  curl -fsS -X POST "http://$left_http/drain" >/dev/null
+  curl -fsS -X POST "http://$right_http/drain" >/dev/null
+  # Post-drain scrape: the counters page must still lint clean once the
+  # pessimism/stall series carry real observations.
+  ./build/src/tools/tart-obs --scrape "$left_http" "$right_http"
+  [[ -s "$dir/left.jsonl" ]] || {
+    echo "ERROR: --sample produced no JSONL on the left node" >&2
+    return 1
+  }
+
+  curl -fsS -X POST "http://$left_http/shutdown" >/dev/null || true
+  curl -fsS -X POST "http://$right_http/shutdown" >/dev/null || true
+  wait "$left_pid" "$right_pid" 2>/dev/null || true
+  trap - RETURN
+  rm -rf "$dir"
+  echo "== live scrape clean =="
+}
+
+scrape_phase
 
 for i in $(seq 1 "$iters"); do
   echo "== soak iteration $i/$iters =="

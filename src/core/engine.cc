@@ -7,7 +7,7 @@ namespace tart::core {
 Engine::Engine(EngineId id, const Topology& topology,
                const RuntimeConfig& config, FrameRouter& router,
                log::DeterminismFaultLog& fault_log,
-               checkpoint::ReplicaStore& replica,
+               checkpoint::ReplicaStore& replica, obs::Registry& registry,
                trace::TraceRecorder* tracer)
     : id_(id),
       topology_(topology),
@@ -15,6 +15,7 @@ Engine::Engine(EngineId id, const Topology& topology,
       router_(router),
       fault_log_(fault_log),
       replica_(replica),
+      registry_(registry),
       tracer_(tracer) {}
 
 Engine::~Engine() { stop(); }
@@ -29,7 +30,7 @@ Engine::RunnerMap Engine::make_runners() const {
   for (const ComponentId c : placed_) {
     runners.emplace(c, std::make_shared<ComponentRunner>(
                            topology_, c, config_, router_, fault_log_,
-                           replica_, tracer_));
+                           replica_, registry_, tracer_));
   }
   return runners;
 }

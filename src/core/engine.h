@@ -40,7 +40,8 @@ class Engine {
   /// `tracer` may be null (tracing disabled).
   Engine(EngineId id, const Topology& topology, const RuntimeConfig& config,
          FrameRouter& router, log::DeterminismFaultLog& fault_log,
-         checkpoint::ReplicaStore& replica, trace::TraceRecorder* tracer);
+         checkpoint::ReplicaStore& replica, obs::Registry& registry,
+         trace::TraceRecorder* tracer);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -91,6 +92,7 @@ class Engine {
   FrameRouter& router_;
   log::DeterminismFaultLog& fault_log_;
   checkpoint::ReplicaStore& replica_;
+  obs::Registry& registry_;
   trace::TraceRecorder* const tracer_;
 
   std::vector<ComponentId> placed_;

@@ -1,120 +1,182 @@
-// Per-component runtime metrics: the quantities the paper's evaluation
-// tracks ("We counted the number of out-of-order messages, the number of
-// curiosity probes, and the average end-to-end latency", §III.A) plus the
-// pessimism-delay accounting that explains the overhead.
+// Runtime metrics: the quantities the paper's evaluation tracks ("We
+// counted the number of out-of-order messages, the number of curiosity
+// probes, and the average end-to-end latency", §III.A) plus the
+// pessimism-delay accounting that explains the overhead of determinism.
+//
+// Every scalar field of MetricsSnapshot is enumerated EXACTLY ONCE, in
+// TART_METRICS_COMPONENT_FIELDS / TART_METRICS_GLOBAL_FIELDS below. The
+// struct definition, operator+= aggregation, control-plane serde
+// (net/control.cc), Prometheus exposition (obs/exposition.cc) and the
+// sampler's JSON rendering are all generated from that list — adding a
+// counter without listing it is a compile error (see the static_assert),
+// not a silently-unmerged field.
+//
+// X-macro columns: X(field, prom_name, help, agg, scale)
+//   field      C++ member name
+//   prom_name  exposition name (tart_ prefix, _total/_seconds suffixes per
+//              docs/OBSERVABILITY.md)
+//   agg        SUM (counter; += merges by addition) or
+//              MAX (high-water gauge; += merges by maximum)
+//   scale      multiplier applied at exposition only (1e-9 turns a raw
+//              nanosecond counter into a _seconds_total series); raw
+//              values stay integral so cross-node merging is exact
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <string>
+
+#include "obs/registry.h"
 
 namespace tart::core {
 
-/// Plain-value snapshot for reporting.
+// Per-component scheduler counters. Kept in the telemetry registry as
+// labelled series ({component="..."}); MetricsSnapshot carries the
+// plain-value readout.
+#define TART_METRICS_COMPONENT_FIELDS(X)                                      \
+  X(messages_processed, "tart_messages_processed_total",                      \
+    "Messages dispatched to component handlers", SUM, 1.0)                    \
+  X(calls_served, "tart_calls_served_total",                                  \
+    "Synchronous calls served (on_call invocations)", SUM, 1.0)               \
+  X(probes_sent, "tart_probes_sent_total",                                    \
+    "Curiosity probes sent at lagging senders", SUM, 1.0)                     \
+  X(pessimism_events, "tart_pessimism_events_total",                          \
+    "Stall episodes: the earliest message held awaiting silence", SUM, 1.0)   \
+  X(pessimism_wait_ns, "tart_pessimism_wait_seconds_total",                   \
+    "Wall time blocked awaiting other wires' silence promises", SUM, 1e-9)    \
+  X(estimator_underestimates, "tart_estimator_underestimates_total",          \
+    "Handler executions that ran longer than the estimator's charge", SUM,    \
+    1.0)                                                                      \
+  X(out_of_order_arrivals, "tart_out_of_order_arrivals_total",                \
+    "Arrivals whose virtual time inverted the arrival order", SUM, 1.0)       \
+  X(duplicates_discarded, "tart_duplicates_discarded_total",                  \
+    "Replay duplicates discarded by timestamp (SS II.F.4)", SUM, 1.0)         \
+  X(gaps_detected, "tart_gaps_detected_total",                                \
+    "Sequence gaps detected (lost ticks needing replay)", SUM, 1.0)           \
+  X(checkpoints_taken, "tart_checkpoints_taken_total",                        \
+    "Soft checkpoints shipped to the passive replica", SUM, 1.0)
+
+// Process-wide counters filled in by the tracer, the socket transport
+// (NetHost), stable storage, and the HTTP ingress gateway. Zero when the
+// subsystem is not configured.
+#define TART_METRICS_GLOBAL_FIELDS(X)                                         \
+  X(trace_events_recorded, "tart_trace_events_recorded_total",                \
+    "Flight-recorder events recorded", SUM, 1.0)                              \
+  X(trace_events_dropped, "tart_trace_events_dropped_total",                  \
+    "Flight-recorder events dropped on ring overflow", SUM, 1.0)              \
+  X(net_bytes_in, "tart_net_bytes_in_total",                                  \
+    "Bytes received from peer nodes", SUM, 1.0)                               \
+  X(net_bytes_out, "tart_net_bytes_out_total", "Bytes sent to peer nodes",    \
+    SUM, 1.0)                                                                 \
+  X(net_frames_in, "tart_net_frames_in_total",                                \
+    "Transport frames received from peer nodes", SUM, 1.0)                    \
+  X(net_frames_out, "tart_net_frames_out_total",                              \
+    "Transport frames sent to peer nodes", SUM, 1.0)                          \
+  X(net_reconnects, "tart_net_reconnects_total",                              \
+    "Peer connection re-establishments", SUM, 1.0)                            \
+  X(net_heartbeat_misses, "tart_net_heartbeat_misses_total",                  \
+    "Peer liveness timeouts", SUM, 1.0)                                       \
+  X(net_frames_refused, "tart_net_frames_refused_total",                      \
+    "Frames dropped by backpressure or link-down", SUM, 1.0)                  \
+  X(net_queue_high_water, "tart_net_queue_high_water",                        \
+    "Max frames ever queued to any one peer", MAX, 1.0)                       \
+  X(store_records_written, "tart_store_records_written_total",                \
+    "Records appended to stable storage", SUM, 1.0)                           \
+  X(store_flushes, "tart_store_flushes_total",                                \
+    "Stable-store fsync flushes (less than records = group commit)", SUM,     \
+    1.0)                                                                      \
+  X(gw_requests, "tart_gw_requests_total", "HTTP requests parsed", SUM, 1.0)  \
+  X(gw_acked, "tart_gw_acked_total",                                          \
+    "Injections acked 200 (durable, log-before-ack)", SUM, 1.0)               \
+  X(gw_rejected, "tart_gw_rejected_total", "429 admission rejections", SUM,   \
+    1.0)                                                                      \
+  X(gw_errors, "tart_gw_errors_total", "Other 4xx/5xx responses", SUM, 1.0)   \
+  X(gw_commit_batches, "tart_gw_commit_batches_total",                        \
+    "Group-commit rounds", SUM, 1.0)                                          \
+  X(gw_commit_records, "tart_gw_commit_records_total",                        \
+    "Injections across all commit rounds", SUM, 1.0)                          \
+  X(gw_commit_batch_max, "tart_gw_commit_batch_max",                          \
+    "Largest single group-commit round", MAX, 1.0)
+
+#define TART_METRICS_SCALAR_FIELDS(X) \
+  TART_METRICS_COMPONENT_FIELDS(X)    \
+  TART_METRICS_GLOBAL_FIELDS(X)
+
+/// Plain-value snapshot for reporting; fields generated from the list.
 struct MetricsSnapshot {
-  std::uint64_t messages_processed = 0;
-  std::uint64_t calls_served = 0;
-  std::uint64_t probes_sent = 0;
-  std::uint64_t pessimism_events = 0;
-  std::uint64_t pessimism_wait_ns = 0;  ///< real time blocked awaiting silence
-  std::uint64_t out_of_order_arrivals = 0;  ///< vt inversions in arrival order
-  std::uint64_t duplicates_discarded = 0;
-  std::uint64_t gaps_detected = 0;
-  std::uint64_t checkpoints_taken = 0;
-  std::uint64_t trace_events_recorded = 0;
-  std::uint64_t trace_events_dropped = 0;  ///< flight-recorder ring overflow
-
-  // Socket-transport counters (src/net), zero in single-process
-  // deployments. Filled by the hosting NetHost when it merges its
-  // ConnectionManager's counters into the runtime snapshot.
-  std::uint64_t net_bytes_in = 0;
-  std::uint64_t net_bytes_out = 0;
-  std::uint64_t net_frames_in = 0;
-  std::uint64_t net_frames_out = 0;
-  std::uint64_t net_reconnects = 0;
-  std::uint64_t net_heartbeat_misses = 0;
-  std::uint64_t net_frames_refused = 0;     ///< backpressure / link-down drops
-  std::uint64_t net_queue_high_water = 0;   ///< max frames queued to any peer
-
-  // Stable-store durability counters (src/log), zero without a log_dir.
-  // flushes < records_written means group commit coalesced appends.
-  std::uint64_t store_records_written = 0;
-  std::uint64_t store_flushes = 0;
-
-  // HTTP ingress gateway counters (src/gateway), zero without a gateway.
-  // Filled by the hosting Gateway when it merges its counters into the
-  // snapshot; the ack-latency and batch-size histograms stay in the
-  // gateway (exposed via GET /metrics) — only scalars travel here.
-  std::uint64_t gw_requests = 0;        ///< HTTP requests parsed
-  std::uint64_t gw_acked = 0;           ///< injections acked 200 (durable)
-  std::uint64_t gw_rejected = 0;        ///< 429 admission rejections
-  std::uint64_t gw_errors = 0;          ///< other 4xx/5xx responses
-  std::uint64_t gw_commit_batches = 0;  ///< group-commit rounds
-  std::uint64_t gw_commit_records = 0;  ///< injections across all rounds
-  std::uint64_t gw_commit_batch_max = 0;  ///< largest single round
+#define TART_METRICS_DECLARE(field, prom, help, agg, scale) \
+  std::uint64_t field = 0;
+  TART_METRICS_SCALAR_FIELDS(TART_METRICS_DECLARE)
+#undef TART_METRICS_DECLARE
 };
 
-class RunnerMetrics {
- public:
-  std::atomic<std::uint64_t> messages_processed{0};
-  std::atomic<std::uint64_t> calls_served{0};
-  std::atomic<std::uint64_t> probes_sent{0};
-  std::atomic<std::uint64_t> pessimism_events{0};
-  std::atomic<std::uint64_t> pessimism_wait_ns{0};
-  std::atomic<std::uint64_t> out_of_order_arrivals{0};
-  std::atomic<std::uint64_t> duplicates_discarded{0};
-  std::atomic<std::uint64_t> gaps_detected{0};
-  std::atomic<std::uint64_t> checkpoints_taken{0};
+namespace detail {
+#define TART_METRICS_COUNT(field, prom, help, agg, scale) +1
+inline constexpr std::size_t kMetricsFieldCount =
+    0 TART_METRICS_SCALAR_FIELDS(TART_METRICS_COUNT);
+#undef TART_METRICS_COUNT
+}  // namespace detail
 
-  [[nodiscard]] MetricsSnapshot snapshot() const {
-    MetricsSnapshot s;
-    s.messages_processed = messages_processed.load();
-    s.calls_served = calls_served.load();
-    s.probes_sent = probes_sent.load();
-    s.pessimism_events = pessimism_events.load();
-    s.pessimism_wait_ns = pessimism_wait_ns.load();
-    s.out_of_order_arrivals = out_of_order_arrivals.load();
-    s.duplicates_discarded = duplicates_discarded.load();
-    s.gaps_detected = gaps_detected.load();
-    s.checkpoints_taken = checkpoints_taken.load();
-    return s;
-  }
-};
+// The field-forgetting guard: a uint64 member added to MetricsSnapshot by
+// hand (outside the X-macro) changes sizeof without changing the count,
+// and the build stops here instead of silently skipping the field in
+// operator+=, serde, and exposition.
+static_assert(sizeof(MetricsSnapshot) ==
+                  detail::kMetricsFieldCount * sizeof(std::uint64_t),
+              "every MetricsSnapshot field must be enumerated in "
+              "TART_METRICS_COMPONENT_FIELDS or TART_METRICS_GLOBAL_FIELDS");
+
+#define TART_METRICS_AGG_SUM(field) a.field += b.field;
+#define TART_METRICS_AGG_MAX(field) \
+  a.field = a.field > b.field ? a.field : b.field;
+#define TART_METRICS_MERGE(field, prom, help, agg, scale) \
+  TART_METRICS_AGG_##agg(field)
 
 inline MetricsSnapshot& operator+=(MetricsSnapshot& a,
                                    const MetricsSnapshot& b) {
-  a.messages_processed += b.messages_processed;
-  a.calls_served += b.calls_served;
-  a.probes_sent += b.probes_sent;
-  a.pessimism_events += b.pessimism_events;
-  a.pessimism_wait_ns += b.pessimism_wait_ns;
-  a.out_of_order_arrivals += b.out_of_order_arrivals;
-  a.duplicates_discarded += b.duplicates_discarded;
-  a.gaps_detected += b.gaps_detected;
-  a.checkpoints_taken += b.checkpoints_taken;
-  a.trace_events_recorded += b.trace_events_recorded;
-  a.trace_events_dropped += b.trace_events_dropped;
-  a.net_bytes_in += b.net_bytes_in;
-  a.net_bytes_out += b.net_bytes_out;
-  a.net_frames_in += b.net_frames_in;
-  a.net_frames_out += b.net_frames_out;
-  a.net_reconnects += b.net_reconnects;
-  a.net_heartbeat_misses += b.net_heartbeat_misses;
-  a.net_frames_refused += b.net_frames_refused;
-  a.net_queue_high_water =
-      a.net_queue_high_water > b.net_queue_high_water ? a.net_queue_high_water
-                                                      : b.net_queue_high_water;
-  a.store_records_written += b.store_records_written;
-  a.store_flushes += b.store_flushes;
-  a.gw_requests += b.gw_requests;
-  a.gw_acked += b.gw_acked;
-  a.gw_rejected += b.gw_rejected;
-  a.gw_errors += b.gw_errors;
-  a.gw_commit_batches += b.gw_commit_batches;
-  a.gw_commit_records += b.gw_commit_records;
-  a.gw_commit_batch_max = a.gw_commit_batch_max > b.gw_commit_batch_max
-                              ? a.gw_commit_batch_max
-                              : b.gw_commit_batch_max;
+  TART_METRICS_SCALAR_FIELDS(TART_METRICS_MERGE)
   return a;
 }
+
+#undef TART_METRICS_MERGE
+#undef TART_METRICS_AGG_SUM
+#undef TART_METRICS_AGG_MAX
+
+/// Per-runner handles into the telemetry registry: one labelled counter
+/// cell per component field, found-or-created by name so a recovered
+/// component re-attaches to its series (counts survive crash/recover the
+/// way trace streams do; checkpoint restore overwrites messages_processed
+/// via Counter::set). Increments are relaxed atomic adds on stable cells —
+/// the registry is never touched after construction.
+class RunnerMetrics {
+ public:
+  RunnerMetrics(obs::Registry& registry, const std::string& component)
+      :
+#define TART_METRICS_INIT(field, prom, help, agg, scale)            \
+  field(registry.counter(prom, help,                                \
+                         obs::Labels{{"component", component}},     \
+                         scale)),
+        TART_METRICS_COMPONENT_FIELDS(TART_METRICS_INIT)
+#undef TART_METRICS_INIT
+            component_(component) {
+  }
+
+#define TART_METRICS_MEMBER(field, prom, help, agg, scale) obs::Counter& field;
+  TART_METRICS_COMPONENT_FIELDS(TART_METRICS_MEMBER)
+#undef TART_METRICS_MEMBER
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+#define TART_METRICS_READ(field, prom, help, agg, scale) \
+  s.field = field.value();
+    TART_METRICS_COMPONENT_FIELDS(TART_METRICS_READ)
+#undef TART_METRICS_READ
+    return s;
+  }
+
+ private:
+  const std::string component_;
+};
 
 }  // namespace tart::core

@@ -1,7 +1,9 @@
 #include "core/runner.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <set>
 
 #include "common/logging.h"
 
@@ -135,6 +137,7 @@ ComponentRunner::ComponentRunner(const Topology& topology, ComponentId id,
                                  FrameRouter& router,
                                  log::DeterminismFaultLog& fault_log,
                                  checkpoint::ReplicaStore& replica,
+                                 obs::Registry& registry,
                                  trace::TraceRecorder* tracer)
     : topology_(topology),
       id_(id),
@@ -142,6 +145,7 @@ ComponentRunner::ComponentRunner(const Topology& topology, ComponentId id,
       config_(config),
       router_(router),
       replica_(replica),
+      registry_(registry),
       tracer_(tracer),
       bias_([&] {
         const auto it = config.bias.find(id);
@@ -151,7 +155,8 @@ ComponentRunner::ComponentRunner(const Topology& topology, ComponentId id,
       component_(topology.component(id).factory()),
       estimators_(id, topology.component(id).estimator_factory(),
                   config.calibration ? &fault_log : nullptr,
-                  config.calibrator) {
+                  config.calibrator),
+      metrics_(registry, topology.component(id).name) {
   inbox_.set_trace(tracer_, id_);
   for (const WireId w : topology.inputs_of(id)) {
     inbox_.add_wire(w);
@@ -185,6 +190,33 @@ ComponentRunner::ComponentRunner(const Topology& topology, ComponentId id,
     if (spec.kind == WireKind::kReply && spec.to == id)
       last_reply_.emplace(spec.id, VirtualTime(-1));
   }
+  // Telemetry: registered eagerly so the labelled families exist (at zero)
+  // from the first scrape, not only after the first stall.
+  for (const WireId w : input_wires_) {
+    const auto& spec = topology.wire(w);
+    const std::string sender = spec.from.is_valid()
+                                   ? topology.component(spec.from).name
+                                   : "external";
+    const obs::Labels labels{{"component", name_},
+                             {"sender", sender},
+                             {"wire", "w" + std::to_string(w.value())}};
+    stall_hist_.emplace(
+        w, &registry.histogram(
+               "tart_pessimism_stall_seconds",
+               "Pessimism-stall episode duration, attributed to the input "
+               "wire whose silence horizon lagged the held message",
+               labels, 100e-6, 256));
+    probe_rtt_hist_.emplace(
+        w, &registry.histogram(
+               "tart_probe_rtt_seconds",
+               "Curiosity-probe to silence-response round trip", labels,
+               20e-6, 256));
+  }
+  est_err_hist_ = &registry.histogram(
+      "tart_estimator_error_seconds",
+      "Absolute error between the estimator's virtual-time charge and the "
+      "measured handler time",
+      obs::Labels{{"component", name_}}, 1e-6, 256);
 }
 
 ComponentRunner::~ComponentRunner() { stop(); }
@@ -216,7 +248,7 @@ void ComponentRunner::deliver_data(const Message& m) {
   bool dup_call = false;
   {
     const std::lock_guard<std::mutex> lk(mu_);
-    if (m.vt <= max_arrival_vt_) metrics_.out_of_order_arrivals.fetch_add(1);
+    if (m.vt <= max_arrival_vt_) metrics_.out_of_order_arrivals.inc();
     max_arrival_vt_ = max(max_arrival_vt_, m.vt);
 
     if (config_.mode == SchedulingMode::kArrivalOrder) {
@@ -227,7 +259,7 @@ void ComponentRunner::deliver_data(const Message& m) {
         case AcceptResult::kAccepted:
           break;
         case AcceptResult::kDuplicate:
-          metrics_.duplicates_discarded.fetch_add(1);
+          metrics_.duplicates_discarded.inc();
           // A re-sent call means the caller recovered and re-executed: the
           // retained reply must be re-sent (the original may have died with
           // the caller's engine).
@@ -237,7 +269,7 @@ void ComponentRunner::deliver_data(const Message& m) {
           }
           break;
         case AcceptResult::kGap:
-          metrics_.gaps_detected.fetch_add(1);
+          metrics_.gaps_detected.inc();
           gap_after = inbox_.wire_horizon(m.wire);
           gap_seq = inbox_.next_seq(m.wire);
           break;
@@ -261,6 +293,18 @@ void ComponentRunner::deliver_silence(WireId wire, VirtualTime through,
     // Reply wires bypass the inbox (the blocked caller is the only
     // consumer); silence on them carries no scheduling information.
     if (!inbox_.has_wire(wire)) return;
+    // A silence frame on a probed wire IS the probe response; close the
+    // round-trip measurement.
+    if (const auto pit = probe_sent_ns_.find(wire);
+        pit != probe_sent_ns_.end()) {
+      const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now().time_since_epoch())
+                              .count();
+      if (const auto hit = probe_rtt_hist_.find(wire);
+          hit != probe_rtt_hist_.end())
+        hit->second->record(static_cast<double>(now_ns - pit->second) * 1e-9);
+      probe_sent_ns_.erase(pit);
+    }
     if (config_.mode == SchedulingMode::kDeterministic) {
       gap = inbox_.announce_silence(wire, through, expected_seq);
       from_seq = inbox_.next_seq(wire);
@@ -273,7 +317,7 @@ void ComponentRunner::deliver_silence(WireId wire, VirtualTime through,
   if (gap) {
     // The announcement accounted data ticks we never received (lost while
     // this engine was down, or on a raw link): fetch them.
-    metrics_.gaps_detected.fetch_add(1);
+    metrics_.gaps_detected.inc();
     router_.to_sender(wire, transport::ReplayRequestFrame{
                                 wire, VirtualTime(-1), from_seq});
   }
@@ -291,7 +335,7 @@ void ComponentRunner::deliver_reply(const Message& m) {
     } else {
       // Duplicate of an already-consumed reply (re-sent after a callee
       // failover, or in answer to a re-executed call we no longer await).
-      metrics_.duplicates_discarded.fetch_add(1);
+      metrics_.duplicates_discarded.inc();
       if (tracer_ != nullptr)
         tracer_->record(id_, trace::TraceEventKind::kDuplicateDiscard, m.vt,
                         m.wire, m.call_id, trace::hash_of(m.payload));
@@ -352,6 +396,9 @@ void ComponentRunner::run() {
   VirtualTime delayed_vt;
   WireId delayed_wire;
   Clock::time_point stall_start{};
+  // Every wire observed lagging during the current stall episode; the
+  // episode's duration is attributed to each of them on release.
+  std::set<WireId> stall_blockers;
 
   try {
     while (!stop_.load()) {
@@ -381,11 +428,16 @@ void ComponentRunner::run() {
       }
 
       if (auto m = inbox_.pop()) {
-        if (head_was_delayed && tracer_ != nullptr) {
-          tracer_->record(id_, trace::TraceEventKind::kStallEnd, m->vt,
-                          m->wire,
-                          static_cast<std::uint64_t>(
-                              ns_between(stall_start, Clock::now())));
+        if (head_was_delayed) {
+          const std::int64_t stall_ns = ns_between(stall_start, Clock::now());
+          if (tracer_ != nullptr)
+            tracer_->record(id_, trace::TraceEventKind::kStallEnd, m->vt,
+                            m->wire, static_cast<std::uint64_t>(stall_ns));
+          const double stall_s = static_cast<double>(stall_ns) * 1e-9;
+          for (const WireId w : stall_blockers)
+            if (const auto hit = stall_hist_.find(w); hit != stall_hist_.end())
+              hit->second->record(stall_s);
+          stall_blockers.clear();
         }
         head_was_delayed = false;
         in_handler_ = true;
@@ -406,21 +458,30 @@ void ComponentRunner::run() {
         const auto head = inbox_.peek();
         if (!head_was_delayed || head->vt != delayed_vt ||
             head->wire != delayed_wire) {
-          metrics_.pessimism_events.fetch_add(1);
+          metrics_.pessimism_events.inc();
           head_was_delayed = true;
           delayed_vt = head->vt;
           delayed_wire = head->wire;
           stall_start = Clock::now();
+          stall_blockers.clear();
           if (tracer_ != nullptr)
             tracer_->record(id_, trace::TraceEventKind::kStallBegin,
                             head->vt, head->wire);
         }
+        const auto lagging = inbox_.lagging_wires();
+        stall_blockers.insert(lagging.begin(), lagging.end());
         const auto t0 = Clock::now();
         if (config_.silence.curiosity) {
-          const auto targets = inbox_.lagging_wires();
+          const auto t0_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  t0.time_since_epoch())
+                  .count();
+          // Stamp under mu_ so deliver_silence can match the response;
+          // an already-outstanding stamp keeps its original send time.
+          for (const WireId w : lagging) probe_sent_ns_.try_emplace(w, t0_ns);
           lk.unlock();
-          for (const WireId w : targets) {
-            metrics_.probes_sent.fetch_add(1);
+          for (const WireId w : lagging) {
+            metrics_.probes_sent.inc();
             if (tracer_ != nullptr)
               tracer_->record(id_, trace::TraceEventKind::kCuriosityProbe,
                               delayed_vt, w);
@@ -430,13 +491,13 @@ void ComponentRunner::run() {
           if (stop_.load()) break;
           // Re-check: probe responses may already have landed.
           if (inbox_.head_eligible()) {
-            metrics_.pessimism_wait_ns.fetch_add(
+            metrics_.pessimism_wait_ns.inc(
                 static_cast<std::uint64_t>(ns_between(t0, Clock::now())));
             continue;
           }
         }
         cv_.wait_for(lk, config_.silence.probe_interval);
-        metrics_.pessimism_wait_ns.fetch_add(
+        metrics_.pessimism_wait_ns.inc(
             static_cast<std::uint64_t>(ns_between(t0, Clock::now())));
         continue;
       }
@@ -562,11 +623,24 @@ void ComponentRunner::process(const Message& m) {
   const bool is_call = m.kind == MessageKind::kCall;
   if (is_call) {
     reply = component_->on_call(ctx, spec.to_port, m.payload);
-    metrics_.calls_served.fetch_add(1);
+    metrics_.calls_served.inc();
   } else {
     component_->on_message(ctx, spec.to_port, m.payload);
   }
   const auto elapsed_ns = ns_between(t0, Clock::now());
+
+  if (config_.mode == SchedulingMode::kDeterministic) {
+    // Estimator accuracy: the charge that moved the cursor vs. the wall
+    // time the handler actually took (1 tick = 1 virtual ns). Pure
+    // observation — the cursor has already advanced by the charge.
+    const std::int64_t charged_ns =
+        charge_for(ctx.counters(), dequeue_vt, prescient_charge).ticks();
+    const std::int64_t err_ns = elapsed_ns - charged_ns;
+    if (err_ns > 0) metrics_.estimator_underestimates.inc();
+    if (est_err_hist_ != nullptr)
+      est_err_hist_->record(
+          static_cast<double>(err_ns < 0 ? -err_ns : err_ns) * 1e-9);
+  }
 
   ctx.advance_cursor();
   VirtualTime cursor = ctx.cursor();
@@ -581,7 +655,7 @@ void ComponentRunner::process(const Message& m) {
 
   current_vt_ = cursor;
   input_pos_[m.wire] = InputPos{m.vt, m.seq + 1};
-  metrics_.messages_processed.fetch_add(1);
+  metrics_.messages_processed.inc();
   ++processed_since_checkpoint_;
 
   if (config_.calibration) {
@@ -773,7 +847,7 @@ void ComponentRunner::capture_checkpoint() {
   }
   s.state = w.take();
   s.vt = current_vt_;
-  s.messages_processed = metrics_.messages_processed.load();
+  s.messages_processed = metrics_.messages_processed.value();
   s.estimator_version = estimators_.version_at(current_vt_);
 
   for (const auto& [wire, pos] : input_pos_) {
@@ -801,7 +875,7 @@ void ComponentRunner::capture_checkpoint() {
   // (a rejected delta is not a durable checkpoint).
   const bool accepted = replica_.store(std::move(s));
   force_full_checkpoint_ = !accepted;
-  metrics_.checkpoints_taken.fetch_add(1);
+  metrics_.checkpoints_taken.inc();
 
   // Input ticks at or before the checkpointed positions are now stable:
   // upstream retention can be trimmed.
@@ -840,7 +914,7 @@ void ComponentRunner::restore_from(
   checkpoint_version_ = last.version;
   processed_since_checkpoint_ = 0;
   force_full_checkpoint_ = true;
-  metrics_.messages_processed.store(last.messages_processed);
+  metrics_.messages_processed.set(last.messages_processed);
   estimators_.restore_to_version(last.estimator_version);
 
   for (const auto& in : last.inputs) {
@@ -898,6 +972,39 @@ bool ComponentRunner::exhausted() const {
 VirtualTime ComponentRunner::current_vt() const {
   const std::lock_guard<std::mutex> lk(mu_);
   return current_vt_;
+}
+
+ComponentStatus ComponentRunner::status() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  ComponentStatus st;
+  st.id = id_;
+  st.name = name_;
+  st.vt_ticks = current_vt_.ticks();
+  st.pending = inbox_.pending();
+  if (config_.mode == SchedulingMode::kArrivalOrder)
+    st.pending += arrival_queue_.size();
+  st.exhausted = !in_handler_ && inbox_.exhausted();
+  const auto head = inbox_.peek();
+  st.held = head.has_value() && !inbox_.head_eligible();
+  if (st.held) {
+    st.held_vt = head->vt.ticks();
+    st.held_wire = head->wire;
+  }
+  const std::vector<WireId> lagging =
+      st.held ? inbox_.lagging_wires() : std::vector<WireId>{};
+  for (const WireId w : input_wires_) {
+    WireStatus ws;
+    ws.wire = w;
+    const auto& spec = topology_.wire(w);
+    ws.sender = spec.from.is_valid() ? topology_.component(spec.from).name
+                                     : "external";
+    ws.horizon_ticks = inbox_.wire_horizon(w).ticks();
+    ws.pending = inbox_.pending_on(w);
+    ws.blocking =
+        std::find(lagging.begin(), lagging.end(), w) != lagging.end();
+    st.inputs.push_back(std::move(ws));
+  }
+  return st;
 }
 
 std::uint64_t ComponentRunner::state_fingerprint() const {

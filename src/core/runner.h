@@ -47,6 +47,7 @@
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/router.h"
+#include "core/status.h"
 #include "core/topology.h"
 #include "estimator/bias.h"
 #include "estimator/comm_delay.h"
@@ -78,11 +79,13 @@ using ControlMsg = std::variant<ReplayRequestCtl, StabilityCtl, DupCallCtl>;
 class ComponentRunner {
  public:
   /// `tracer` may be null (tracing disabled): every record point then
-  /// costs a single branch.
+  /// costs a single branch. `registry` outlives the runner (owned by the
+  /// Runtime); re-registration after crash/recover re-attaches to the
+  /// same cells.
   ComponentRunner(const Topology& topology, ComponentId id,
                   const RuntimeConfig& config, FrameRouter& router,
                   log::DeterminismFaultLog& fault_log,
-                  checkpoint::ReplicaStore& replica,
+                  checkpoint::ReplicaStore& replica, obs::Registry& registry,
                   trace::TraceRecorder* tracer);
   ~ComponentRunner();
 
@@ -133,6 +136,11 @@ class ComponentRunner {
   /// All inputs closed and processed, no handler running.
   [[nodiscard]] bool exhausted() const;
   [[nodiscard]] VirtualTime current_vt() const;
+
+  /// Silence-wavefront view: the VT frontier, per-input-wire horizons and
+  /// queue depths, and — when the head is held by pessimism — which wires
+  /// are blocking it. Consistent read under the runner lock; read-only.
+  [[nodiscard]] ComponentStatus status() const;
 
   /// FNV hash of the component's full serialized state. Only meaningful
   /// when the component is quiescent (drained or stopped); used by tests to
@@ -223,6 +231,7 @@ class ComponentRunner {
   const RuntimeConfig& config_;
   FrameRouter& router_;
   checkpoint::ReplicaStore& replica_;
+  obs::Registry& registry_;
   /// Flight recorder; null when tracing is off. Owned by the Runtime, so
   /// a component's event stream continues across engine crash/recover.
   trace::TraceRecorder* const tracer_;
@@ -268,6 +277,15 @@ class ComponentRunner {
 
   /// Rate limiter for transitive curiosity probes (see handle_probe).
   std::atomic<std::int64_t> last_transitive_probe_ns_{0};
+
+  // Telemetry cells (registry-owned; registered at construction, recorded
+  // into lock-free). Stall attribution is per blocking input wire; probe
+  // RTT matches a probe send stamp (probe_sent_ns_, guarded by mu_) to the
+  // next silence frame on that wire.
+  std::map<WireId, obs::Histogram*> stall_hist_;
+  std::map<WireId, obs::Histogram*> probe_rtt_hist_;
+  obs::Histogram* est_err_hist_ = nullptr;
+  std::map<WireId, std::int64_t> probe_sent_ns_;
 
   RunnerMetrics metrics_;
   std::thread thread_;

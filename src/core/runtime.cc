@@ -32,7 +32,8 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
     if (!engines_.contains(engine)) {
       engines_.emplace(engine, std::make_unique<Engine>(
                                    engine, topology_, config_, *this,
-                                   fault_log_, replica_, tracer_.get()));
+                                   fault_log_, replica_, registry_,
+                                   tracer_.get()));
     }
     engines_.at(engine)->add_component(component);
   }
@@ -544,6 +545,25 @@ MetricsSnapshot Runtime::total_metrics() const {
     total.store_flushes += store->flushes();
   }
   return total;
+}
+
+StatusReport Runtime::status() const {
+  StatusReport report;
+  for (const auto& [component, engine] : placement_) {
+    if (!engine_is_local(engine)) continue;
+    const auto runner = engines_.at(engine)->runner(component);
+    if (runner == nullptr) {
+      // Crashed (or not yet started): show the placement with no detail.
+      ComponentStatus st;
+      st.id = component;
+      st.name = topology_.component(component).name;
+      st.crashed = true;
+      report.components.push_back(std::move(st));
+      continue;
+    }
+    report.components.push_back(runner->status());
+  }
+  return report;
 }
 
 }  // namespace tart::core

@@ -31,6 +31,7 @@
 #include "core/engine.h"
 #include "core/metrics.h"
 #include "core/router.h"
+#include "core/status.h"
 #include "core/topology.h"
 #include "log/fault_log.h"
 #include "log/message_log.h"
@@ -172,6 +173,14 @@ class Runtime final : public FrameRouter {
 
   [[nodiscard]] MetricsSnapshot metrics(ComponentId component) const;
   [[nodiscard]] MetricsSnapshot total_metrics() const;
+  /// Silence wavefront across every locally-placed component: VT
+  /// frontiers, per-input-wire horizons and the wires blocking any held
+  /// message. Crashed components appear with crashed=true and no detail.
+  [[nodiscard]] StatusReport status() const;
+  /// The telemetry registry every runner (and the gateway) records into.
+  /// Lives as long as the runtime; snapshot with registry().samples().
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
   /// State hash of a quiescent component (see ComponentRunner). Returns 0
   /// for components on a crashed engine.
   [[nodiscard]] std::uint64_t state_fingerprint(ComponentId component);
@@ -259,6 +268,11 @@ class Runtime final : public FrameRouter {
   /// traces to be prefix-comparable. Declared before engines_ so it
   /// outlives every runner holding a raw pointer to it.
   std::unique_ptr<trace::TraceRecorder> tracer_;
+
+  /// Telemetry registry: like the tracer, owned here and declared before
+  /// engines_ — runners hold handles into it, and a recovered runner
+  /// re-attaches to the same cells (counts survive crash/recover).
+  obs::Registry registry_;
 
   std::map<EngineId, std::unique_ptr<Engine>> engines_;
   std::map<WireId, std::unique_ptr<InputAdapter>> inputs_;

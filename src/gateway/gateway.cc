@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "net/partition_config.h"
+#include "obs/exposition.h"
 
 namespace tart::gateway {
 
@@ -130,8 +131,14 @@ Gateway::Gateway(core::Runtime* runtime, Options options,
       on_shutdown_(std::move(on_shutdown)),
       // Ack latencies: 50us buckets to 250ms, overflow above (fsync-bound
       // tails on loaded disks land in the overflow bucket, still counted).
-      ack_latency_us_(50.0, 5000),
-      batch_size_(1.0, options_.max_batch + 1) {
+      ack_latency_(runtime->registry().histogram(
+          "tart_gw_ack_latency_seconds",
+          "Client-observed inject latency: enqueue to durable commit.", {},
+          50e-6, 5000)),
+      batch_size_(runtime->registry().histogram(
+          "tart_gw_commit_batch_size",
+          "Injections stamped and logged per group-commit flush.", {}, 1.0,
+          options_.max_batch + 1)) {
   for (const auto& [name, wire] : inputs_) {
     (void)name;
     inflight_[wire].store(0);
@@ -396,8 +403,18 @@ void Gateway::handle_request(std::uint64_t id, HttpRequest req) {
       respond(id, 405, {{"Allow", "GET"}}, "GET only\n", req.keep_alive);
       return;
     }
-    respond(id, 200, {{"Content-Type", "text/plain"}}, render_metrics(),
-            req.keep_alive);
+    respond(id, 200, {{"Content-Type", obs::kPrometheusContentType}},
+            render_metrics(), req.keep_alive);
+    return;
+  }
+  if (path == "/status") {
+    if (req.method != "GET") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "GET"}}, "GET only\n", req.keep_alive);
+      return;
+    }
+    respond(id, 200, {{"Content-Type", "application/json"}},
+            obs::render_status_json(runtime_->status()), req.keep_alive);
     return;
   }
   if (path == "/healthz") {
@@ -651,10 +668,7 @@ void Gateway::committer_main() {
     while (prev < batch.size() &&
            !commit_batch_max_.compare_exchange_weak(prev, batch.size())) {
     }
-    {
-      const std::lock_guard<std::mutex> lk(hist_mu_);
-      batch_size_.add(static_cast<double>(batch.size()));
-    }
+    batch_size_.record(static_cast<double>(batch.size()));
     for (const auto& p : batch) {
       inflight_.at(p.wire).fetch_sub(1, std::memory_order_relaxed);
     }
@@ -674,13 +688,12 @@ void Gateway::complete_commits(std::vector<PendingInject> batch,
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const PendingInject& p = batch[i];
     const core::InjectResult& r = results[i];
-    const double latency_us =
-        std::chrono::duration<double, std::micro>(now - p.enqueued).count();
+    const double latency_s =
+        std::chrono::duration<double>(now - p.enqueued).count();
 
     if (r.status == core::InjectStatus::kOk) {
       acked_.fetch_add(1);
-      const std::lock_guard<std::mutex> lk(hist_mu_);
-      ack_latency_us_.add(latency_us);
+      ack_latency_.record(latency_s);
     } else {
       errors_.fetch_add(1);
     }
@@ -719,48 +732,10 @@ std::string Gateway::render_metrics() const {
   core::MetricsSnapshot m =
       metrics_fn_ ? metrics_fn_() : runtime_->total_metrics();
   fill(m);
-
-  std::ostringstream os;
-  const auto line = [&os](std::string_view k, std::uint64_t v) {
-    os << k << ' ' << v << '\n';
-  };
-  line("tart_messages_processed", m.messages_processed);
-  line("tart_calls_served", m.calls_served);
-  line("tart_probes_sent", m.probes_sent);
-  line("tart_pessimism_events", m.pessimism_events);
-  line("tart_pessimism_wait_ns", m.pessimism_wait_ns);
-  line("tart_out_of_order_arrivals", m.out_of_order_arrivals);
-  line("tart_duplicates_discarded", m.duplicates_discarded);
-  line("tart_gaps_detected", m.gaps_detected);
-  line("tart_checkpoints_taken", m.checkpoints_taken);
-  line("tart_trace_events_recorded", m.trace_events_recorded);
-  line("tart_trace_events_dropped", m.trace_events_dropped);
-  line("tart_net_bytes_in", m.net_bytes_in);
-  line("tart_net_bytes_out", m.net_bytes_out);
-  line("tart_net_frames_in", m.net_frames_in);
-  line("tart_net_frames_out", m.net_frames_out);
-  line("tart_net_reconnects", m.net_reconnects);
-  line("tart_net_heartbeat_misses", m.net_heartbeat_misses);
-  line("tart_net_frames_refused", m.net_frames_refused);
-  line("tart_net_queue_high_water", m.net_queue_high_water);
-  line("tart_store_records_written", m.store_records_written);
-  line("tart_store_flushes", m.store_flushes);
-  line("tart_gw_requests", m.gw_requests);
-  line("tart_gw_acked", m.gw_acked);
-  line("tart_gw_rejected", m.gw_rejected);
-  line("tart_gw_errors", m.gw_errors);
-  line("tart_gw_commit_batches", m.gw_commit_batches);
-  line("tart_gw_commit_records", m.gw_commit_records);
-  line("tart_gw_commit_batch_max", m.gw_commit_batch_max);
-  {
-    const std::lock_guard<std::mutex> lk(hist_mu_);
-    os << "tart_gw_ack_latency_us_p50 " << ack_latency_us_.percentile(50)
-       << '\n';
-    os << "tart_gw_ack_latency_us_p99 " << ack_latency_us_.percentile(99)
-       << '\n';
-    os << "tart_gw_commit_batch_p50 " << batch_size_.percentile(50) << '\n';
-  }
-  return os.str();
+  // One exposition path for the whole node: the global (snapshot) families
+  // plus every registry sample — per-component counters, pessimism-stall
+  // and probe-RTT histograms, and the gateway's own latency/batch cells.
+  return obs::render_prometheus(m, &runtime_->registry());
 }
 
 }  // namespace tart::gateway

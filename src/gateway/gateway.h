@@ -21,7 +21,8 @@
 //   POST /drain[?timeout_ms=N]    quiesce the runtime
 //   POST /shutdown                ask the host process to exit
 //   GET  /outputs/<output>[?after=N&wait_ms=M&max=K]   drain/long-poll
-//   GET  /metrics                 text counters + ack-latency histogram
+//   GET  /metrics                 Prometheus text exposition (obs registry)
+//   GET  /status                  silence-wavefront JSON (per component)
 //   GET  /healthz
 //
 // Threading: one event-loop thread owns every socket (accept/read/write,
@@ -49,7 +50,7 @@
 #include "gateway/http.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
-#include "stats/histogram.h"
+#include "obs/registry.h"
 
 namespace tart::gateway {
 
@@ -193,9 +194,9 @@ class Gateway {
   std::atomic<std::uint64_t> commit_records_{0};
   std::atomic<std::uint64_t> commit_batch_max_{0};
 
-  mutable std::mutex hist_mu_;
-  stats::Histogram ack_latency_us_;  ///< guarded by hist_mu_
-  stats::Histogram batch_size_;      ///< guarded by hist_mu_
+  // Registry cells (runtime's obs::Registry); lock-free record path.
+  obs::Histogram& ack_latency_;
+  obs::Histogram& batch_size_;
 };
 
 /// Parses an HTTP request body into a Payload according to Content-Type

@@ -110,70 +110,93 @@ std::vector<ControlOutputRecord> decode_outputs_body(
 
 std::vector<std::byte> encode_metrics_body(const core::MetricsSnapshot& m) {
   serde::Writer w;
-  w.write_varint(m.messages_processed);
-  w.write_varint(m.calls_served);
-  w.write_varint(m.probes_sent);
-  w.write_varint(m.pessimism_events);
-  w.write_varint(m.pessimism_wait_ns);
-  w.write_varint(m.out_of_order_arrivals);
-  w.write_varint(m.duplicates_discarded);
-  w.write_varint(m.gaps_detected);
-  w.write_varint(m.checkpoints_taken);
-  w.write_varint(m.trace_events_recorded);
-  w.write_varint(m.trace_events_dropped);
-  w.write_varint(m.net_bytes_in);
-  w.write_varint(m.net_bytes_out);
-  w.write_varint(m.net_frames_in);
-  w.write_varint(m.net_frames_out);
-  w.write_varint(m.net_reconnects);
-  w.write_varint(m.net_heartbeat_misses);
-  w.write_varint(m.net_frames_refused);
-  w.write_varint(m.net_queue_high_water);
-  w.write_varint(m.store_records_written);
-  w.write_varint(m.store_flushes);
-  w.write_varint(m.gw_requests);
-  w.write_varint(m.gw_acked);
-  w.write_varint(m.gw_rejected);
-  w.write_varint(m.gw_errors);
-  w.write_varint(m.gw_commit_batches);
-  w.write_varint(m.gw_commit_records);
-  w.write_varint(m.gw_commit_batch_max);
+#define TART_NET_WRITE_FIELD(field, prom, help, agg, scale) \
+  w.write_varint(m.field);
+  TART_METRICS_SCALAR_FIELDS(TART_NET_WRITE_FIELD)
+#undef TART_NET_WRITE_FIELD
   return w.take();
 }
 
 core::MetricsSnapshot decode_metrics_body(const std::vector<std::byte>& p) {
   serde::Reader r(p);
   core::MetricsSnapshot m;
-  m.messages_processed = r.read_varint();
-  m.calls_served = r.read_varint();
-  m.probes_sent = r.read_varint();
-  m.pessimism_events = r.read_varint();
-  m.pessimism_wait_ns = r.read_varint();
-  m.out_of_order_arrivals = r.read_varint();
-  m.duplicates_discarded = r.read_varint();
-  m.gaps_detected = r.read_varint();
-  m.checkpoints_taken = r.read_varint();
-  m.trace_events_recorded = r.read_varint();
-  m.trace_events_dropped = r.read_varint();
-  m.net_bytes_in = r.read_varint();
-  m.net_bytes_out = r.read_varint();
-  m.net_frames_in = r.read_varint();
-  m.net_frames_out = r.read_varint();
-  m.net_reconnects = r.read_varint();
-  m.net_heartbeat_misses = r.read_varint();
-  m.net_frames_refused = r.read_varint();
-  m.net_queue_high_water = r.read_varint();
-  m.store_records_written = r.read_varint();
-  m.store_flushes = r.read_varint();
-  m.gw_requests = r.read_varint();
-  m.gw_acked = r.read_varint();
-  m.gw_rejected = r.read_varint();
-  m.gw_errors = r.read_varint();
-  m.gw_commit_batches = r.read_varint();
-  m.gw_commit_records = r.read_varint();
-  m.gw_commit_batch_max = r.read_varint();
+#define TART_NET_READ_FIELD(field, prom, help, agg, scale) \
+  m.field = r.read_varint();
+  TART_METRICS_SCALAR_FIELDS(TART_NET_READ_FIELD)
+#undef TART_NET_READ_FIELD
   if (!r.at_end()) throw NetError("metrics body: trailing bytes");
   return m;
+}
+
+std::vector<std::byte> encode_status_body(const core::StatusReport& report) {
+  serde::Writer w;
+  w.write_varint(report.components.size());
+  for (const core::ComponentStatus& c : report.components) {
+    w.write_varint(c.id.value());
+    w.write_string(c.name);
+    w.write_svarint(c.vt_ticks);
+    w.write_varint(c.pending);
+    w.write_bool(c.exhausted);
+    w.write_bool(c.crashed);
+    w.write_bool(c.held);
+    w.write_svarint(c.held_vt);
+    w.write_varint(c.held_wire.value());
+    w.write_varint(c.inputs.size());
+    for (const core::WireStatus& ws : c.inputs) {
+      w.write_varint(ws.wire.value());
+      w.write_string(ws.sender);
+      w.write_svarint(ws.horizon_ticks);
+      w.write_varint(ws.pending);
+      w.write_bool(ws.blocking);
+    }
+  }
+  return w.take();
+}
+
+core::StatusReport decode_status_body(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  core::StatusReport report;
+  const std::uint64_t n = r.read_varint();
+  report.components.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    core::ComponentStatus c;
+    c.id = ComponentId(static_cast<std::uint32_t>(r.read_varint()));
+    c.name = r.read_string();
+    c.vt_ticks = r.read_svarint();
+    c.pending = r.read_varint();
+    c.exhausted = r.read_bool();
+    c.crashed = r.read_bool();
+    c.held = r.read_bool();
+    c.held_vt = r.read_svarint();
+    c.held_wire = WireId(static_cast<std::uint32_t>(r.read_varint()));
+    const std::uint64_t nin = r.read_varint();
+    c.inputs.reserve(nin);
+    for (std::uint64_t j = 0; j < nin; ++j) {
+      core::WireStatus ws;
+      ws.wire = WireId(static_cast<std::uint32_t>(r.read_varint()));
+      ws.sender = r.read_string();
+      ws.horizon_ticks = r.read_svarint();
+      ws.pending = r.read_varint();
+      ws.blocking = r.read_bool();
+      c.inputs.push_back(std::move(ws));
+    }
+    report.components.push_back(std::move(c));
+  }
+  if (!r.at_end()) throw NetError("status body: trailing bytes");
+  return report;
+}
+
+std::vector<std::byte> encode_obs_body(const std::vector<obs::Sample>& samples) {
+  serde::Writer w;
+  obs::encode_samples(w, samples);
+  return w.take();
+}
+
+std::vector<obs::Sample> decode_obs_body(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  auto samples = obs::decode_samples(r);
+  if (!r.at_end()) throw NetError("obs body: trailing bytes");
+  return samples;
 }
 
 // --- Client -----------------------------------------------------------------
@@ -266,6 +289,18 @@ core::MetricsSnapshot ControlClient::metrics() {
   const auto resp = request(NetMsgType::kGetMetrics, {});
   expect(resp, NetMsgType::kMetrics, "get-metrics");
   return decode_metrics_body(resp.payload);
+}
+
+core::StatusReport ControlClient::status() {
+  const auto resp = request(NetMsgType::kGetStatus, {});
+  expect(resp, NetMsgType::kStatus, "get-status");
+  return decode_status_body(resp.payload);
+}
+
+std::vector<obs::Sample> ControlClient::obs_samples() {
+  const auto resp = request(NetMsgType::kGetObs, {});
+  expect(resp, NetMsgType::kObs, "get-obs");
+  return decode_obs_body(resp.payload);
 }
 
 void ControlClient::shutdown_node() {

@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/status.h"
 #include "net/socket.h"
 #include "net/wire_format.h"
+#include "obs/registry.h"
 #include "wire/payload.h"
 
 namespace tart::net {
@@ -54,9 +56,22 @@ struct ControlOutputRecord {
 [[nodiscard]] std::vector<ControlOutputRecord> decode_outputs_body(
     const std::vector<std::byte>& p);
 
+/// Fields travel in TART_METRICS_SCALAR_FIELDS declaration order — the
+/// same X-macro that defines the struct, so a new field cannot be added
+/// without being serialized.
 [[nodiscard]] std::vector<std::byte> encode_metrics_body(
     const core::MetricsSnapshot& m);
 [[nodiscard]] core::MetricsSnapshot decode_metrics_body(
+    const std::vector<std::byte>& p);
+
+[[nodiscard]] std::vector<std::byte> encode_status_body(
+    const core::StatusReport& report);
+[[nodiscard]] core::StatusReport decode_status_body(
+    const std::vector<std::byte>& p);
+
+[[nodiscard]] std::vector<std::byte> encode_obs_body(
+    const std::vector<obs::Sample>& samples);
+[[nodiscard]] std::vector<obs::Sample> decode_obs_body(
     const std::vector<std::byte>& p);
 
 // --- Blocking client --------------------------------------------------------
@@ -83,6 +98,10 @@ class ControlClient {
   [[nodiscard]] std::vector<ControlOutputRecord> outputs(
       const std::string& output);
   [[nodiscard]] core::MetricsSnapshot metrics();
+  /// Silence wavefront of every component on the node (tart-obs, tart-ctl).
+  [[nodiscard]] core::StatusReport status();
+  /// Telemetry registry samples (labelled counters + histograms).
+  [[nodiscard]] std::vector<obs::Sample> obs_samples();
   void shutdown_node();
 
   /// One raw round-trip (used by the helpers above).

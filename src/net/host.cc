@@ -144,6 +144,20 @@ void NetHost::start() {
         std::move(local_outputs), [this] { return metrics(); },
         [this] { request_shutdown(); });
   }
+
+  if (!options_.sample_path.empty()) {
+    obs::Sampler::Options sampler_options;
+    sampler_options.path = options_.sample_path;
+    sampler_options.interval_ms = options_.sample_interval_ms;
+    sampler_ = std::make_unique<obs::Sampler>(
+        std::move(sampler_options), &runtime_->registry(),
+        [this] { return metrics(); });
+    if (!sampler_->start()) {
+      TART_WARN << "sampler: cannot open " << options_.sample_path
+                << "; sampling disabled";
+      sampler_.reset();
+    }
+  }
   started_ = true;
 }
 
@@ -152,8 +166,10 @@ int NetHost::run_until_shutdown() {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   if (stopping_.exchange(true)) return 0;
-  // Gateway first: it holds a raw Runtime pointer, so no injection may be
-  // in flight once the runtime starts stopping.
+  // Sampler first (it reads the registry and gateway counters), then the
+  // gateway: it holds a raw Runtime pointer, so no injection may be in
+  // flight once the runtime starts stopping.
+  if (sampler_) sampler_->stop();
   if (gateway_) gateway_->shutdown();
   control_listener_.reset();
   if (control_thread_.joinable()) control_thread_.join();
@@ -331,6 +347,12 @@ NetMessage NetHost::handle_control(const NetMessage& request) {
       }
       case NetMsgType::kGetMetrics:
         return NetMessage{NetMsgType::kMetrics, encode_metrics_body(metrics())};
+      case NetMsgType::kGetStatus:
+        return NetMessage{NetMsgType::kStatus,
+                          encode_status_body(runtime_->status())};
+      case NetMsgType::kGetObs:
+        return NetMessage{NetMsgType::kObs,
+                          encode_obs_body(runtime_->registry().samples())};
       case NetMsgType::kShutdown:
         request_shutdown();
         return NetMessage{NetMsgType::kAck, {}};

@@ -33,6 +33,7 @@
 #include "core/runtime.h"
 #include "gateway/gateway.h"
 #include "net/connection_manager.h"
+#include "obs/sampler.h"
 #include "net/control.h"
 #include "net/partition_config.h"
 #include "net/topologies.h"
@@ -47,6 +48,10 @@ struct HostOptions {
   /// partition (clients talk to the node hosting the component).
   std::string http_addr;
   bool http_group_commit = true;  ///< see gateway::Gateway::Options
+  /// JSONL telemetry sampler output path; empty = sampler off (default).
+  /// Read-only observer — never perturbs the deterministic protocol.
+  std::string sample_path;
+  int sample_interval_ms = 1000;
   NetTuning tuning;
 };
 
@@ -110,6 +115,7 @@ class NetHost {
   /// half-initialized host (on_link dereferences conn_ to probe wires).
   std::atomic<bool> conn_ready_{false};
   std::unique_ptr<gateway::Gateway> gateway_;
+  std::unique_ptr<obs::Sampler> sampler_;
 
   Fd control_listener_;
   std::uint16_t control_port_ = 0;

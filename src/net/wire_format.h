@@ -66,7 +66,11 @@ enum class NetMsgType : std::uint8_t {
   kMetrics = 25,
   kShutdown = 26,  ///< stop the node -> kAck (sent before exit)
   kAck = 27,
-  kError = 28,  ///< request failed; payload = message string
+  kError = 28,      ///< request failed; payload = message string
+  kGetStatus = 29,  ///< fetch the silence wavefront -> kStatus
+  kStatus = 30,
+  kGetObs = 31,  ///< fetch telemetry registry samples -> kObs
+  kObs = 32,
 };
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the classic table-driven form.

@@ -1,0 +1,140 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tart::obs {
+
+namespace {
+
+void append_double_json(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_labels_json(std::string& out, const Labels& labels) {
+  out += "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += l.key;  // label keys are identifiers, no escaping needed
+    out += "\":\"";
+    for (const char c : l.value) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Sampler::Sampler(Options options, const Registry* registry,
+                 SnapshotFn snapshot_fn)
+    : options_(std::move(options)),
+      registry_(registry),
+      snapshot_fn_(std::move(snapshot_fn)) {}
+
+Sampler::~Sampler() { stop(); }
+
+bool Sampler::start() {
+  if (running_) return true;
+  file_ = std::fopen(options_.path.c_str(), "a");
+  if (file_ == nullptr) return false;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void Sampler::stop() {
+  if (!running_) return;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  write_sample();  // final sample so short runs still record something
+  std::fclose(file_);
+  file_ = nullptr;
+  running_ = false;
+}
+
+void Sampler::run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lk, std::chrono::milliseconds(options_.interval_ms),
+                     [this] { return stopping_; }))
+      break;
+    lk.unlock();
+    write_sample();
+    lk.lock();
+  }
+}
+
+void Sampler::write_sample() {
+  const auto ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  const core::MetricsSnapshot snap =
+      snapshot_fn_ ? snapshot_fn_() : core::MetricsSnapshot{};
+  const std::vector<Sample> series =
+      registry_ != nullptr ? registry_->samples() : std::vector<Sample>{};
+  const std::string line = render_line(ts_ms, snap, series);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string Sampler::render_line(std::int64_t ts_ms,
+                                 const core::MetricsSnapshot& snap,
+                                 const std::vector<Sample>& series) {
+  std::string out = "{\"ts_ms\":" + std::to_string(ts_ms) + ",\"metrics\":{";
+  bool first = true;
+#define TART_OBS_SAMPLE_FIELD(field, prom, help, agg, scale) \
+  if (!first) out += ',';                                    \
+  first = false;                                             \
+  out += "\"" #field "\":" + std::to_string(snap.field);
+  TART_METRICS_SCALAR_FIELDS(TART_OBS_SAMPLE_FIELD)
+#undef TART_OBS_SAMPLE_FIELD
+  out += "},\"series\":[";
+  first = true;
+  for (const Sample& s : series) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + s.name + "\",\"labels\":";
+    append_labels_json(out, s.labels);
+    switch (s.kind) {
+      case Kind::kCounter:
+        out += ",\"value\":" + std::to_string(s.counter_value);
+        break;
+      case Kind::kGauge:
+        out += ",\"value\":" + std::to_string(s.gauge_value);
+        break;
+      case Kind::kHistogram:
+        if (s.hist) {
+          const stats::Histogram& h = *s.hist;
+          out += ",\"count\":" + std::to_string(h.count());
+          out += ",\"p50\":";
+          append_double_json(out, h.percentile(50.0));
+          out += ",\"p99\":";
+          append_double_json(out, h.percentile(99.0));
+          out += ",\"max\":";
+          append_double_json(out, h.max_seen());
+          out += ",\"sum\":";
+          append_double_json(out, h.sum());
+        }
+        break;
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace tart::obs

@@ -1,0 +1,76 @@
+// Background telemetry sampler: appends one JSONL registry snapshot per
+// interval to a file, for offline time-series analysis of a run
+// (plot pessimism-stall percentiles over a soak, watch the estimator
+// error converge).
+//
+// Off by default. Strictly read-only — it loads atomics and writes a
+// file; nothing in the deterministic protocol observes it, so seeded runs
+// with the sampler on or off produce byte-identical traces
+// (tests/trace_determinism_test.cc pins this).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/metrics.h"
+#include "obs/registry.h"
+
+namespace tart::obs {
+
+class Sampler {
+ public:
+  struct Options {
+    std::string path;
+    /// Wall-clock sampling period.
+    int interval_ms = 1000;
+  };
+
+  /// `snapshot_fn` supplies the process-wide MetricsSnapshot (the host's
+  /// merged runtime + net + gateway view); may be empty, in which case
+  /// only registry series are written.
+  using SnapshotFn = std::function<core::MetricsSnapshot()>;
+
+  Sampler(Options options, const Registry* registry, SnapshotFn snapshot_fn);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Opens the file (append) and starts the thread. Returns false if the
+  /// file cannot be opened.
+  [[nodiscard]] bool start();
+  /// Writes one final sample and joins. Idempotent.
+  void stop();
+
+  /// Samples written so far (tests).
+  [[nodiscard]] std::uint64_t samples_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+
+  /// One snapshot line, exposed for tests and one-shot dumps.
+  [[nodiscard]] static std::string render_line(
+      std::int64_t ts_ms, const core::MetricsSnapshot& snap,
+      const std::vector<Sample>& series);
+
+ private:
+  void run();
+  void write_sample();
+
+  Options options_;
+  const Registry* registry_;
+  SnapshotFn snapshot_fn_;
+  std::FILE* file_ = nullptr;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::atomic<std::uint64_t> written_{0};
+};
+
+}  // namespace tart::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "serde/archive.h"
+
 namespace tart::stats {
 
 Histogram::Histogram(double width, std::size_t num_buckets)
@@ -15,7 +17,55 @@ void Histogram::add(double x) {
   if (idx >= buckets_.size() - 1) idx = buckets_.size() - 1;
   ++buckets_[idx];
   ++count_;
+  sum_ += x;
   max_seen_ = std::max(max_seen_, x);
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (other.width_ != width_ || other.buckets_.size() != buckets_.size())
+    return false;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+  return true;
+}
+
+void Histogram::encode(serde::Writer& w) const {
+  w.write_double(width_);
+  w.write_varint(buckets_.size());
+  for (const std::uint64_t b : buckets_) w.write_varint(b);
+  w.write_varint(count_);
+  w.write_double(sum_);
+  w.write_double(max_seen_);
+}
+
+Histogram Histogram::decode(serde::Reader& r) {
+  const double width = r.read_double();
+  const std::uint64_t n = r.read_varint();
+  if (n == 0 || n > (1u << 24))
+    throw serde::DecodeError("histogram: bad bucket count");
+  std::vector<std::uint64_t> buckets;
+  buckets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) buckets.push_back(r.read_varint());
+  const std::uint64_t count = r.read_varint();
+  const double sum = r.read_double();
+  const double max_seen = r.read_double();
+  return from_parts(width, std::move(buckets), count, sum, max_seen);
+}
+
+Histogram Histogram::from_parts(double width,
+                                std::vector<std::uint64_t> buckets,
+                                std::uint64_t count, double sum,
+                                double max_seen) {
+  Histogram h(width, buckets.empty() ? 1 : buckets.size() - 1);
+  h.buckets_ = std::move(buckets);
+  if (h.buckets_.empty()) h.buckets_.assign(2, 0);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.max_seen_ = max_seen;
+  return h;
 }
 
 double Histogram::percentile(double p) const {

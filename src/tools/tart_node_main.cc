@@ -1,7 +1,8 @@
 // tart-node: hosts one partition of a deployment in this OS process.
 //
 //   tart-node <deployment.conf> <partition> [--log-dir=DIR] [--trace=FILE]
-//             [--http=ADDR|PORT] [--no-group-commit] [--verbose]
+//             [--http=ADDR|PORT] [--no-group-commit] [--sample=FILE]
+//             [--sample-interval-ms=N] [--verbose]
 //
 // Every node of a deployment runs this binary with the SAME config file and
 // its own partition name. The node builds the global topology, constructs
@@ -22,6 +23,7 @@
 // injections are acked only once durable in the log (log-before-ack).
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -40,7 +42,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: tart-node <deployment.conf> <partition> "
                "[--log-dir=DIR] [--trace=FILE] [--http=ADDR|PORT] "
-               "[--no-group-commit] [--verbose]\n");
+               "[--no-group-commit] [--sample=FILE] "
+               "[--sample-interval-ms=N] [--verbose]\n");
   return 2;
 }
 
@@ -67,6 +70,15 @@ int main(int argc, char** argv) {
       options.http_addr = http_addr_of(arg.substr(std::strlen("--http=")));
     } else if (arg == "--no-group-commit") {
       options.http_group_commit = false;
+    } else if (arg.rfind("--sample=", 0) == 0) {
+      options.sample_path = arg.substr(std::strlen("--sample="));
+    } else if (arg.rfind("--sample-interval-ms=", 0) == 0) {
+      options.sample_interval_ms =
+          std::atoi(arg.c_str() + std::strlen("--sample-interval-ms="));
+      if (options.sample_interval_ms <= 0) {
+        std::fprintf(stderr, "tart-node: bad --sample-interval-ms\n");
+        return usage();
+      }
     } else if (arg == "--verbose") {
       verbose = true;
     } else {

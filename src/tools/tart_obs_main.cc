@@ -1,0 +1,329 @@
+// tart-obs: cluster-wide observability console.
+//
+//   tart-obs [--once] [--interval-ms=N] [--series=FILE] <control-addr>...
+//   tart-obs --scrape <http-addr>...
+//
+// Control mode (default) polls every node's control port for its merged
+// MetricsSnapshot, its telemetry registry samples (labelled counters and
+// histograms), and its silence wavefront, then prints one aggregated
+// per-component table: messages processed, pessimism events, stall
+// percentiles (all input wires of the component merged), curiosity probes,
+// and the estimator-error median. Components currently *held* by the
+// pessimistic merge are listed below the table with the wires blocking
+// them — the operator's answer to "why is nothing happening?".
+//
+// Counters SUM across nodes, gauges take the max (high-water semantics),
+// and histograms merge bucketwise (obs::merge_samples), so the table reads
+// the same whether the deployment is one process or ten.
+//
+// --series=FILE appends one JSONL line per poll round (same shape as the
+// node-side --sample file) for offline plotting.
+//
+// --scrape mode drives the HTTP gateway instead: GET /metrics must lint
+// clean against the Prometheus conventions (obs::lint_exposition) and
+// contain the per-wire stall-attribution family; GET /status must parse.
+// scripts/net_soak.sh runs this against live nodes mid-soak. Exit is
+// nonzero on any failure, so it doubles as a health gate.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gateway/http_client.h"
+#include "net/control.h"
+#include "obs/exposition.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+
+namespace {
+
+using tart::core::ComponentStatus;
+using tart::core::MetricsSnapshot;
+using tart::core::StatusReport;
+using tart::core::WireStatus;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tart-obs [--once] [--interval-ms=N] [--series=FILE] "
+               "<control-addr>...\n"
+               "       tart-obs --scrape <http-addr>...\n");
+  return 2;
+}
+
+const std::string* label_of(const tart::obs::Sample& s, const char* key) {
+  for (const auto& l : s.labels)
+    if (l.key == key) return &l.value;
+  return nullptr;
+}
+
+/// Everything tart-obs shows about one component, pulled out of the merged
+/// sample set.
+struct ComponentRow {
+  std::uint64_t messages = 0;
+  std::uint64_t pessimism_events = 0;
+  std::uint64_t probes = 0;
+  std::optional<tart::stats::Histogram> stall;    // all wires merged
+  std::optional<tart::stats::Histogram> est_err;  // estimator |error|
+};
+
+std::map<std::string, ComponentRow> build_rows(
+    const std::vector<tart::obs::Sample>& samples) {
+  std::map<std::string, ComponentRow> rows;
+  for (const auto& s : samples) {
+    const std::string* component = label_of(s, "component");
+    if (component == nullptr) continue;
+    ComponentRow& row = rows[*component];
+    if (s.name == "tart_messages_processed_total") {
+      row.messages += s.counter_value;
+    } else if (s.name == "tart_pessimism_events_total") {
+      row.pessimism_events += s.counter_value;
+    } else if (s.name == "tart_probes_sent_total") {
+      row.probes += s.counter_value;
+    } else if (s.name == "tart_pessimism_stall_seconds" && s.hist) {
+      if (!row.stall) {
+        row.stall = *s.hist;
+      } else if (!row.stall->merge(*s.hist)) {
+        std::fprintf(stderr, "tart-obs: stall bucket-shape mismatch for %s\n",
+                     component->c_str());
+      }
+    } else if (s.name == "tart_estimator_error_seconds" && s.hist) {
+      if (!row.est_err) {
+        row.est_err = *s.hist;
+      } else if (!row.est_err->merge(*s.hist)) {
+        std::fprintf(stderr, "tart-obs: est-err bucket-shape mismatch\n");
+      }
+    }
+  }
+  return rows;
+}
+
+void print_rows(const std::map<std::string, ComponentRow>& rows) {
+  std::printf("%-16s %10s %8s %8s | %9s %9s %9s | %9s\n", "component", "msgs",
+              "pessim", "probes", "stall p50", "stall p99", "stall max",
+              "esterr p50");
+  std::printf("%-16s %10s %8s %8s | %9s %9s %9s | %9s\n", "", "", "", "",
+              "(ms)", "(ms)", "(ms)", "(us)");
+  for (const auto& [name, row] : rows) {
+    double p50 = 0, p99 = 0, mx = 0, err50 = 0;
+    if (row.stall && row.stall->count() > 0) {
+      p50 = row.stall->percentile(50) * 1e3;
+      p99 = row.stall->percentile(99) * 1e3;
+      mx = row.stall->max_seen() * 1e3;
+    }
+    if (row.est_err && row.est_err->count() > 0)
+      err50 = row.est_err->percentile(50) * 1e6;
+    std::printf("%-16s %10llu %8llu %8llu | %9.3f %9.3f %9.3f | %9.2f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(row.messages),
+                static_cast<unsigned long long>(row.pessimism_events),
+                static_cast<unsigned long long>(row.probes), p50, p99, mx,
+                err50);
+  }
+}
+
+std::string horizon_str(std::int64_t ticks) {
+  if (ticks == std::numeric_limits<std::int64_t>::max()) return "inf";
+  return std::to_string(ticks);
+}
+
+void print_wavefront(const std::vector<StatusReport>& reports) {
+  bool any = false;
+  for (const auto& report : reports) {
+    for (const ComponentStatus& c : report.components) {
+      if (c.crashed) {
+        std::printf("  %-16s CRASHED\n", c.name.c_str());
+        any = true;
+        continue;
+      }
+      if (!c.held) continue;
+      any = true;
+      std::printf("  %-16s vt=%lld holding message @vt=%lld on w%u; waiting:",
+                  c.name.c_str(), static_cast<long long>(c.vt_ticks),
+                  static_cast<long long>(c.held_vt), c.held_wire.value());
+      for (const WireStatus& ws : c.inputs) {
+        if (!ws.blocking) continue;
+        std::printf(" %s(w%u horizon=%s pending=%llu)", ws.sender.c_str(),
+                    ws.wire.value(), horizon_str(ws.horizon_ticks).c_str(),
+                    static_cast<unsigned long long>(ws.pending));
+      }
+      std::printf("\n");
+    }
+  }
+  if (!any) std::printf("  (no component is held; no node crashed)\n");
+}
+
+int run_control_mode(const std::vector<std::string>& addrs, bool once,
+                     int interval_ms, const std::string& series_path) {
+  std::FILE* series = nullptr;
+  if (!series_path.empty()) {
+    series = std::fopen(series_path.c_str(), "ae");
+    if (series == nullptr) {
+      std::fprintf(stderr, "tart-obs: cannot open %s\n", series_path.c_str());
+      return 1;
+    }
+  }
+
+  int rc = 0;
+  bool first = true;
+  while (!g_stop.load()) {
+    if (!first) std::printf("\n");
+    first = false;
+
+    MetricsSnapshot total;
+    std::vector<std::vector<tart::obs::Sample>> per_node;
+    std::vector<StatusReport> reports;
+    std::size_t reachable = 0;
+    for (const std::string& addr : addrs) {
+      auto client =
+          tart::net::ControlClient::connect(addr, std::chrono::seconds(2));
+      if (!client) {
+        std::fprintf(stderr, "tart-obs: %s unreachable\n", addr.c_str());
+        rc = 1;
+        continue;
+      }
+      try {
+        total += client->metrics();
+        per_node.push_back(client->obs_samples());
+        reports.push_back(client->status());
+        ++reachable;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tart-obs: %s: %s\n", addr.c_str(), e.what());
+        rc = 1;
+      }
+    }
+    if (reachable == 0) {
+      if (once) return 1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+
+    const auto merged = tart::obs::merge_samples(std::move(per_node));
+    std::printf("== %zu/%zu node%s ==\n", reachable, addrs.size(),
+                addrs.size() == 1 ? "" : "s");
+    print_rows(build_rows(merged));
+    std::printf("wavefront:\n");
+    print_wavefront(reports);
+
+    if (series != nullptr) {
+      const auto ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::system_clock::now().time_since_epoch())
+                             .count();
+      const std::string line =
+          tart::obs::Sampler::render_line(ts_ms, total, merged);
+      std::fwrite(line.data(), 1, line.size(), series);
+      std::fflush(series);
+    }
+
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  if (series != nullptr) std::fclose(series);
+  return rc;
+}
+
+/// Scrape gate for scripts: both endpoints must answer, /metrics must lint
+/// clean and carry the stall-attribution family, /status must look like
+/// the wavefront document.
+int run_scrape_mode(const std::vector<std::string>& addrs) {
+  int rc = 0;
+  for (const std::string& addr : addrs) {
+    auto client = tart::gateway::BlockingHttpClient::connect(
+        addr, std::chrono::seconds(5));
+    if (!client) {
+      std::fprintf(stderr, "tart-obs: scrape %s: connect failed\n",
+                   addr.c_str());
+      rc = 1;
+      continue;
+    }
+    try {
+      const auto metrics = client->get("/metrics");
+      if (metrics.status != 200) {
+        std::fprintf(stderr, "tart-obs: scrape %s: /metrics -> %d\n",
+                     addr.c_str(), metrics.status);
+        rc = 1;
+      } else {
+        const std::string* ct = metrics.header("Content-Type");
+        if (ct == nullptr || *ct != tart::obs::kPrometheusContentType) {
+          std::fprintf(stderr,
+                       "tart-obs: scrape %s: /metrics Content-Type '%s'\n",
+                       addr.c_str(), ct ? ct->c_str() : "(none)");
+          rc = 1;
+        }
+        if (const auto lint = tart::obs::lint_exposition(metrics.body)) {
+          std::fprintf(stderr, "tart-obs: scrape %s: lint: %s\n", addr.c_str(),
+                       lint->c_str());
+          rc = 1;
+        }
+        if (metrics.body.find("tart_pessimism_stall_seconds") ==
+            std::string::npos) {
+          std::fprintf(stderr,
+                       "tart-obs: scrape %s: no stall-attribution series\n",
+                       addr.c_str());
+          rc = 1;
+        }
+      }
+      const auto status = client->get("/status");
+      if (status.status != 200 ||
+          status.body.find("\"components\"") == std::string::npos) {
+        std::fprintf(stderr, "tart-obs: scrape %s: /status -> %d\n",
+                     addr.c_str(), status.status);
+        rc = 1;
+      }
+      if (rc == 0)
+        std::printf("tart-obs: scrape %s ok (%zu bytes of metrics)\n",
+                    addr.c_str(), metrics.body.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tart-obs: scrape %s: %s\n", addr.c_str(),
+                   e.what());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  bool scrape = false;
+  int interval_ms = 2000;
+  std::string series_path;
+  std::vector<std::string> addrs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--scrape") {
+      scrape = true;
+    } else if (arg.rfind("--interval-ms=", 0) == 0) {
+      interval_ms = std::atoi(arg.c_str() + std::strlen("--interval-ms="));
+      if (interval_ms <= 0) return usage();
+    } else if (arg.rfind("--series=", 0) == 0) {
+      series_path = arg.substr(std::strlen("--series="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "tart-obs: unknown argument '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      addrs.push_back(arg);
+    }
+  }
+  if (addrs.empty()) return usage();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  if (scrape) return run_scrape_mode(addrs);
+  return run_control_mode(addrs, once, interval_ms, series_path);
+}

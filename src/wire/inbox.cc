@@ -165,6 +165,11 @@ std::size_t Inbox::pending() const {
   return n;
 }
 
+std::size_t Inbox::pending_on(WireId wire) const {
+  const WireState* w = find(wire);
+  return w == nullptr ? 0 : w->pending.size();
+}
+
 bool Inbox::exhausted() const {
   for (const auto& [id, w] : wires_)
     if (!w.closed() || !w.pending.empty()) return false;

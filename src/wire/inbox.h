@@ -119,6 +119,9 @@ class Inbox {
   /// Number of messages pending across all wires.
   [[nodiscard]] std::size_t pending() const;
 
+  /// Messages pending on one wire (stall introspection).
+  [[nodiscard]] std::size_t pending_on(WireId wire) const;
+
   /// True when every wire is closed (horizon == +inf) and nothing pending.
   [[nodiscard]] bool exhausted() const;
 

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -105,12 +106,24 @@ BlockingHttpClient http_or_die(const std::string& addr) {
   return std::move(*client);
 }
 
-/// Pulls one gauge out of a /metrics body ("tart_<name> <value>\n").
+/// Sums every sample of a Prometheus family in a /metrics body — labelled
+/// ("tart_<name>{component=\"x\"} 3") and unlabelled ("tart_<name> 3")
+/// lines alike; HELP/TYPE comment lines are skipped.
 std::uint64_t metric(const std::string& body, const std::string& name) {
-  const std::string key = "tart_" + name + " ";
-  const auto pos = body.find(key);
-  if (pos == std::string::npos) return 0;
-  return std::stoull(body.substr(pos + key.size()));
+  const std::string family = "tart_" + name;
+  std::uint64_t total = 0;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(family, 0) != 0) continue;
+    const char next = line.size() > family.size() ? line[family.size()] : '\0';
+    if (next != ' ' && next != '{') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    total += static_cast<std::uint64_t>(
+        std::strtoull(line.c_str() + sp + 1, nullptr, 10));
+  }
+  return total;
 }
 
 struct OutputLine {
@@ -271,10 +284,10 @@ TEST(GatewayProcessTest, HttpOnlyWordcountMatchesBaselineAndSurvivesSigkill) {
 
     // Durability and transport demonstrably happened.
     const auto lm = left_http.get("/metrics").body;
-    EXPECT_EQ(metric(lm, "store_records_written"), steps.size());
-    EXPECT_GT(metric(lm, "store_flushes"), 0u);
-    EXPECT_EQ(metric(lm, "gw_acked"), steps.size());
-    EXPECT_GT(metric(lm, "net_frames_out"), 0u);
+    EXPECT_EQ(metric(lm, "store_records_written_total"), steps.size());
+    EXPECT_GT(metric(lm, "store_flushes_total"), 0u);
+    EXPECT_EQ(metric(lm, "gw_acked_total"), steps.size());
+    EXPECT_GT(metric(lm, "net_frames_out_total"), 0u);
 
     EXPECT_EQ(left_http.post("/shutdown", "").status, 200);
     EXPECT_EQ(right_http.post("/shutdown", "").status, 200);
@@ -304,8 +317,8 @@ TEST(GatewayProcessTest, HttpOnlyWordcountMatchesBaselineAndSurvivesSigkill) {
       // merger see some of the stream first so replay produces duplicates
       // for it to discard, then pull the plug with no warning.
       const auto deadline = std::chrono::steady_clock::now() + 10s;
-      while (metric(right_http.get("/metrics").body, "messages_processed") <
-             half / 2) {
+      while (metric(right_http.get("/metrics").body,
+                    "messages_processed_total") < half / 2) {
         ASSERT_LT(std::chrono::steady_clock::now(), deadline)
             << "merger saw too little before the kill window";
         std::this_thread::sleep_for(5ms);

@@ -15,6 +15,7 @@
 #include "core/runtime.h"
 #include "gateway/gateway.h"
 #include "gateway/http.h"
+#include "obs/exposition.h"
 #include "gateway/http_client.h"
 #include "net/topologies.h"
 
@@ -504,10 +505,33 @@ TEST_F(GatewayTest, MetricsAndHealthz) {
   EXPECT_EQ(c.get("/healthz").status, 200);
   const auto resp = c.get("/metrics");
   EXPECT_EQ(resp.status, 200);
-  EXPECT_NE(resp.body.find("tart_gw_acked 1"), std::string::npos)
+  const std::string* ct = resp.header("Content-Type");
+  ASSERT_NE(ct, nullptr);
+  EXPECT_EQ(*ct, tart::obs::kPrometheusContentType);
+  EXPECT_NE(resp.body.find("tart_gw_acked_total 1"), std::string::npos)
       << resp.body;
-  EXPECT_NE(resp.body.find("tart_gw_requests"), std::string::npos);
-  EXPECT_NE(resp.body.find("tart_gw_ack_latency_us_p50"), std::string::npos);
+  EXPECT_NE(resp.body.find("tart_gw_requests_total"), std::string::npos);
+  // The ack-latency histogram renders as a summary with quantile children.
+  EXPECT_NE(resp.body.find("tart_gw_ack_latency_seconds{quantile=\"0.5\"}"),
+            std::string::npos)
+      << resp.body;
+  // The unified exposition must satisfy its own lint (same check
+  // scripts/check.sh runs against a live node).
+  const auto lint = tart::obs::lint_exposition(resp.body);
+  EXPECT_FALSE(lint.has_value()) << *lint;
+}
+
+TEST_F(GatewayTest, StatusReportsSilenceWavefront) {
+  start();
+  auto c = client();
+  const auto resp = c.get("/status");
+  EXPECT_EQ(resp.status, 200);
+  const std::string* ct = resp.header("Content-Type");
+  ASSERT_NE(ct, nullptr);
+  EXPECT_EQ(*ct, "application/json");
+  EXPECT_NE(resp.body.find("\"components\":["), std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("\"inputs\":["), std::string::npos) << resp.body;
 }
 
 TEST_F(GatewayTest, ConcurrentClientsGroupCommitAndAllAck) {

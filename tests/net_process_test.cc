@@ -240,6 +240,31 @@ TEST(NetProcessTest, TwoProcessRunMatchesBaselineAndSurvivesSigkill) {
     EXPECT_GT(rm.net_bytes_in, 0u);
     EXPECT_EQ(rm.messages_processed, steps.size());
 
+    // Telemetry over control: the merger node reports its registry samples
+    // (per-component labelled counters) and its silence wavefront.
+    const auto samples = right_ctl.obs_samples();
+    bool merger_counter_seen = false;
+    for (const auto& s : samples) {
+      if (s.name != "tart_messages_processed_total") continue;
+      for (const auto& l : s.labels)
+        if (l.key == "component" && l.value == "merger") {
+          EXPECT_EQ(s.counter_value, steps.size());
+          merger_counter_seen = true;
+        }
+    }
+    EXPECT_TRUE(merger_counter_seen)
+        << "no labelled merger counter in the obs dump";
+
+    const auto status = right_ctl.status();
+    ASSERT_EQ(status.components.size(), 1u);  // only the merger is local
+    EXPECT_EQ(status.components[0].name, "merger");
+    EXPECT_FALSE(status.components[0].crashed);
+    EXPECT_FALSE(status.components[0].held);  // drained: nothing pending
+    EXPECT_EQ(status.components[0].pending, 0u);
+    ASSERT_EQ(status.components[0].inputs.size(), 2u);
+    for (const auto& w : status.components[0].inputs)
+      EXPECT_FALSE(w.blocking);
+
     left_ctl.shutdown_node();
     right_ctl.shutdown_node();
     EXPECT_EQ(left.reap(), 0);

@@ -1,0 +1,374 @@
+// Unit coverage for the telemetry layer: registry cell semantics,
+// cross-node sample aggregation, Prometheus exposition + its lint, the
+// status JSON, and the X-macro guarantees of core::MetricsSnapshot.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/status.h"
+#include "obs/exposition.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "serde/archive.h"
+
+namespace tart::obs {
+namespace {
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, FindOrCreateReturnsTheSameCell) {
+  Registry reg;
+  Counter& a = reg.counter("tart_x_total", "x", {{"component", "c1"}});
+  Counter& b = reg.counter("tart_x_total", "x", {{"component", "c1"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  // Different labels = different cell.
+  Counter& other = reg.counter("tart_x_total", "x", {{"component", "c2"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(Registry, LabelLookupIsOrderInsensitive) {
+  Registry reg;
+  Counter& a = reg.counter("tart_x_total", "x",
+                           {{"wire", "w1"}, {"component", "c"}});
+  Counter& b = reg.counter("tart_x_total", "x",
+                           {{"component", "c"}, {"wire", "w1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  (void)reg.counter("tart_x_total", "x");
+  EXPECT_THROW((void)reg.gauge("tart_x_total", "x"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("tart_x_total", "x", {}, 1.0, 4),
+               std::logic_error);
+}
+
+TEST(Registry, SamplesSortedByNameThenLabels) {
+  Registry reg;
+  reg.counter("tart_b_total", "b").inc();
+  reg.counter("tart_a_total", "a", {{"component", "z"}}).inc();
+  reg.counter("tart_a_total", "a", {{"component", "k"}}).inc();
+  const auto samples = reg.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "tart_a_total");
+  EXPECT_EQ(samples[0].labels[0].value, "k");
+  EXPECT_EQ(samples[1].name, "tart_a_total");
+  EXPECT_EQ(samples[1].labels[0].value, "z");
+  EXPECT_EQ(samples[2].name, "tart_b_total");
+}
+
+TEST(Registry, HistogramCellSnapshots) {
+  Registry reg;
+  Histogram& h = reg.histogram("tart_lat_seconds", "lat", {}, 0.5, 4);
+  h.record(0.1);
+  h.record(0.1);
+  h.record(0.7);
+  h.record(100.0);  // overflow bucket
+  const stats::Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 4u);
+  EXPECT_DOUBLE_EQ(snap.max_seen(), 100.0);
+  EXPECT_NEAR(snap.sum(), 100.9, 1e-9);
+  EXPECT_GT(snap.percentile(50), 0.0);
+}
+
+TEST(Registry, GaugeMaxWith) {
+  Registry reg;
+  Gauge& g = reg.gauge("tart_high_water", "hw");
+  g.max_with(5);
+  g.max_with(3);
+  EXPECT_EQ(g.value(), 5);
+  g.max_with(9);
+  EXPECT_EQ(g.value(), 9);
+}
+
+// --- Sample serde + merge ---------------------------------------------------
+
+std::vector<Sample> round_trip(const std::vector<Sample>& in) {
+  serde::Writer w;
+  encode_samples(w, in);
+  const auto bytes = w.take();
+  serde::Reader r(bytes);
+  return decode_samples(r);
+}
+
+TEST(Samples, SerdeRoundTrip) {
+  Registry reg;
+  reg.counter("tart_c_total", "help c", {{"component", "x"}}, 1e-9).inc(42);
+  reg.gauge("tart_g", "help g").set(-7);
+  Histogram& h = reg.histogram("tart_h_seconds", "help h", {}, 0.25, 8);
+  h.record(0.3);
+  h.record(1.9);
+
+  const auto before = reg.samples();
+  const auto after = round_trip(before);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].name, before[i].name);
+    EXPECT_EQ(after[i].help, before[i].help);
+    EXPECT_EQ(after[i].kind, before[i].kind);
+    EXPECT_EQ(after[i].scale, before[i].scale);
+    EXPECT_EQ(after[i].labels, before[i].labels);
+    EXPECT_EQ(after[i].counter_value, before[i].counter_value);
+    EXPECT_EQ(after[i].gauge_value, before[i].gauge_value);
+    EXPECT_EQ(after[i].hist.has_value(), before[i].hist.has_value());
+    if (after[i].hist) {
+      EXPECT_EQ(after[i].hist->count(), before[i].hist->count());
+      EXPECT_EQ(after[i].hist->buckets(), before[i].hist->buckets());
+      EXPECT_DOUBLE_EQ(after[i].hist->sum(), before[i].hist->sum());
+      EXPECT_DOUBLE_EQ(after[i].hist->max_seen(),
+                       before[i].hist->max_seen());
+    }
+  }
+}
+
+TEST(Samples, MergeAcrossNodes) {
+  Registry node_a;
+  Registry node_b;
+  node_a.counter("tart_c_total", "c", {{"component", "x"}}).inc(2);
+  node_b.counter("tart_c_total", "c", {{"component", "x"}}).inc(5);
+  node_b.counter("tart_c_total", "c", {{"component", "y"}}).inc(1);
+  node_a.gauge("tart_high_water", "hw").set(4);
+  node_b.gauge("tart_high_water", "hw").set(9);
+  node_a.histogram("tart_h_seconds", "h", {}, 1.0, 4).record(0.5);
+  node_b.histogram("tart_h_seconds", "h", {}, 1.0, 4).record(2.5);
+
+  const auto merged = merge_samples({node_a.samples(), node_b.samples()});
+  ASSERT_EQ(merged.size(), 4u);  // c{x}, c{y}, high_water, h
+  for (const auto& s : merged) {
+    if (s.name == "tart_c_total" && !s.labels.empty() &&
+        s.labels[0].value == "x") {
+      EXPECT_EQ(s.counter_value, 7u);  // counters sum
+    } else if (s.name == "tart_c_total") {
+      EXPECT_EQ(s.counter_value, 1u);
+    } else if (s.name == "tart_high_water") {
+      EXPECT_EQ(s.gauge_value, 9);  // gauges take the max
+    } else if (s.name == "tart_h_seconds") {
+      ASSERT_TRUE(s.hist.has_value());
+      EXPECT_EQ(s.hist->count(), 2u);  // histograms merge bucketwise
+      EXPECT_DOUBLE_EQ(s.hist->max_seen(), 2.5);
+    }
+  }
+}
+
+TEST(Samples, MergeKeepsFirstOnBucketShapeMismatch) {
+  Registry node_a;
+  Registry node_b;
+  node_a.histogram("tart_h_seconds", "h", {}, 1.0, 4).record(0.5);
+  node_b.histogram("tart_h_seconds", "h", {}, 2.0, 4).record(3.5);
+  const auto merged = merge_samples({node_a.samples(), node_b.samples()});
+  ASSERT_EQ(merged.size(), 1u);
+  ASSERT_TRUE(merged[0].hist.has_value());
+  // Incompatible scales are never blended: the first wins, untouched.
+  EXPECT_EQ(merged[0].hist->count(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].hist->bucket_width(), 1.0);
+}
+
+// --- Exposition + lint ------------------------------------------------------
+
+TEST(Exposition, RegistrySeriesRenderWithHelpAndType) {
+  Registry reg;
+  reg.counter("tart_msgs_total", "Messages.", {{"component", "mapper"}})
+      .inc(12);
+  reg.histogram("tart_stall_seconds", "Stall.", {{"component", "mapper"}},
+                1e-3, 16)
+      .record(5e-3);
+  const std::string page = render_prometheus_samples(reg.samples());
+  EXPECT_NE(page.find("# HELP tart_msgs_total Messages."), std::string::npos);
+  EXPECT_NE(page.find("# TYPE tart_msgs_total counter"), std::string::npos);
+  EXPECT_NE(page.find("tart_msgs_total{component=\"mapper\"} 12"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("# TYPE tart_stall_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(
+      page.find("tart_stall_seconds{component=\"mapper\",quantile=\"0.5\"}"),
+      std::string::npos)
+      << page;
+  EXPECT_NE(page.find("tart_stall_seconds_count{component=\"mapper\"} 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE tart_stall_seconds_max gauge"),
+            std::string::npos);
+  EXPECT_EQ(lint_exposition(page), std::nullopt) << *lint_exposition(page);
+}
+
+TEST(Exposition, SnapshotPageLintsCleanWithAndWithoutRegistry) {
+  core::MetricsSnapshot snap;
+  snap.messages_processed = 3;
+  snap.pessimism_wait_ns = 1'500'000'000;  // renders as 1.5 seconds
+  const std::string bare = render_prometheus(snap, nullptr);
+  EXPECT_EQ(lint_exposition(bare), std::nullopt) << *lint_exposition(bare);
+  EXPECT_NE(bare.find("tart_pessimism_wait_seconds_total 1.5"),
+            std::string::npos)
+      << bare;
+
+  Registry reg;
+  reg.counter("tart_messages_processed_total", "Messages",
+              {{"component", "m"}})
+      .inc(3);
+  const std::string page = render_prometheus(snap, &reg);
+  EXPECT_EQ(lint_exposition(page), std::nullopt) << *lint_exposition(page);
+  // With a registry the per-component families come from it, labelled;
+  // the unlabelled snapshot rendering must NOT appear beside them.
+  EXPECT_NE(page.find("tart_messages_processed_total{component=\"m\"} 3"),
+            std::string::npos)
+      << page;
+  EXPECT_EQ(page.find("tart_messages_processed_total 3"), std::string::npos)
+      << page;
+}
+
+TEST(ExpositionLint, CatchesConventionViolations) {
+  EXPECT_TRUE(lint_exposition("# HELP bad_name x\n# TYPE bad_name counter\n")
+                  .has_value());
+  EXPECT_TRUE(
+      lint_exposition("# HELP tart_x x\n# TYPE tart_x counter\ntart_x 1\n")
+          .has_value())
+      << "counter family without _total must fail";
+  EXPECT_TRUE(lint_exposition("tart_x_total 1\n").has_value())
+      << "sample before its TYPE line must fail";
+  EXPECT_TRUE(lint_exposition("# TYPE tart_x_total counter\ntart_x_total 1\n")
+                  .has_value())
+      << "family without HELP must fail";
+  EXPECT_TRUE(lint_exposition("# HELP tart_x_total x\n"
+                              "# TYPE tart_x_total counter\n"
+                              "tart_x_total notanumber\n")
+                  .has_value());
+  EXPECT_EQ(lint_exposition("# HELP tart_x_total x\n"
+                            "# TYPE tart_x_total counter\n"
+                            "tart_x_total{component=\"a b\"} 1\n"),
+            std::nullopt);
+}
+
+// --- Status JSON ------------------------------------------------------------
+
+TEST(StatusJson, RendersWavefront) {
+  core::StatusReport report;
+  core::ComponentStatus c;
+  c.id = ComponentId(2);
+  c.name = "merger";
+  c.vt_ticks = 123;
+  c.pending = 4;
+  c.held = true;
+  c.held_vt = 456;
+  c.held_wire = WireId(7);
+  core::WireStatus open_wire;
+  open_wire.wire = WireId(7);
+  open_wire.sender = "mapper";
+  open_wire.horizon_ticks = 100;
+  open_wire.pending = 4;
+  open_wire.blocking = true;
+  core::WireStatus closed_wire;
+  closed_wire.wire = WireId(8);
+  closed_wire.sender = "external";
+  closed_wire.horizon_ticks = VirtualTime::infinity().ticks();
+  c.inputs = {open_wire, closed_wire};
+  report.components.push_back(c);
+
+  const std::string json = render_status_json(report);
+  EXPECT_NE(json.find("\"name\":\"merger\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"held\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"held_vt\":456"), std::string::npos);
+  EXPECT_NE(json.find("\"blocking\":true"), std::string::npos);
+  // Infinite horizons render as the string "inf", not a 64-bit literal no
+  // JSON parser can hold.
+  EXPECT_NE(json.find("\"horizon\":\"inf\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("9223372036854775807"), std::string::npos);
+}
+
+TEST(StatusJson, HeldFieldsOmittedWhenNotHeld) {
+  core::StatusReport report;
+  core::ComponentStatus c;
+  c.id = ComponentId(0);
+  c.name = "idle";
+  report.components.push_back(c);
+  const std::string json = render_status_json(report);
+  EXPECT_EQ(json.find("held_vt"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"held\":false"), std::string::npos);
+}
+
+// --- MetricsSnapshot X-macro guarantees -------------------------------------
+
+TEST(MetricsSnapshot, FieldCountMatchesStructSize) {
+  // Mirrors the compile-time guard: every field is enumerated exactly once.
+  EXPECT_EQ(sizeof(core::MetricsSnapshot),
+            core::detail::kMetricsFieldCount * sizeof(std::uint64_t));
+}
+
+TEST(MetricsSnapshot, AggregationFollowsDeclaredSemantics) {
+  core::MetricsSnapshot a;
+  core::MetricsSnapshot b;
+  a.messages_processed = 10;
+  b.messages_processed = 5;
+  a.net_queue_high_water = 3;  // MAX field
+  b.net_queue_high_water = 8;
+  a.gw_commit_batch_max = 9;  // MAX field
+  b.gw_commit_batch_max = 2;
+  a += b;
+  EXPECT_EQ(a.messages_processed, 15u);   // SUM
+  EXPECT_EQ(a.net_queue_high_water, 8u);  // MAX
+  EXPECT_EQ(a.gw_commit_batch_max, 9u);   // MAX
+}
+
+TEST(MetricsSnapshot, EveryPromNameIsUniqueAndPrefixed) {
+  std::vector<std::string> names;
+#define TART_OBS_TEST_NAME(field, prom, help, agg, scale) \
+  names.push_back(prom);
+  TART_METRICS_SCALAR_FIELDS(TART_OBS_TEST_NAME)
+#undef TART_OBS_TEST_NAME
+  EXPECT_EQ(names.size(), core::detail::kMetricsFieldCount);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size()) << "duplicate exposition name";
+  for (const auto& n : names)
+    EXPECT_EQ(n.rfind("tart_", 0), 0u) << n;
+}
+
+TEST(RunnerMetrics, CountsLandInLabelledRegistryCells) {
+  Registry reg;
+  core::RunnerMetrics rm(reg, "mapper");
+  rm.messages_processed.inc(4);
+  rm.probes_sent.inc();
+  EXPECT_EQ(rm.snapshot().messages_processed, 4u);
+
+  // A "recovered" RunnerMetrics re-attaches to the same cells.
+  core::RunnerMetrics again(reg, "mapper");
+  EXPECT_EQ(&again.messages_processed, &rm.messages_processed);
+  EXPECT_EQ(again.snapshot().messages_processed, 4u);
+
+  bool found = false;
+  for (const auto& s : reg.samples()) {
+    if (s.name != "tart_messages_processed_total") continue;
+    ASSERT_EQ(s.labels.size(), 1u);
+    EXPECT_EQ(s.labels[0].key, "component");
+    EXPECT_EQ(s.labels[0].value, "mapper");
+    EXPECT_EQ(s.counter_value, 4u);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Sampler line -----------------------------------------------------------
+
+TEST(Sampler, RenderLineIsOneJsonObject) {
+  core::MetricsSnapshot snap;
+  snap.messages_processed = 2;
+  Registry reg;
+  reg.counter("tart_c_total", "c", {{"component", "x"}}).inc(1);
+  reg.histogram("tart_h_seconds", "h", {}, 1.0, 2).record(0.5);
+  const std::string line = Sampler::render_line(1234, snap, reg.samples());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_NE(line.find("\"ts_ms\":1234"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"messages_processed\":2"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"tart_c_total\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"p50\""), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace tart::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "serde/archive.h"
 #include "stats/histogram.h"
 #include "stats/online_stats.h"
 #include "stats/regression.h"
@@ -211,6 +212,97 @@ TEST(HistogramTest, RenderProducesRows) {
   for (int i = 0; i < 100; ++i) h.add(i % 5);
   const std::string out = h.render();
   EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, MergeMatchesSequential) {
+  Histogram a(1.0, 10);
+  Histogram b(1.0, 10);
+  Histogram both(1.0, 10);
+  for (const double x : {0.5, 1.5, 3.25, 9.9}) {
+    a.add(x);
+    both.add(x);
+  }
+  for (const double x : {2.5, 7.75, 42.0}) {  // 42 lands in overflow
+    b.add(x);
+    both.add(x);
+  }
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.buckets(), both.buckets());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.max_seen(), both.max_seen());
+  EXPECT_DOUBLE_EQ(a.percentile(50), both.percentile(50));
+}
+
+TEST(HistogramTest, MergeEmptyIsIdentity) {
+  Histogram a(1.0, 4);
+  a.add(2.5);
+  Histogram empty(1.0, 4);
+  ASSERT_TRUE(a.merge(empty));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 2.5);
+
+  // Merging INTO an empty histogram adopts the other's contents.
+  Histogram target(1.0, 4);
+  ASSERT_TRUE(target.merge(a));
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.sum(), 2.5);
+}
+
+TEST(HistogramTest, MergeSingleBucket) {
+  Histogram a(10.0, 1);  // one bucket + overflow
+  Histogram b(10.0, 1);
+  a.add(5.0);
+  b.add(15.0);
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.buckets().size(), 2u);
+  EXPECT_EQ(a.buckets()[1], 1u);  // 15 overflowed
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBounds) {
+  Histogram a(1.0, 10);
+  a.add(0.5);
+  Histogram wider(2.0, 10);
+  wider.add(0.5);
+  Histogram shorter(1.0, 5);
+  shorter.add(0.5);
+  EXPECT_FALSE(a.merge(wider));
+  EXPECT_FALSE(a.merge(shorter));
+  // The refusal left the target untouched.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5);
+}
+
+TEST(HistogramTest, SerdeRoundTrip) {
+  Histogram h(0.25, 12);
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i)
+    h.add(rng.uniform(0.0, 5.0));  // some overflow past 3.0
+
+  serde::Writer w;
+  h.encode(w);
+  const auto bytes = w.take();
+  serde::Reader r(bytes);
+  const Histogram back = Histogram::decode(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_DOUBLE_EQ(back.bucket_width(), h.bucket_width());
+  EXPECT_EQ(back.buckets(), h.buckets());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_DOUBLE_EQ(back.sum(), h.sum());
+  EXPECT_DOUBLE_EQ(back.max_seen(), h.max_seen());
+  EXPECT_DOUBLE_EQ(back.percentile(99), h.percentile(99));
+}
+
+TEST(HistogramTest, SerdeRoundTripEmpty) {
+  Histogram h(1.0, 3);
+  serde::Writer w;
+  h.encode(w);
+  const auto bytes = w.take();
+  serde::Reader r(bytes);
+  const Histogram back = Histogram::decode(r);
+  EXPECT_EQ(back.count(), 0u);
+  EXPECT_DOUBLE_EQ(back.percentile(50), 0.0);
 }
 
 }  // namespace

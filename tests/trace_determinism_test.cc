@@ -18,6 +18,7 @@
 #include <set>
 #include <thread>
 
+#include "obs/sampler.h"
 #include "random_app.h"
 #include "trace/diff.h"
 #include "trace/trace_file.h"
@@ -198,6 +199,65 @@ TEST(TraceDeterminism, InjectedNondeterminismIsCaughtAndNamed) {
 
   std::remove(pa.c_str());
   std::remove(pb.c_str());
+}
+
+// The telemetry layer is a read-only observer: a run with the background
+// JSONL sampler attached (aggressive 1ms interval) and every registry
+// histogram live must trace byte-identically to a bare run. If any
+// instrumentation path ever feeds back into scheduling (a lock on the
+// dispatch path, a wall-clock read that shifts a virtual time), this is
+// the test that goes red.
+TEST(TraceDeterminism, SamplerAndInstrumentationDoNotPerturbTraces) {
+  for (const std::uint64_t seed : {3ull, 8ull}) {
+    const std::string bare = temp_trace_path("bare" + std::to_string(seed));
+    run_traced(seed, bare, RuntimeConfig{});
+
+    const std::string observed =
+        temp_trace_path("obs" + std::to_string(seed));
+    const std::string jsonl =
+        (std::filesystem::temp_directory_path() /
+         ("tart_sampler_" + std::to_string(seed) + ".jsonl"))
+            .string();
+    std::remove(jsonl.c_str());
+    {
+      proptest::GeneratedApp app = proptest::generate_app(seed);
+      RuntimeConfig config;
+      config.trace.enabled = true;
+      config.trace.path = observed;
+      Runtime rt(app.topo, two_engine_placement(app), std::move(config));
+      obs::Sampler sampler(obs::Sampler::Options{jsonl, 1}, &rt.registry(),
+                           [&rt] { return rt.total_metrics(); });
+      ASSERT_TRUE(sampler.start());
+      rt.start();
+      for (const auto& inj : plan_workload(app, seed))
+        rt.inject_at(inj.wire, inj.vt, inj.payload);
+      ASSERT_TRUE(rt.drain(60s)) << "seed " << seed;
+      sampler.stop();
+      EXPECT_GT(sampler.samples_written(), 0u);
+      rt.stop();
+    }
+
+    EXPECT_EQ(file_bytes(bare), file_bytes(observed))
+        << "telemetry perturbed the trace for seed " << seed;
+
+    // The sampler wrote well-formed JSONL: every line is one object with
+    // the timestamp and the scalar block.
+    std::ifstream in(jsonl);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      EXPECT_EQ(line.front(), '{') << line;
+      EXPECT_EQ(line.back(), '}') << line;
+      EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"metrics\":"), std::string::npos) << line;
+    }
+    EXPECT_GT(lines, 0u);
+
+    std::remove(bare.c_str());
+    std::remove(observed.c_str());
+    std::remove(jsonl.c_str());
+  }
 }
 
 TEST(TraceDeterminism, DisabledTracingWritesNothing) {

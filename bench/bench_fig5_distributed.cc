@@ -16,10 +16,13 @@
 // Paper's findings to reproduce: lazy silence suffers large latencies
 // (pessimism delays only resolve on the next unrelated message), while
 // curiosity-based propagation stays under ~20% over non-deterministic.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,6 +32,8 @@
 #include "estimator/estimator.h"
 #include "exp_util.h"
 #include "stats/online_stats.h"
+#include "trace/forensics.h"
+#include "trace/trace_file.h"
 
 namespace {
 
@@ -58,9 +63,20 @@ struct RunOutcome {
   // behind the pessimism_ms total.
   std::uint64_t stall_episodes = 0;
   double stall_p50_us = 0, stall_p99_us = 0, stall_max_us = 0;
+  // Stall blame rollup from the run's flight recording (trace::analyze):
+  // which upstream wire each pessimism episode waited on, and how much of
+  // the wait was the sender's estimator vs promise propagation.
+  struct BlameRow {
+    std::string receiver, wire, sender;
+    std::uint64_t episodes = 0;
+    double stall_ms = 0, est_pct = 0;
+  };
+  std::vector<BlameRow> blame;
+  double attributed_pct = 100.0;
 };
 
-RunOutcome run_config(SchedulingMode mode, bool curiosity) {
+RunOutcome run_config(SchedulingMode mode, bool curiosity,
+                      const std::string& tag) {
   Topology topo;
   const auto s1 = topo.add("sender1", [] {
     return std::make_unique<tart::apps::SpinService>(kSenderSpinNs,
@@ -96,6 +112,15 @@ RunOutcome run_config(SchedulingMode mode, bool curiosity) {
   config.mode = mode;
   config.silence.curiosity = curiosity;
   config.silence.probe_interval = 100us;
+  // Flight-record the run with diagnostics on so the blame table below can
+  // be mined out of it (same pipeline as `tart-trace explain`).
+  const std::string trace_path = "/tmp/tart_fig5_" +
+                                 std::to_string(::getpid()) + "_" + tag +
+                                 ".trace";
+  config.trace.enabled = true;
+  config.trace.path = trace_path;
+  config.trace.categories =
+      static_cast<std::uint32_t>(tart::trace::TraceCategory::kAll);
   // The two "machines": a simulated link with a real 100 us one-way delay.
   tart::transport::LinkConfig link;
   link.base_delay = 100us;
@@ -173,7 +198,36 @@ RunOutcome run_config(SchedulingMode mode, bool curiosity) {
       outcome.stall_max_us = stall->max_seen() * 1e6;
     }
   }
-  rt.stop();
+  rt.stop();  // writes the trace file
+
+  try {
+    const auto trace = tart::trace::TraceReader::read_file(trace_path);
+    const auto forensics = tart::trace::analyze({trace});
+    outcome.attributed_pct = 100.0 * forensics.attributed_fraction();
+    const auto name_of = [&](tart::ComponentId id) -> std::string {
+      if (id == s1) return "sender1";
+      if (id == s2) return "sender2";
+      if (id == merger) return "merger";
+      return id.is_valid() ? "c" + std::to_string(id.value()) : "external";
+    };
+    for (const auto& b : forensics.blame) {
+      RunOutcome::BlameRow row;
+      row.receiver = name_of(b.component);
+      row.wire = "w" + std::to_string(b.wire.value());
+      row.sender = name_of(b.sender);
+      row.episodes = b.episodes;
+      row.stall_ms = static_cast<double>(b.stall_ns) / 1e6;
+      row.est_pct = b.stall_ns > 0 ? 100.0 *
+                                         static_cast<double>(
+                                             b.estimator_error_ns) /
+                                         static_cast<double>(b.stall_ns)
+                                   : 0.0;
+      outcome.blame.push_back(std::move(row));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "forensics: %s\n", e.what());
+  }
+  std::remove(trace_path.c_str());
 
   tart::stats::OnlineStats stats;
   std::vector<double> sorted = outcome.latencies_us;
@@ -195,11 +249,14 @@ int main() {
       "non-deterministic)");
 
   std::printf("Running non-deterministic baseline...\n");
-  const RunOutcome nd = run_config(SchedulingMode::kArrivalOrder, false);
+  const RunOutcome nd =
+      run_config(SchedulingMode::kArrivalOrder, false, "nd");
   std::printf("Running deterministic + lazy silence...\n");
-  const RunOutcome lazy = run_config(SchedulingMode::kDeterministic, false);
+  const RunOutcome lazy =
+      run_config(SchedulingMode::kDeterministic, false, "lazy");
   std::printf("Running deterministic + curiosity silence...\n");
-  const RunOutcome cur = run_config(SchedulingMode::kDeterministic, true);
+  const RunOutcome cur =
+      run_config(SchedulingMode::kDeterministic, true, "cur");
 
   tart::bench::Table table({"configuration", "completed", "avg latency (us)",
                             "p95 (us)", "vs non-det", "probes",
@@ -236,6 +293,34 @@ int main() {
   add_stalls("deterministic, lazy silence", lazy);
   add_stalls("deterministic, curiosity", cur);
   stalls.print();
+
+  // Causal blame, mined from each run's flight recording: which upstream
+  // wire the merger's stalls waited on, and whether the wait was the
+  // sender's estimator (promised too little silence) or propagation of a
+  // timely promise. Same analysis `tart-trace explain` runs offline.
+  std::printf("\nStall blame (trace forensics; est-err%% = sender estimator"
+              " share):\n");
+  tart::bench::Table blame({"configuration", "receiver", "wire", "sender",
+                            "episodes", "stall (ms)", "est-err",
+                            "attributed"});
+  const auto add_blame = [&](const char* name, const RunOutcome& r) {
+    if (r.blame.empty()) {
+      blame.row({name, "-", "-", "-", "0", "0.0", "-",
+                 tart::bench::fmt("%.0f%%", r.attributed_pct)});
+      return;
+    }
+    for (const auto& b : r.blame)
+      blame.row({name, b.receiver, b.wire, b.sender,
+                 tart::bench::fmt("%llu",
+                                  static_cast<unsigned long long>(b.episodes)),
+                 tart::bench::fmt("%.1f", b.stall_ms),
+                 tart::bench::fmt("%.0f%%", b.est_pct),
+                 tart::bench::fmt("%.0f%%", r.attributed_pct)});
+  };
+  add_blame("non-deterministic", nd);
+  add_blame("deterministic, lazy silence", lazy);
+  add_blame("deterministic, curiosity", cur);
+  blame.print();
 
   // The per-request latency series of the paper's figure, bucketed.
   std::printf("\nLatency by request-number window (us):\n");

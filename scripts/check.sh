@@ -21,7 +21,7 @@ echo "== gateway bench smoke =="
 # change in the suites can't silently drop the gate.
 echo "== exposition lint =="
 ./build/tests/obs_test \
-  --gtest_filter='ExpositionLint.*:Exposition.*' --gtest_brief=1
+  --gtest_filter='ExpositionLint.*:Exposition.*:Exemplars.*' --gtest_brief=1
 ./build/tests/gateway_test \
   --gtest_filter='*MetricsAndHealthz*:*StatusReportsSilenceWavefront*' \
   --gtest_brief=1

@@ -6,7 +6,9 @@
 # scrapes /metrics + /status from both gateways mid-run with
 # `tart-obs --scrape` (lint-clean exposition, stall-attribution series
 # present, parsable wavefront JSON) and aggregates both control ports
-# once with `tart-obs --once`.
+# once with `tart-obs --once`. Both nodes record flight-recorder traces;
+# after shutdown, `tart-trace explain --json` over the pair must find
+# >=1 stall episode with >=90% of stall time attributed.
 # Usage: scripts/net_soak.sh [iterations]   (default 20)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,12 +54,13 @@ place merger = right
 EOF
   mkdir -p "$dir/left" "$dir/right"
   ./build/src/tools/tart-node "$dir/deploy.conf" left \
-    --http="$left_http" --log-dir="$dir/left" \
+    --http="$left_http" --log-dir="$dir/left" --trace="$dir/left.trc" \
     --sample="$dir/left.jsonl" --sample-interval-ms=100 \
     > "$dir/left.out" 2>&1 &
   local left_pid=$!
   ./build/src/tools/tart-node "$dir/deploy.conf" right \
-    --http="$right_http" --log-dir="$dir/right" > "$dir/right.out" 2>&1 &
+    --http="$right_http" --log-dir="$dir/right" --trace="$dir/right.trc" \
+    > "$dir/right.out" 2>&1 &
   local right_pid=$!
   # shellcheck disable=SC2064
   trap "kill $left_pid $right_pid 2>/dev/null || true; rm -rf '$dir'" RETURN
@@ -95,6 +98,27 @@ EOF
   curl -fsS -X POST "http://$left_http/shutdown" >/dev/null || true
   curl -fsS -X POST "http://$right_http/shutdown" >/dev/null || true
   wait "$left_pid" "$right_pid" 2>/dev/null || true
+
+  # Forensics gate: the two nodes' traces (written at shutdown) must join
+  # into a report where real stall episodes exist and nearly all recorded
+  # stall time is attributed to a (blocking wire, sender) pair.
+  echo "== stall forensics gate =="
+  local explain_json episodes frac
+  explain_json="$(./build/src/tools/tart-trace explain --json \
+    "$dir/left.trc" "$dir/right.trc")"
+  episodes="$(sed -n 's/.*"episodes":\([0-9]*\).*/\1/p' <<<"$explain_json")"
+  frac="$(sed -n 's/.*"attributed_fraction":\([0-9.]*\).*/\1/p' \
+    <<<"$explain_json")"
+  echo "forensics: episodes=$episodes attributed_fraction=$frac"
+  [[ -n "$episodes" && "$episodes" -ge 1 ]] || {
+    echo "ERROR: explain found no stall episodes in the soak traces" >&2
+    return 1
+  }
+  awk -v f="$frac" 'BEGIN { exit (f >= 0.9) ? 0 : 1 }' || {
+    echo "ERROR: attributed_fraction $frac < 0.9" >&2
+    return 1
+  }
+
   trap - RETURN
   rm -rf "$dir"
   echo "== live scrape clean =="

@@ -200,12 +200,15 @@ ComponentRunner::ComponentRunner(const Topology& topology, ComponentId id,
     const obs::Labels labels{{"component", name_},
                              {"sender", sender},
                              {"wire", "w" + std::to_string(w.value())}};
-    stall_hist_.emplace(
-        w, &registry.histogram(
-               "tart_pessimism_stall_seconds",
-               "Pessimism-stall episode duration, attributed to the input "
-               "wire whose silence horizon lagged the held message",
-               labels, 100e-6, 256));
+    obs::Histogram& sh = registry.histogram(
+        "tart_pessimism_stall_seconds",
+        "Pessimism-stall episode duration, attributed to the input "
+        "wire whose silence horizon lagged the held message",
+        labels, 100e-6, 256);
+    // Exemplars link a bucket back to concrete episode ids the flight
+    // recorder knows about (`tart-trace explain --episode`).
+    sh.enable_exemplars(4);
+    stall_hist_.emplace(w, &sh);
     probe_rtt_hist_.emplace(
         w, &registry.histogram(
                "tart_probe_rtt_seconds",
@@ -430,13 +433,38 @@ void ComponentRunner::run() {
       if (auto m = inbox_.pop()) {
         if (head_was_delayed) {
           const std::int64_t stall_ns = ns_between(stall_start, Clock::now());
-          if (tracer_ != nullptr)
+          // The blocking wire: when the held head itself released, the last
+          // wire still observed lagging; when an earlier arrival displaced
+          // the head, the displacer's wire (its data unblocked the pop).
+          const bool displaced =
+              m->vt != delayed_vt || m->wire != delayed_wire;
+          WireId blocking = delayed_wire;
+          if (displaced) {
+            blocking = m->wire;
+          } else if (!stall_last_lagging_.empty()) {
+            blocking = *std::min_element(stall_last_lagging_.begin(),
+                                         stall_last_lagging_.end());
+          }
+          if (tracer_ != nullptr) {
             tracer_->record(id_, trace::TraceEventKind::kStallEnd, m->vt,
                             m->wire, static_cast<std::uint64_t>(stall_ns));
+            const auto hb = stall_h_begin_.find(blocking);
+            const VirtualTime h_begin = hb != stall_h_begin_.end()
+                                            ? VirtualTime(hb->second)
+                                            : VirtualTime(-1);
+            tracer_->record(id_, trace::TraceEventKind::kStallResolved,
+                            delayed_vt, blocking, stall_episode_id_,
+                            static_cast<std::uint64_t>(stall_ns));
+            tracer_->record(id_, trace::TraceEventKind::kStallBlame, h_begin,
+                            blocking, stall_episode_id_,
+                            static_cast<std::uint64_t>(stall_begin_wall_ns_));
+          }
           const double stall_s = static_cast<double>(stall_ns) * 1e-9;
           for (const WireId w : stall_blockers)
             if (const auto hit = stall_hist_.find(w); hit != stall_hist_.end())
-              hit->second->record(stall_s);
+              hit->second->record(
+                  stall_s, obs::Exemplar{stall_s, stall_episode_id_,
+                                         id_.value(), w.value()});
           stall_blockers.clear();
         }
         head_was_delayed = false;
@@ -464,12 +492,25 @@ void ComponentRunner::run() {
           delayed_wire = head->wire;
           stall_start = Clock::now();
           stall_blockers.clear();
+          // New episode: mint an id and photograph the input horizons, so
+          // the release path can report how far the blocking wire was from
+          // covering the held vt when the episode began (kStallBlame).
+          stall_episode_id_ = stall_episode_seq_++;
+          stall_begin_wall_ns_ =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  stall_start.time_since_epoch())
+                  .count();
+          stall_h_begin_.clear();
+          stall_last_lagging_.clear();
+          for (const WireId w : input_wires_)
+            stall_h_begin_[w] = inbox_.wire_horizon(w).ticks();
           if (tracer_ != nullptr)
             tracer_->record(id_, trace::TraceEventKind::kStallBegin,
                             head->vt, head->wire);
         }
         const auto lagging = inbox_.lagging_wires();
         stall_blockers.insert(lagging.begin(), lagging.end());
+        if (!lagging.empty()) stall_last_lagging_ = lagging;
         const auto t0 = Clock::now();
         if (config_.silence.curiosity) {
           const auto t0_ns =
@@ -728,11 +769,20 @@ void ComponentRunner::advance_published(OutputState& out,
          !out.published.compare_exchange_weak(cur, through.ticks())) {
   }
   // cur holds the pre-advance value when the CAS won; diagnostic-class, so
-  // gate on the category mask before paying for the record.
+  // gate on the category mask before paying for the record (and for the
+  // clock read below).
   if (through.ticks() > cur && tracer_ != nullptr &&
-      tracer_->wants(trace::TraceEventKind::kSilencePromise))
+      tracer_->wants(trace::TraceEventKind::kSilencePromise)) {
+    // aux = sender-side wall stamp of the promise. Offline forensics
+    // subtracts it from a stalled receiver's episode-begin stamp to split
+    // the stall into estimator error (promise published late) vs
+    // propagation lag (promise in flight). Never read by the scheduler.
+    const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now().time_since_epoch())
+                            .count();
     tracer_->record(id_, trace::TraceEventKind::kSilencePromise, through,
-                    out.spec.id);
+                    out.spec.id, static_cast<std::uint64_t>(now_ns));
+  }
 }
 
 void ComponentRunner::publish_busy_horizons(VirtualTime floor) {

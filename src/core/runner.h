@@ -287,6 +287,18 @@ class ComponentRunner {
   obs::Histogram* est_err_hist_ = nullptr;
   std::map<WireId, std::int64_t> probe_sent_ns_;
 
+  // Stall-forensics state (runner thread only). Each pessimism episode is
+  // minted a per-component id that rides in kStallResolved/kStallBlame
+  // trace events and histogram exemplars, so a fat p99 bucket links back
+  // to concrete trace records (`tart-trace explain --episode`). The
+  // horizons photographed at episode begin let the release path report the
+  // blocking wire's deficit without re-deriving it offline.
+  std::uint64_t stall_episode_seq_ = 0;
+  std::uint64_t stall_episode_id_ = 0;
+  std::int64_t stall_begin_wall_ns_ = 0;
+  std::map<WireId, std::int64_t> stall_h_begin_;
+  std::vector<WireId> stall_last_lagging_;
+
   RunnerMetrics metrics_;
   std::thread thread_;
 };

@@ -413,8 +413,10 @@ void Gateway::handle_request(std::uint64_t id, HttpRequest req) {
       respond(id, 405, {{"Allow", "GET"}}, "GET only\n", req.keep_alive);
       return;
     }
+    const auto samples = runtime_->registry().samples();
     respond(id, 200, {{"Content-Type", "application/json"}},
-            obs::render_status_json(runtime_->status()), req.keep_alive);
+            obs::render_status_json(runtime_->status(), &samples),
+            req.keep_alive);
     return;
   }
   if (path == "/healthz") {
@@ -735,7 +737,8 @@ std::string Gateway::render_metrics() const {
   // One exposition path for the whole node: the global (snapshot) families
   // plus every registry sample — per-component counters, pessimism-stall
   // and probe-RTT histograms, and the gateway's own latency/batch cells.
-  return obs::render_prometheus(m, &runtime_->registry());
+  return obs::render_prometheus(m, &runtime_->registry(),
+                                options_.exemplars);
 }
 
 }  // namespace tart::gateway

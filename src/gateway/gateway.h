@@ -79,6 +79,10 @@ class Gateway {
     bool group_commit = true;
     std::size_t max_batch = 256;  ///< cap on one group-commit round
     int retry_after_seconds = 1;  ///< advertised in 429 responses
+    /// OpenMetrics mode for GET /metrics: histogram buckets that captured
+    /// a stall exemplar render `# {...}` suffixes. Off by default — plain
+    /// Prometheus 0.0.4 scrapers do not expect them.
+    bool exemplars = false;
   };
 
   /// Extra metrics merged into GET /metrics (the hosting NetHost supplies

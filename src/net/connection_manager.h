@@ -105,6 +105,12 @@ class ConnectionManager {
   /// Actual bound listen port (for configs with port 0). 0 if not listening.
   [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
 
+  /// The manager's event loop, for co-hosting light periodic work (the
+  /// host's telemetry gauge sampling) on the net thread. Remember the
+  /// threading contract: add_timer/cancel_timer only from the loop thread
+  /// (post() to get there); callbacks must never block.
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+
   [[nodiscard]] NetCounters counters() const;
 
   /// Stops the loop thread and closes every socket. Idempotent.

@@ -199,6 +199,32 @@ std::vector<obs::Sample> decode_obs_body(const std::vector<std::byte>& p) {
   return samples;
 }
 
+std::vector<std::byte> ObsPushBody::encode() const {
+  serde::Writer w;
+  w.write_string(node);
+  w.write_svarint(ts_ms);
+#define TART_NET_WRITE_FIELD(field, prom, help, agg, scale) \
+  w.write_varint(metrics.field);
+  TART_METRICS_SCALAR_FIELDS(TART_NET_WRITE_FIELD)
+#undef TART_NET_WRITE_FIELD
+  obs::encode_samples(w, samples);
+  return w.take();
+}
+
+ObsPushBody ObsPushBody::decode(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  ObsPushBody b;
+  b.node = r.read_string();
+  b.ts_ms = r.read_svarint();
+#define TART_NET_READ_FIELD(field, prom, help, agg, scale) \
+  b.metrics.field = r.read_varint();
+  TART_METRICS_SCALAR_FIELDS(TART_NET_READ_FIELD)
+#undef TART_NET_READ_FIELD
+  b.samples = obs::decode_samples(r);
+  if (!r.at_end()) throw NetError("obs-push body: trailing bytes");
+  return b;
+}
+
 // --- Client -----------------------------------------------------------------
 
 std::optional<ControlClient> ControlClient::connect(

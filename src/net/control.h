@@ -74,6 +74,19 @@ struct ControlOutputRecord {
 [[nodiscard]] std::vector<obs::Sample> decode_obs_body(
     const std::vector<std::byte>& p);
 
+/// One push-based remote-write shipment (kObsPush): everything a poll of
+/// kGetMetrics + kGetObs would have returned, stamped and attributed to
+/// the pushing node so a collector can keep per-node freshness.
+struct ObsPushBody {
+  std::string node;        ///< partition name of the pusher
+  std::int64_t ts_ms = 0;  ///< sender wall clock (system_clock), ms
+  core::MetricsSnapshot metrics;
+  std::vector<obs::Sample> samples;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static ObsPushBody decode(const std::vector<std::byte>& p);
+};
+
 // --- Blocking client --------------------------------------------------------
 
 /// Synchronous control connection. Methods throw NetError on transport or

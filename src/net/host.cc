@@ -139,6 +139,7 @@ void NetHost::start() {
     gateway::Gateway::Options gw_options;
     gw_options.listen = options_.http_addr;
     gw_options.group_commit = options_.http_group_commit;
+    gw_options.exemplars = options_.http_exemplars;
     gateway_ = std::make_unique<gateway::Gateway>(
         runtime_.get(), std::move(gw_options), std::move(local_inputs),
         std::move(local_outputs), [this] { return metrics(); },
@@ -158,6 +159,21 @@ void NetHost::start() {
       sampler_.reset();
     }
   }
+
+  if (options_.gauge_interval_ms > 0) {
+    // First arm must happen on the loop thread (EventLoop threading
+    // contract); the sweep re-arms itself from then on.
+    conn_->loop().post([this] {
+      gauge_timer_ = conn_->loop().add_timer(
+          EventLoop::Clock::now() +
+              std::chrono::milliseconds(options_.gauge_interval_ms),
+          [this] { gauge_sweep(); });
+    });
+  }
+
+  if (!options_.push_addr.empty())
+    push_thread_ = std::thread([this] { push_loop(); });
+
   started_ = true;
 }
 
@@ -166,9 +182,11 @@ int NetHost::run_until_shutdown() {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   if (stopping_.exchange(true)) return 0;
-  // Sampler first (it reads the registry and gateway counters), then the
+  // Observers first (they read the registry and runtime state), then the
   // gateway: it holds a raw Runtime pointer, so no injection may be in
   // flight once the runtime starts stopping.
+  if (push_thread_.joinable()) push_thread_.join();
+  stop_gauge_timer();
   if (sampler_) sampler_->stop();
   if (gateway_) gateway_->shutdown();
   control_listener_.reset();
@@ -201,6 +219,97 @@ core::MetricsSnapshot NetHost::metrics() const {
   }
   if (gateway_) gateway_->fill(total);
   return total;
+}
+
+// --- Observers --------------------------------------------------------------
+
+void NetHost::gauge_sweep() {
+  gauge_timer_ = 0;
+  if (stopping_.load()) return;
+  obs::Registry& reg = runtime_->registry();
+  const core::StatusReport report = runtime_->status();
+  for (const core::ComponentStatus& c : report.components) {
+    if (c.crashed) continue;
+    reg.gauge("tart_component_retained_messages",
+              "Messages held in the component's output retention buffers.",
+              {{"component", c.name}})
+        .set(static_cast<std::int64_t>(runtime_->retained_messages(c.id)));
+    for (const core::WireStatus& ws : c.inputs)
+      reg.gauge("tart_wire_queue_depth",
+                "Messages queued on an input wire, not yet merged.",
+                {{"component", c.name},
+                 {"sender", ws.sender},
+                 {"wire", "w" + std::to_string(ws.wire.value())}})
+          .set(static_cast<std::int64_t>(ws.pending));
+  }
+  const log::ExternalMessageLog& elog = runtime_->external_log();
+  for (const auto& [name, wire] : built_.inputs) {
+    const auto& spec = built_.topology.wire(wire);
+    if (!runtime_->engine_is_local(placement_.at(spec.to))) continue;
+    reg.gauge("tart_external_log_messages",
+              "External input messages retained in the replay log.",
+              {{"input", name}})
+        .set(static_cast<std::int64_t>(elog.size(wire)));
+  }
+  reg.gauge("tart_external_log_messages_total",
+            "Total external input messages retained in the replay log.")
+      .set(static_cast<std::int64_t>(elog.total_size()));
+  gauge_timer_ = conn_->loop().add_timer(
+      EventLoop::Clock::now() +
+          std::chrono::milliseconds(options_.gauge_interval_ms),
+      [this] { gauge_sweep(); });
+}
+
+void NetHost::stop_gauge_timer() {
+  if (!conn_ || options_.gauge_interval_ms <= 0) return;
+  // The sweep runs on the loop thread; a posted cancel runs strictly after
+  // any in-flight sweep, so once the wait returns no sweep can be touching
+  // the runtime.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  conn_->loop().post([this, &mu, &cv, &done] {
+    if (gauge_timer_ != 0) conn_->loop().cancel_timer(gauge_timer_);
+    gauge_timer_ = 0;
+    {
+      const std::lock_guard<std::mutex> lk(mu);
+      done = true;
+    }
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait_for(lk, std::chrono::seconds(1), [&] { return done; });
+}
+
+void NetHost::push_loop() {
+  std::optional<ControlClient> client;
+  auto next = std::chrono::steady_clock::now();
+  while (true) {
+    next += std::chrono::milliseconds(options_.push_interval_ms);
+    while (std::chrono::steady_clock::now() < next) {
+      if (shutdown_requested_.load() || stopping_.load()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (shutdown_requested_.load() || stopping_.load()) return;
+    if (!client)
+      client = ControlClient::connect(options_.push_addr,
+                                      std::chrono::milliseconds(500));
+    if (!client) continue;  // collector down; redial next tick
+    try {
+      ObsPushBody body;
+      body.node = self_->name;
+      body.ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+      body.metrics = metrics();
+      body.samples = runtime_->registry().samples();
+      const NetMessage resp =
+          client->request(NetMsgType::kObsPush, body.encode());
+      if (resp.type != NetMsgType::kAck) client.reset();
+    } catch (const std::exception&) {
+      client.reset();
+    }
+  }
 }
 
 // --- Peer plane -------------------------------------------------------------

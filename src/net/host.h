@@ -52,6 +52,17 @@ struct HostOptions {
   /// Read-only observer — never perturbs the deterministic protocol.
   std::string sample_path;
   int sample_interval_ms = 1000;
+  /// Render OpenMetrics exemplars on the gateway's GET /metrics (stall
+  /// episode ids linking fat buckets to `tart-trace explain --episode`).
+  bool http_exemplars = false;
+  /// Period of the queue-depth / log-retention gauge sweep, run as a timer
+  /// on the connection manager's event loop. <= 0 disables the sweep.
+  int gauge_interval_ms = 500;
+  /// Push-based remote write: "host:port" of a collector (tart-obs
+  /// --listen) to ship kObsPush telemetry to every push_interval_ms.
+  /// Empty = no pushing (default).
+  std::string push_addr;
+  int push_interval_ms = 1000;
   NetTuning tuning;
 };
 
@@ -99,6 +110,15 @@ class NetHost {
   void control_serve(Fd fd);
   [[nodiscard]] NetMessage handle_control(const NetMessage& request);
 
+  /// Loop-thread only: one gauge sweep (wire queue depths, retention
+  /// buffers, external-log sizes) into the runtime's registry, then
+  /// re-arms itself. Stops re-arming once stopping_ is set.
+  void gauge_sweep();
+  /// Synchronously cancels the gauge timer on the loop thread (so no sweep
+  /// can be mid-flight when the runtime starts stopping).
+  void stop_gauge_timer();
+  void push_loop();
+
   DeploymentConfig deploy_;
   const PartitionSpec* self_ = nullptr;  // points into deploy_
   HostOptions options_;
@@ -116,6 +136,10 @@ class NetHost {
   std::atomic<bool> conn_ready_{false};
   std::unique_ptr<gateway::Gateway> gateway_;
   std::unique_ptr<obs::Sampler> sampler_;
+
+  /// Loop-thread only (armed via post()).
+  EventLoop::TimerId gauge_timer_ = 0;
+  std::thread push_thread_;
 
   Fd control_listener_;
   std::uint16_t control_port_ = 0;

@@ -71,6 +71,11 @@ enum class NetMsgType : std::uint8_t {
   kStatus = 30,
   kGetObs = 31,  ///< fetch telemetry registry samples -> kObs
   kObs = 32,
+  /// Push-based remote-write: a node periodically ships its telemetry
+  /// (ObsPushBody) to a collector (tart-obs --listen) -> kAck. Same
+  /// samples as kObs, so collectors aggregate pushed and polled nodes
+  /// with identical SUM/MAX/merge semantics.
+  kObsPush = 33,
 };
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the classic table-driven form.

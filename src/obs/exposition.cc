@@ -1,5 +1,6 @@
 #include "obs/exposition.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -112,9 +113,44 @@ void append_sample_line(std::string& out, const std::string& name,
   out += '\n';
 }
 
+/// One OpenMetrics exemplar'd bucket line:
+///   name_bucket{labels,le="U"} N # {episode="E",component="C",wire="W"} v
+/// Only buckets that actually captured an exemplar are rendered (the
+/// summary quantiles above already carry the full distribution); `cum` is
+/// the cumulative count through the bucket, `le` its upper bound ("+Inf"
+/// for the overflow bucket).
+void append_exemplar_bucket_line(std::string& out, const std::string& name,
+                                 const Labels& labels, const std::string& le,
+                                 std::uint64_t cum, const BucketExemplar& be,
+                                 double scale) {
+  out += name;
+  out += "_bucket";
+  out += '{';
+  for (const Label& l : labels) {
+    out += l.key;
+    out += "=\"";
+    out += escape_label(l.value);
+    out += "\",";
+  }
+  out += "le=\"";
+  out += le;
+  out += "\"} ";
+  out += std::to_string(cum);
+  out += " # {episode=\"";
+  out += std::to_string(be.ex.episode);
+  out += "\",component=\"";
+  out += std::to_string(be.ex.component);
+  out += "\",wire=\"";
+  out += std::to_string(be.ex.wire);
+  out += "\"} ";
+  append_double(out, be.ex.value * scale);
+  out += '\n';
+}
+
 }  // namespace
 
-std::string render_prometheus_samples(const std::vector<Sample>& samples) {
+std::string render_prometheus_samples(const std::vector<Sample>& samples,
+                                      bool with_exemplars) {
   std::string out;
   // Samples arrive sorted by (name, labels); each run of equal names is
   // one family.
@@ -167,6 +203,43 @@ std::string render_prometheus_samples(const std::vector<Sample>& samples) {
           out += std::to_string(h.count());
           out += '\n';
         }
+        if (with_exemplars) {
+          // OpenMetrics mode: bucket lines carrying `# {...}` exemplars,
+          // rendered only for buckets that captured one (newest per
+          // bucket). The lint accepts these as _bucket children of the
+          // summary family.
+          for (std::size_t k = i; k < j; ++k) {
+            const Sample& s = samples[k];
+            if (!s.hist || s.exemplars.empty()) continue;
+            const auto& buckets = s.hist->buckets();
+            // Newest exemplar per bucket: the snapshot is oldest-first
+            // within each ring, so a forward scan keeps the last seen.
+            std::unordered_map<std::uint32_t, const BucketExemplar*> newest;
+            for (const BucketExemplar& be : s.exemplars) newest[be.bucket] = &be;
+            std::vector<std::uint32_t> order;
+            order.reserve(newest.size());
+            for (const auto& [b, be] : newest) order.push_back(b);
+            std::sort(order.begin(), order.end());
+            for (const std::uint32_t b : order) {
+              if (b >= buckets.size()) continue;
+              std::uint64_t cum = 0;
+              for (std::uint32_t x = 0; x <= b; ++x) cum += buckets[x];
+              std::string le;
+              if (b + 1 == buckets.size()) {
+                le = "+Inf";
+              } else {
+                le.clear();
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.9g",
+                              static_cast<double>(b + 1) *
+                                  s.hist->bucket_width() * s.scale);
+                le = buf;
+              }
+              append_exemplar_bucket_line(out, s.name, s.labels, le, cum,
+                                          *newest[b], s.scale);
+            }
+          }
+        }
         // Summaries cannot carry a max; expose it as a sibling gauge family.
         const std::string max_name = head.name + "_max";
         append_header(out, max_name, "Largest single observation of " +
@@ -187,7 +260,8 @@ std::string render_prometheus_samples(const std::vector<Sample>& samples) {
 }
 
 std::string render_prometheus(const core::MetricsSnapshot& snap,
-                              const Registry* registry) {
+                              const Registry* registry,
+                              bool with_exemplars) {
 #define TART_OBS_TYPE_SUM "counter"
 #define TART_OBS_TYPE_MAX "gauge"
   std::string out;
@@ -205,7 +279,8 @@ std::string render_prometheus(const core::MetricsSnapshot& snap,
 #undef TART_OBS_EMIT
 #undef TART_OBS_TYPE_SUM
 #undef TART_OBS_TYPE_MAX
-  if (registry != nullptr) out += render_prometheus_samples(registry->samples());
+  if (registry != nullptr)
+    out += render_prometheus_samples(registry->samples(), with_exemplars);
   return out;
 }
 
@@ -315,7 +390,39 @@ std::optional<std::string> lint_exposition(const std::string& text) {
     }
     if (cursor >= line.size() || line[cursor] != ' ')
       return fail("sample '" + name + "' has no value");
-    const std::string value = line.substr(cursor + 1);
+    std::string value = line.substr(cursor + 1);
+    // OpenMetrics exemplar suffix: "<value> # {labels} <exemplar-value>".
+    // Only legal on _bucket samples (and counters, which we never emit
+    // exemplars on); plain Prometheus mode never produces one.
+    if (const std::size_t ex = value.find(" # "); ex != std::string::npos) {
+      const std::string exemplar = value.substr(ex + 3);
+      value = value.substr(0, ex);
+      if (!ends_with(name, "_bucket"))
+        return fail("exemplar on non-bucket sample '" + name + "'");
+      if (exemplar.empty() || exemplar[0] != '{')
+        return fail("malformed exemplar on '" + name + "'");
+      std::size_t ec = 1;
+      bool in_quotes = false;
+      for (; ec < exemplar.size(); ++ec) {
+        const char c = exemplar[ec];
+        if (in_quotes) {
+          if (c == '\\')
+            ++ec;
+          else if (c == '"')
+            in_quotes = false;
+        } else if (c == '"') {
+          in_quotes = true;
+        } else if (c == '}') {
+          break;
+        }
+      }
+      if (ec >= exemplar.size())
+        return fail("unterminated exemplar label set on '" + name + "'");
+      ++ec;
+      if (ec >= exemplar.size() || exemplar[ec] != ' ' ||
+          !parse_value(exemplar.substr(ec + 1)))
+        return fail("exemplar on '" + name + "' has no parseable value");
+    }
     if (!parse_value(value))
       return fail("unparseable value '" + value + "' for '" + name + "'");
     // Resolve the owning family: exact, or a _sum/_count/_bucket child of
@@ -390,7 +497,8 @@ void append_horizon(std::string& out, std::int64_t ticks) {
 
 }  // namespace
 
-std::string render_status_json(const core::StatusReport& report) {
+std::string render_status_json(const core::StatusReport& report,
+                               const std::vector<Sample>* samples) {
   std::string out = "{\"components\":[";
   bool first_comp = true;
   for (const core::ComponentStatus& c : report.components) {
@@ -426,7 +534,40 @@ std::string render_status_json(const core::StatusReport& report) {
     }
     out += "]}";
   }
-  out += "]}";
+  out += ']';
+  if (samples != nullptr) {
+    // Stall exemplars: the bridge from a histogram bucket to the flight
+    // recorder (`tart-trace explain --episode <id>`).
+    out += ",\"stall_exemplars\":[";
+    bool first_ex = true;
+    for (const Sample& s : *samples) {
+      for (const BucketExemplar& be : s.exemplars) {
+        if (!first_ex) out += ',';
+        first_ex = false;
+        out += "{\"metric\":\"" + json_escape(s.name) + '"';
+        out += ",\"labels\":{";
+        bool first_label = true;
+        for (const Label& l : s.labels) {
+          if (!first_label) out += ',';
+          first_label = false;
+          out += '"' + json_escape(l.key) + "\":\"" + json_escape(l.value) +
+                 '"';
+        }
+        out += '}';
+        out += ",\"bucket\":" + std::to_string(be.bucket);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", be.ex.value * s.scale);
+        out += ",\"value\":";
+        out += buf;
+        out += ",\"episode\":" + std::to_string(be.ex.episode);
+        out += ",\"component\":" + std::to_string(be.ex.component);
+        out += ",\"wire\":" + std::to_string(be.ex.wire);
+        out += '}';
+      }
+    }
+    out += ']';
+  }
+  out += '}';
   return out;
 }
 

@@ -10,6 +10,10 @@
 //   - every family gets # HELP and # TYPE lines before its samples
 //   - registry histograms render as summaries (quantile="0.5"/"0.99",
 //     _sum, _count) plus a separate `<name>_max` gauge family
+//   - with exemplars requested (OpenMetrics mode, off by default), a
+//     histogram sample carrying exemplars additionally renders
+//     `<name>_bucket{...,le="X"} N # {episode=...} value` lines, one per
+//     bucket with a captured exemplar (the newest in its ring)
 #pragma once
 
 #include <optional>
@@ -37,12 +41,15 @@ inline constexpr const char* kPrometheusContentType =
 /// both would be the two-divergent-counting-paths bug this module exists
 /// to kill.
 [[nodiscard]] std::string render_prometheus(const core::MetricsSnapshot& snap,
-                                            const Registry* registry);
+                                            const Registry* registry,
+                                            bool with_exemplars = false);
 
 /// Renders pre-collected samples only (tart-obs --series, cross-node
-/// merged views where no single MetricsSnapshot applies).
+/// merged views where no single MetricsSnapshot applies). Exemplar
+/// rendering is opt-in: plain Prometheus 0.0.4 consumers do not expect
+/// `# {...}` suffixes, so the default output never carries them.
 [[nodiscard]] std::string render_prometheus_samples(
-    const std::vector<Sample>& samples);
+    const std::vector<Sample>& samples, bool with_exemplars = false);
 
 /// Checks an exposition page against the conventions above. Returns
 /// std::nullopt when clean, otherwise a one-line description of the first
@@ -52,7 +59,11 @@ inline constexpr const char* kPrometheusContentType =
     const std::string& text);
 
 /// GET /status body: the silence wavefront as JSON. Infinite silence
-/// horizons render as the string "inf".
-[[nodiscard]] std::string render_status_json(const core::StatusReport& report);
+/// horizons render as the string "inf". When `samples` is non-null, a
+/// "stall_exemplars" section links histogram buckets to the stall episode
+/// ids the flight recorder knows about.
+[[nodiscard]] std::string render_status_json(
+    const core::StatusReport& report,
+    const std::vector<Sample>* samples = nullptr);
 
 }  // namespace tart::obs

@@ -18,17 +18,78 @@ Histogram::Histogram(double width, std::size_t num_buckets)
     buckets_[i].store(0, std::memory_order_relaxed);
 }
 
-void Histogram::record(double x) {
+std::size_t Histogram::bucket_index(double x) const {
   if (x < 0) x = 0;
   auto idx = static_cast<std::size_t>(x / width_);
   if (idx >= size_ - 1) idx = size_ - 1;
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+void Histogram::record(double x) {
+  if (x < 0) x = 0;
+  buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(x, std::memory_order_relaxed);
   double cur = max_.load(std::memory_order_relaxed);
   while (x > cur &&
          !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::record(double x, const Exemplar& ex) {
+  record(x);
+  const std::uint32_t cap = ex_capacity_.load(std::memory_order_acquire);
+  if (cap == 0) return;
+  const std::size_t bucket = bucket_index(x);
+  // Ring write: the per-bucket cursor only ever grows, so modulo capacity
+  // the newest exemplar evicts the oldest. Fields are individually relaxed
+  // (a concurrent reader may see a torn mix of two exemplars — benign for
+  // observational data; writes are rare, one per stall episode).
+  const std::uint32_t pos =
+      ex_cursor_[bucket].fetch_add(1, std::memory_order_relaxed) % cap;
+  ExemplarSlot& slot = ex_slots_[bucket * cap + pos];
+  slot.value.store(ex.value, std::memory_order_relaxed);
+  slot.episode.store(ex.episode, std::memory_order_relaxed);
+  slot.component.store(ex.component, std::memory_order_relaxed);
+  slot.wire.store(ex.wire, std::memory_order_relaxed);
+  slot.used.store(true, std::memory_order_release);
+}
+
+void Histogram::enable_exemplars(std::uint32_t ring_capacity) {
+  if (ring_capacity == 0) return;
+  const std::lock_guard<std::mutex> lk(ex_enable_mu_);
+  if (ex_capacity_.load(std::memory_order_relaxed) != 0) return;  // first wins
+  ex_slots_ = std::make_unique<ExemplarSlot[]>(size_ * ring_capacity);
+  ex_cursor_ = std::make_unique<std::atomic<std::uint32_t>[]>(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    ex_cursor_[i].store(0, std::memory_order_relaxed);
+  ex_capacity_.store(ring_capacity, std::memory_order_release);
+}
+
+std::vector<BucketExemplar> Histogram::exemplars() const {
+  std::vector<BucketExemplar> out;
+  const std::uint32_t cap = ex_capacity_.load(std::memory_order_acquire);
+  if (cap == 0) return out;
+  for (std::size_t b = 0; b < size_; ++b) {
+    const std::uint32_t cursor =
+        ex_cursor_[b].load(std::memory_order_relaxed);
+    if (cursor == 0) continue;
+    // Oldest-first: the ring holds writes [cursor - cap, cursor).
+    const std::uint32_t live = cursor < cap ? cursor : cap;
+    for (std::uint32_t i = 0; i < live; ++i) {
+      const std::uint32_t pos = (cursor - live + i) % cap;
+      const ExemplarSlot& slot = ex_slots_[b * cap + pos];
+      if (!slot.used.load(std::memory_order_acquire)) continue;
+      BucketExemplar be;
+      be.bucket = static_cast<std::uint32_t>(b);
+      be.ex.value = slot.value.load(std::memory_order_relaxed);
+      be.ex.episode = slot.episode.load(std::memory_order_relaxed);
+      be.ex.component = slot.component.load(std::memory_order_relaxed);
+      be.ex.wire = slot.wire.load(std::memory_order_relaxed);
+      out.push_back(be);
+    }
+  }
+  return out;
 }
 
 stats::Histogram Histogram::snapshot() const {
@@ -147,6 +208,8 @@ std::vector<Sample> Registry::samples() const {
           break;
         case Kind::kHistogram:
           s.hist = cell->hist->snapshot();
+          if (cell->hist->exemplars_enabled())
+            s.exemplars = cell->hist->exemplars();
           break;
       }
       out.push_back(std::move(s));
@@ -184,6 +247,14 @@ void encode_samples(serde::Writer& w, const std::vector<Sample>& samples) {
         s.hist.value().encode(w);
         break;
     }
+    w.write_varint(s.exemplars.size());
+    for (const BucketExemplar& be : s.exemplars) {
+      w.write_u32(be.bucket);
+      w.write_double(be.ex.value);
+      w.write_varint(be.ex.episode);
+      w.write_u32(be.ex.component);
+      w.write_u32(be.ex.wire);
+    }
   }
 }
 
@@ -218,6 +289,17 @@ std::vector<Sample> decode_samples(serde::Reader& r) {
         s.hist = stats::Histogram::decode(r);
         break;
     }
+    const std::uint64_t nex = r.read_varint();
+    s.exemplars.reserve(nex);
+    for (std::uint64_t j = 0; j < nex; ++j) {
+      BucketExemplar be;
+      be.bucket = r.read_u32();
+      be.ex.value = r.read_double();
+      be.ex.episode = r.read_varint();
+      be.ex.component = r.read_u32();
+      be.ex.wire = r.read_u32();
+      s.exemplars.push_back(be);
+    }
     out.push_back(std::move(s));
   }
   return out;
@@ -251,6 +333,13 @@ std::vector<Sample> merge_samples(std::vector<std::vector<Sample>> per_node) {
         case Kind::kHistogram:
           if (dst.hist && s.hist) (void)dst.hist->merge(*s.hist);
           break;
+      }
+      // Exemplars accumulate across nodes, bounded so a long-lived
+      // aggregator cannot grow without limit.
+      constexpr std::size_t kMaxMergedExemplars = 64;
+      for (const BucketExemplar& be : s.exemplars) {
+        if (dst.exemplars.size() >= kMaxMergedExemplars) break;
+        dst.exemplars.push_back(be);
       }
     }
   }

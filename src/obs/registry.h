@@ -87,6 +87,28 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// One exemplar: a concrete observation annotated with the stall episode
+/// it came from, so a fat histogram bucket links back to the flight
+/// recorder's kStallResolved/kStallBlame records for that episode
+/// (`tart-trace explain --episode`).
+struct Exemplar {
+  double value = 0;           ///< Observed value, base units.
+  std::uint64_t episode = 0;  ///< Per-component stall episode id.
+  std::uint32_t component = 0;
+  std::uint32_t wire = 0;
+
+  bool operator==(const Exemplar&) const = default;
+};
+
+/// An exemplar as read out of a histogram snapshot: the ring entry plus
+/// the bucket it landed in.
+struct BucketExemplar {
+  std::uint32_t bucket = 0;
+  Exemplar ex;
+
+  bool operator==(const BucketExemplar&) const = default;
+};
+
 /// Lock-free fixed-bucket histogram cell. record() is wait-free per bucket
 /// (relaxed fetch_add) plus a CAS loop for the max; snapshot() produces a
 /// stats::Histogram for percentile math, merging, and serde.
@@ -95,6 +117,21 @@ class Histogram {
   Histogram(double width, std::size_t num_buckets);
 
   void record(double x);
+  /// record() plus stash the exemplar in the target bucket's ring (newest
+  /// evicts oldest). No-op attachment unless enable_exemplars was called.
+  /// Cold path only (stall release, not per-message); relaxed atomics, so
+  /// a reader racing a writer may observe a torn exemplar — observational
+  /// data, never fed back into scheduling.
+  void record(double x, const Exemplar& ex);
+
+  /// Opt in to exemplar capture with a per-bucket ring of `ring_capacity`
+  /// slots. Idempotent (first capacity wins); safe to race with record().
+  void enable_exemplars(std::uint32_t ring_capacity);
+  [[nodiscard]] bool exemplars_enabled() const {
+    return ex_capacity_.load(std::memory_order_acquire) != 0;
+  }
+  /// Occupied exemplar slots, bucket-ordered (oldest-first within a ring).
+  [[nodiscard]] std::vector<BucketExemplar> exemplars() const;
 
   [[nodiscard]] double bucket_width() const { return width_; }
   [[nodiscard]] std::uint64_t count() const {
@@ -105,12 +142,30 @@ class Histogram {
   [[nodiscard]] stats::Histogram snapshot() const;
 
  private:
+  /// All-atomic so record() and exemplars() never lock.
+  struct ExemplarSlot {
+    std::atomic<bool> used{false};
+    std::atomic<double> value{0};
+    std::atomic<std::uint64_t> episode{0};
+    std::atomic<std::uint32_t> component{0};
+    std::atomic<std::uint32_t> wire{0};
+  };
+
+  [[nodiscard]] std::size_t bucket_index(double x) const;
+
   double width_;
   std::size_t size_;  // buckets incl. overflow
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
+  // Exemplar rings: size_ * capacity slots, one write cursor per bucket.
+  // capacity is published last (release) so racing record()s see fully
+  // constructed arrays.
+  std::atomic<std::uint32_t> ex_capacity_{0};
+  std::unique_ptr<ExemplarSlot[]> ex_slots_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> ex_cursor_;
+  std::mutex ex_enable_mu_;
 };
 
 /// One plain-value sample, as read out of the registry (and as shipped in
@@ -127,6 +182,9 @@ struct Sample {
   std::uint64_t counter_value = 0;
   std::int64_t gauge_value = 0;
   std::optional<stats::Histogram> hist;
+  /// Histogram exemplars (empty unless the cell opted in). Travel with the
+  /// sample through serde and cross-node merges.
+  std::vector<BucketExemplar> exemplars;
 };
 
 /// Process-local metric registry. One per core::Runtime (NOT a global:

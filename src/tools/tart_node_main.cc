@@ -1,8 +1,9 @@
 // tart-node: hosts one partition of a deployment in this OS process.
 //
 //   tart-node <deployment.conf> <partition> [--log-dir=DIR] [--trace=FILE]
-//             [--http=ADDR|PORT] [--no-group-commit] [--sample=FILE]
-//             [--sample-interval-ms=N] [--verbose]
+//             [--http=ADDR|PORT] [--no-group-commit] [--exemplars]
+//             [--sample=FILE] [--sample-interval-ms=N]
+//             [--gauge-interval-ms=N] [--push=ADDR[,INTERVALMS]] [--verbose]
 //
 // Every node of a deployment runs this binary with the SAME config file and
 // its own partition name. The node builds the global topology, constructs
@@ -21,6 +22,12 @@
 // With --http, the node additionally serves the HTTP ingress gateway
 // (docs/GATEWAY.md) for this partition's external inputs/outputs: POSTed
 // injections are acked only once durable in the log (log-before-ack).
+// --exemplars adds OpenMetrics exemplars to GET /metrics histograms,
+// linking fat stall buckets to `tart-trace explain --episode` ids.
+//
+// With --push=ADDR, the node remote-writes its telemetry (metrics +
+// registry samples) to a collector — `tart-obs --listen` — every interval,
+// for deployments where the collector cannot dial the nodes.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -42,8 +49,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: tart-node <deployment.conf> <partition> "
                "[--log-dir=DIR] [--trace=FILE] [--http=ADDR|PORT] "
-               "[--no-group-commit] [--sample=FILE] "
-               "[--sample-interval-ms=N] [--verbose]\n");
+               "[--no-group-commit] [--exemplars] [--sample=FILE] "
+               "[--sample-interval-ms=N] [--gauge-interval-ms=N] "
+               "[--push=ADDR[,INTERVALMS]] [--verbose]\n");
   return 2;
 }
 
@@ -77,6 +85,31 @@ int main(int argc, char** argv) {
           std::atoi(arg.c_str() + std::strlen("--sample-interval-ms="));
       if (options.sample_interval_ms <= 0) {
         std::fprintf(stderr, "tart-node: bad --sample-interval-ms\n");
+        return usage();
+      }
+    } else if (arg == "--exemplars") {
+      options.http_exemplars = true;
+    } else if (arg.rfind("--gauge-interval-ms=", 0) == 0) {
+      // 0 disables the sweep (negative rejected to keep flags unambiguous).
+      options.gauge_interval_ms =
+          std::atoi(arg.c_str() + std::strlen("--gauge-interval-ms="));
+      if (options.gauge_interval_ms < 0) {
+        std::fprintf(stderr, "tart-node: bad --gauge-interval-ms\n");
+        return usage();
+      }
+    } else if (arg.rfind("--push=", 0) == 0) {
+      std::string spec = arg.substr(std::strlen("--push="));
+      if (const auto comma = spec.rfind(','); comma != std::string::npos) {
+        options.push_interval_ms = std::atoi(spec.c_str() + comma + 1);
+        spec.resize(comma);
+        if (options.push_interval_ms <= 0) {
+          std::fprintf(stderr, "tart-node: bad --push interval\n");
+          return usage();
+        }
+      }
+      options.push_addr = spec;
+      if (options.push_addr.find(':') == std::string::npos) {
+        std::fprintf(stderr, "tart-node: --push needs HOST:PORT\n");
         return usage();
       }
     } else if (arg == "--verbose") {

@@ -3,20 +3,30 @@
 //   tart-trace dump <file> [--merged] [--category=sched|diag|all]
 //   tart-trace diff <a> <b> [--recovery]
 //   tart-trace stats <file>
+//   tart-trace explain <trace...> [--episode N | --top K | --json]
+//
+// `explain` loads one or more traces (one per node of a deployment) and
+// reconstructs every pessimism-stall episode's causal chain — held message
+// -> blocking wire -> upstream sender -> the promise that released it —
+// with the estimator-error / propagation-lag split (see
+// src/trace/forensics.h).
 //
 // Exit codes: 0 success (diff: traces match), 1 diff found a divergence,
 // 2 usage or I/O error.
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "stats/histogram.h"
 #include "trace/diff.h"
+#include "trace/forensics.h"
 #include "trace/trace_event.h"
 #include "trace/trace_file.h"
 
@@ -36,7 +46,8 @@ int usage() {
       << "usage:\n"
          "  tart-trace dump <file> [--merged] [--category=sched|diag|all]\n"
          "  tart-trace diff <a> <b> [--recovery]\n"
-         "  tart-trace stats <file>\n";
+         "  tart-trace stats <file>\n"
+         "  tart-trace explain <trace...> [--episode N | --top K | --json]\n";
   return kExitError;
 }
 
@@ -133,6 +144,165 @@ int cmd_stats(const Trace& trace) {
   return kExitOk;
 }
 
+std::string comp_name(tart::ComponentId id) {
+  return id.is_valid() ? "c" + std::to_string(id.value()) : "external";
+}
+
+std::string us(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(ns) / 1e3);
+  return std::string(buf) + "us";
+}
+
+void print_episode(const tart::trace::Episode& e) {
+  std::cout << "  " << comp_name(e.component) << " ep#" << e.id << ": held vt="
+            << tart::to_string(e.held_vt) << " on wire "
+            << (e.held_wire.is_valid() ? std::to_string(e.held_wire.value())
+                                       : std::string("?"))
+            << ", blocked by wire " << e.blocking_wire.value() << " (sender "
+            << comp_name(e.sender) << "), stall=" << us(e.stall_ns)
+            << " = est " << us(e.split.estimator_error_ns) << " + prop "
+            << us(e.split.propagation_lag_ns) << ", deficit="
+            << e.split.deficit_ticks << " ticks (est "
+            << e.split.estimator_error_ticks << ")";
+  if (e.resolving_emit_seq)
+    std::cout << ", released by emit seq=" << *e.resolving_emit_seq;
+  std::cout << "\n";
+}
+
+void print_episode_json(std::string& out, const tart::trace::Episode& e) {
+  out += "{\"component\":" + std::to_string(e.component.value());
+  out += ",\"episode\":" + std::to_string(e.id);
+  out += ",\"held_vt\":" + std::to_string(e.held_vt.ticks());
+  out += ",\"held_wire\":";
+  out += e.held_wire.is_valid() ? std::to_string(e.held_wire.value()) : "null";
+  out += ",\"blocking_wire\":" + std::to_string(e.blocking_wire.value());
+  out += ",\"sender\":";
+  out += e.sender.is_valid() ? std::to_string(e.sender.value())
+                             : std::string("\"external\"");
+  out += ",\"stall_ns\":" + std::to_string(e.stall_ns);
+  out += ",\"estimator_error_ns\":" +
+         std::to_string(e.split.estimator_error_ns);
+  out += ",\"propagation_lag_ns\":" +
+         std::to_string(e.split.propagation_lag_ns);
+  out += ",\"deficit_ticks\":" + std::to_string(e.split.deficit_ticks);
+  out += ",\"estimator_error_ticks\":" +
+         std::to_string(e.split.estimator_error_ticks);
+  out += ",\"attributed\":";
+  out += e.attributed ? "true" : "false";
+  if (e.resolving_emit_seq)
+    out += ",\"resolving_emit_seq\":" + std::to_string(*e.resolving_emit_seq);
+  out += '}';
+}
+
+int cmd_explain(const std::vector<Trace>& traces,
+                std::optional<std::uint64_t> episode, std::size_t top_k,
+                bool json) {
+  const tart::trace::ForensicsReport report = tart::trace::analyze(traces);
+
+  if (episode) {
+    // Full causal chain for one episode id (across all components).
+    bool found = false;
+    for (const tart::trace::Episode& e : report.episodes) {
+      if (e.id != *episode) continue;
+      found = true;
+      if (json) {
+        std::string out;
+        print_episode_json(out, e);
+        std::cout << out << "\n";
+        continue;
+      }
+      std::cout << "episode #" << e.id << " at " << comp_name(e.component)
+                << ":\n"
+                << "  held message: vt=" << tart::to_string(e.held_vt)
+                << " wire=" << (e.held_wire.is_valid()
+                                    ? std::to_string(e.held_wire.value())
+                                    : std::string("?"))
+                << "\n"
+                << "  blocking wire: " << e.blocking_wire.value()
+                << " (sender " << comp_name(e.sender) << "), horizon at begin "
+                << tart::to_string(e.h_begin) << ", needed "
+                << tart::to_string(e.needed) << " (deficit "
+                << e.split.deficit_ticks << " ticks)\n"
+                << "  stall: " << us(e.stall_ns) << " = estimator error "
+                << us(e.split.estimator_error_ns) << " + propagation lag "
+                << us(e.split.propagation_lag_ns) << "\n";
+      if (e.promise_wall_ns)
+        std::cout << "  released by promise published "
+                  << us(*e.promise_wall_ns - e.begin_wall_ns)
+                  << " after the stall began";
+      else
+        std::cout << "  no covering promise found in the sender's stream";
+      if (e.resolving_emit_seq)
+        std::cout << " (data emit seq=" << *e.resolving_emit_seq << ")";
+      std::cout << "\n";
+    }
+    if (!found) {
+      std::cerr << "no episode with id " << *episode << "\n";
+      return kExitError;
+    }
+    return kExitOk;
+  }
+
+  if (json) {
+    std::string out = "{\"episodes\":" + std::to_string(report.episodes.size());
+    out += ",\"total_stall_ns\":" + std::to_string(report.total_stall_ns);
+    out += ",\"attributed_stall_ns\":" +
+           std::to_string(report.attributed_stall_ns);
+    char frac[32];
+    std::snprintf(frac, sizeof(frac), "%.6f", report.attributed_fraction());
+    out += ",\"attributed_fraction\":";
+    out += frac;
+    out += ",\"blame\":[";
+    bool first = true;
+    for (const tart::trace::BlameTotal& b : report.blame) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"component\":" + std::to_string(b.component.value());
+      out += ",\"wire\":" + std::to_string(b.wire.value());
+      out += ",\"sender\":";
+      out += b.sender.is_valid() ? std::to_string(b.sender.value())
+                                 : std::string("\"external\"");
+      out += ",\"episodes\":" + std::to_string(b.episodes);
+      out += ",\"stall_ns\":" + std::to_string(b.stall_ns);
+      out += ",\"estimator_error_ns\":" + std::to_string(b.estimator_error_ns);
+      out += ",\"propagation_lag_ns\":" + std::to_string(b.propagation_lag_ns);
+      out += '}';
+    }
+    out += "],\"top\":[";
+    first = true;
+    for (const tart::trace::Episode* e : report.top(top_k)) {
+      if (!first) out += ',';
+      first = false;
+      print_episode_json(out, *e);
+    }
+    out += "]}";
+    std::cout << out << "\n";
+    return kExitOk;
+  }
+
+  char frac[32];
+  std::snprintf(frac, sizeof(frac), "%.1f",
+                report.attributed_fraction() * 100.0);
+  std::cout << "episodes=" << report.episodes.size() << " total_stall="
+            << us(report.total_stall_ns) << " attributed=" << frac << "%\n";
+  if (!report.blame.empty()) {
+    std::cout << "blame (worst first):\n";
+    for (const tart::trace::BlameTotal& b : report.blame)
+      std::cout << "  " << comp_name(b.component) << " <- wire "
+                << b.wire.value() << " <- " << comp_name(b.sender)
+                << ": episodes=" << b.episodes << " stall=" << us(b.stall_ns)
+                << " est_err=" << us(b.estimator_error_ns)
+                << " prop_lag=" << us(b.propagation_lag_ns) << "\n";
+  }
+  const auto top = report.top(top_k);
+  if (!top.empty()) {
+    std::cout << "top " << top.size() << " episodes:\n";
+    for (const tart::trace::Episode* e : top) print_episode(*e);
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,6 +313,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   bool merged = false;
   bool recovery = false;
+  bool json = false;
+  std::optional<std::uint64_t> episode;
+  std::size_t top_k = 5;
   std::uint32_t mask = static_cast<std::uint32_t>(TraceCategory::kAll);
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -150,6 +323,16 @@ int main(int argc, char** argv) {
       merged = true;
     } else if (a == "--recovery") {
       recovery = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--episode" && i + 1 < args.size()) {
+      episode = std::stoull(args[++i]);
+    } else if (a.rfind("--episode=", 0) == 0) {
+      episode = std::stoull(a.substr(10));
+    } else if (a == "--top" && i + 1 < args.size()) {
+      top_k = std::stoull(args[++i]);
+    } else if (a.rfind("--top=", 0) == 0) {
+      top_k = std::stoull(a.substr(6));
     } else if (a == "--category=sched") {
       mask = static_cast<std::uint32_t>(TraceCategory::kScheduling);
     } else if (a == "--category=diag") {
@@ -176,7 +359,17 @@ int main(int argc, char** argv) {
     if (cmd == "stats" && files.size() == 1) {
       return cmd_stats(tart::trace::TraceReader::read_file(files[0]));
     }
+    if (cmd == "explain" && !files.empty()) {
+      std::vector<Trace> traces;
+      traces.reserve(files.size());
+      for (const std::string& f : files)
+        traces.push_back(tart::trace::TraceReader::read_file(f));
+      return cmd_explain(traces, episode, top_k, json);
+    }
   } catch (const tart::trace::TraceError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitError;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitError;
   }

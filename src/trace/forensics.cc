@@ -1,0 +1,215 @@
+#include "trace/forensics.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace tart::trace {
+
+Decomposition decompose(std::int64_t stall_ns, std::int64_t begin_wall_ns,
+                        std::int64_t promise_wall_ns,
+                        std::int64_t needed_ticks, std::int64_t h_begin_ticks,
+                        std::int64_t next_emit_ticks) {
+  Decomposition d;
+  const std::int64_t s = std::max<std::int64_t>(stall_ns, 0);
+  if (promise_wall_ns < 0) {
+    // Nobody ever published a covering horizon (external wire, or the head
+    // was displaced before the promise landed): the sender's estimator is
+    // charged with the whole wait.
+    d.estimator_error_ns = s;
+  } else {
+    // Wall time from "receiver starts waiting" to "sender publishes a
+    // covering horizon" is the sender's fault; the remainder is transit +
+    // scheduling of the promise. Clamping makes the parts exclusive and
+    // exhaustive: they always sum to exactly the recorded stall.
+    d.estimator_error_ns =
+        std::clamp<std::int64_t>(promise_wall_ns - begin_wall_ns, 0, s);
+  }
+  d.propagation_lag_ns = s - d.estimator_error_ns;
+
+  d.deficit_ticks = std::max<std::int64_t>(needed_ticks - h_begin_ticks, 0);
+  if (d.deficit_ticks > 0) {
+    // Tick-domain shadow: ticks strictly before the sender's actual next
+    // send carried no data, so a perfect estimator would have promised
+    // them at episode begin — pure estimator pessimism.
+    const std::int64_t claimable =
+        next_emit_ticks < 0 ? needed_ticks
+                            : std::min(next_emit_ticks - 1, needed_ticks);
+    d.estimator_error_ticks =
+        std::clamp<std::int64_t>(claimable - h_begin_ticks, 0,
+                                 d.deficit_ticks);
+  }
+  return d;
+}
+
+double ForensicsReport::attributed_fraction() const {
+  if (total_stall_ns <= 0) return 1.0;
+  return static_cast<double>(attributed_stall_ns) /
+         static_cast<double>(total_stall_ns);
+}
+
+std::vector<const Episode*> ForensicsReport::top(std::size_t k) const {
+  std::vector<const Episode*> out;
+  out.reserve(episodes.size());
+  for (const Episode& e : episodes) out.push_back(&e);
+  std::sort(out.begin(), out.end(), [](const Episode* a, const Episode* b) {
+    if (a->stall_ns != b->stall_ns) return a->stall_ns > b->stall_ns;
+    if (a->component != b->component) return a->component < b->component;
+    return a->id < b->id;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+const Episode* ForensicsReport::find(ComponentId component,
+                                     std::uint64_t id) const {
+  for (const Episode& e : episodes)
+    if (e.component == component && e.id == id) return &e;
+  return nullptr;
+}
+
+namespace {
+
+/// The sender-side view of one wire: promises and emits in stream order
+/// (both have nondecreasing vt — horizons only advance, per-wire send vts
+/// only grow).
+struct WireSenderIndex {
+  ComponentId sender;
+  std::vector<std::pair<std::int64_t, std::int64_t>> promises;  // vt, wall
+  std::vector<std::pair<std::int64_t, std::uint64_t>> emits;    // vt, seq
+};
+
+}  // namespace
+
+ForensicsReport analyze(const std::vector<Trace>& traces) {
+  ForensicsReport report;
+
+  // Component streams across all nodes; a component lives in exactly one
+  // node's trace, so first-wins dedup is only defensive.
+  std::map<ComponentId, const ComponentTrace*> streams;
+  for (const Trace& t : traces)
+    for (const ComponentTrace& ct : t.components)
+      streams.emplace(ct.component, &ct);
+
+  // Sender-side index per wire. Wire ids are deployment-global, so this is
+  // exactly the cross-node (wire, seq) correlation: a cut wire's emits
+  // live in the remote node's trace and land in the same index.
+  std::map<WireId, WireSenderIndex> by_wire;
+  for (const auto& [cid, ct] : streams) {
+    for (const TraceEvent& e : ct->events) {
+      if (e.kind == TraceEventKind::kEmit) {
+        auto& idx = by_wire[e.wire];
+        idx.sender = cid;
+        idx.emits.emplace_back(e.vt.ticks(), e.aux);
+      } else if (e.kind == TraceEventKind::kSilencePromise) {
+        auto& idx = by_wire[e.wire];
+        idx.sender = cid;
+        idx.promises.emplace_back(e.vt.ticks(),
+                                  static_cast<std::int64_t>(e.aux));
+      }
+    }
+  }
+
+  // Receiver-side reconstruction.
+  for (const auto& [cid, ct] : streams) {
+    // Episode ids can repeat within one stream after crash/recover (the
+    // runner's counter restarts while the trace stream continues), so
+    // blame records are matched positionally: the first kStallBlame with
+    // the episode's id *after* its kStallResolved.
+    std::map<std::uint64_t, std::vector<std::size_t>> blame_at;
+    for (std::size_t i = 0; i < ct->events.size(); ++i)
+      if (ct->events[i].kind == TraceEventKind::kStallBlame)
+        blame_at[ct->events[i].aux].push_back(i);
+
+    WireId held_wire;  // from the most recent kStallBegin
+    for (std::size_t i = 0; i < ct->events.size(); ++i) {
+      const TraceEvent& e = ct->events[i];
+      if (e.kind == TraceEventKind::kStallBegin) {
+        held_wire = e.wire;
+        continue;
+      }
+      if (e.kind != TraceEventKind::kStallResolved) continue;
+
+      Episode ep;
+      ep.component = cid;
+      ep.id = e.aux;
+      ep.held_vt = e.vt;
+      ep.held_wire = held_wire;
+      ep.blocking_wire = e.wire;
+      ep.stall_ns = static_cast<std::int64_t>(e.payload_hash);
+
+      const TraceEvent* blame = nullptr;
+      if (const auto bit = blame_at.find(ep.id); bit != blame_at.end())
+        for (const std::size_t bi : bit->second)
+          if (bi > i) {
+            blame = &ct->events[bi];
+            break;
+          }
+      if (blame != nullptr) {
+        ep.h_begin = blame->vt;
+        ep.begin_wall_ns = static_cast<std::int64_t>(blame->payload_hash);
+      }
+
+      // The horizon that releases the head: t, or t-1 when the blocking
+      // wire loses the vt tie-break to the held wire (Inbox::permits).
+      const bool tie_break_relief =
+          ep.held_wire.is_valid() &&
+          ep.blocking_wire.value() > ep.held_wire.value();
+      ep.needed = tie_break_relief ? ep.held_vt.prev() : ep.held_vt;
+
+      std::int64_t promise_wall = -1;
+      std::int64_t next_emit = -1;
+      if (const auto wit = by_wire.find(ep.blocking_wire);
+          wit != by_wire.end()) {
+        const WireSenderIndex& idx = wit->second;
+        ep.sender = idx.sender;
+        for (const auto& [vt, wall] : idx.promises)
+          if (vt >= ep.needed.ticks()) {
+            promise_wall = wall;
+            ep.promise_wall_ns = wall;
+            break;
+          }
+        for (const auto& [vt, seq] : idx.emits) {
+          if (next_emit < 0 && vt > ep.h_begin.ticks()) next_emit = vt;
+          if (vt >= ep.needed.ticks()) {
+            ep.resolving_emit_seq = seq;
+            break;
+          }
+        }
+      }
+
+      ep.split = decompose(ep.stall_ns, ep.begin_wall_ns, promise_wall,
+                           ep.needed.ticks(), ep.h_begin.ticks(), next_emit);
+      ep.attributed = blame != nullptr && ep.blocking_wire.is_valid();
+
+      report.total_stall_ns += ep.stall_ns;
+      if (ep.attributed) report.attributed_stall_ns += ep.stall_ns;
+      report.episodes.push_back(std::move(ep));
+    }
+  }
+
+  // Blame rollup, worst (component, wire, sender) first.
+  std::map<std::tuple<ComponentId, WireId, ComponentId>, BlameTotal> blame;
+  for (const Episode& ep : report.episodes) {
+    if (!ep.attributed) continue;
+    auto& b = blame[{ep.component, ep.blocking_wire, ep.sender}];
+    b.component = ep.component;
+    b.wire = ep.blocking_wire;
+    b.sender = ep.sender;
+    b.episodes += 1;
+    b.stall_ns += ep.stall_ns;
+    b.estimator_error_ns += ep.split.estimator_error_ns;
+    b.propagation_lag_ns += ep.split.propagation_lag_ns;
+  }
+  report.blame.reserve(blame.size());
+  for (auto& [key, b] : blame) report.blame.push_back(b);
+  std::sort(report.blame.begin(), report.blame.end(),
+            [](const BlameTotal& a, const BlameTotal& b) {
+              if (a.stall_ns != b.stall_ns) return a.stall_ns > b.stall_ns;
+              if (a.component != b.component) return a.component < b.component;
+              return a.wire < b.wire;
+            });
+  return report;
+}
+
+}  // namespace tart::trace

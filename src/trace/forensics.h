@@ -1,0 +1,128 @@
+// Stall forensics: mine flight-recorder traces for *why* pessimism stalls
+// happened, not just how long they were.
+//
+// The runner emits three diagnostic records per stall episode (see
+// trace_event.h): kStallBegin when a head is first held, and — at release
+// — kStallResolved (held vt, blocking wire, wall duration, episode id)
+// plus kStallBlame (the blocking wire's silence horizon and the wall clock
+// when the episode began). The *sender's* stream independently carries
+// kSilencePromise records wall-stamped at publication. Joining the two
+// sides reconstructs each episode's causal chain:
+//
+//   held message (vt T on wire A)
+//     -> blocking wire B (last horizon to cover T)
+//       -> upstream sender S (the component whose stream emits on B)
+//         -> S's first promise/emit whose horizon covered T.
+//
+// and splits the stall S_ns into two exclusive, exhaustive parts:
+//
+//   estimator error  = clamp(t_pub - t_begin, 0, S_ns)
+//     wall time the *sender* took to publish a horizon covering the held
+//     vt after the receiver began waiting: its estimator promised less
+//     silence than it actually produced (or it simply had not yet run);
+//   propagation lag  = S_ns - estimator error
+//     wall time the covering promise spent in flight / in queues / waiting
+//     for the receiver's scheduler to notice it.
+//
+// Both stamps come from std::chrono::steady_clock (CLOCK_MONOTONIC), which
+// is comparable across processes on one machine — the loopback multi-node
+// deployments scripts/net_soak.sh exercises. Across real hosts the split
+// degrades gracefully (clamped at [0, S]) but is only as good as the
+// clocks. A tick-domain shadow of the same question (how many *virtual*
+// ticks of the deficit were the estimator's fault) is reported alongside.
+//
+// Multi-node correlation needs no extra machinery: wire ids are global to
+// the deployment and each component's stream lives in exactly one node's
+// trace, so loading both traces and indexing emits by (wire, seq) joins
+// the cut edges. External wires (fed by injections, not components) have
+// no sender stream; their episodes attribute to the pseudo-sender
+// "external" with the whole stall counted as estimator error (nobody ever
+// promised).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "trace/trace_file.h"
+
+namespace tart::trace {
+
+/// Pure decomposition math, unit-testable against hand-computed values.
+/// `promise_wall_ns < 0` means no covering promise was found (external
+/// wire, or the horizon advanced only through displacement): the whole
+/// stall is estimator error. `next_emit_ticks < 0` means the sender never
+/// emitted past the begin horizon.
+struct Decomposition {
+  std::int64_t estimator_error_ns = 0;
+  std::int64_t propagation_lag_ns = 0;  // == stall_ns - estimator_error_ns
+  std::int64_t deficit_ticks = 0;       // needed - h_begin (>= 0)
+  std::int64_t estimator_error_ticks = 0;
+};
+
+[[nodiscard]] Decomposition decompose(std::int64_t stall_ns,
+                                      std::int64_t begin_wall_ns,
+                                      std::int64_t promise_wall_ns,
+                                      std::int64_t needed_ticks,
+                                      std::int64_t h_begin_ticks,
+                                      std::int64_t next_emit_ticks);
+
+/// One reconstructed stall episode.
+struct Episode {
+  ComponentId component;   ///< The stalled receiver.
+  std::uint64_t id = 0;    ///< Per-component episode id (kStallResolved aux).
+  VirtualTime held_vt;     ///< Virtual time of the held head.
+  WireId held_wire;        ///< Wire the held head arrived on (kStallBegin).
+  WireId blocking_wire;    ///< Last wire whose horizon covered held_vt.
+  /// Component emitting on blocking_wire; invalid => external input.
+  ComponentId sender;
+  std::int64_t stall_ns = 0;
+  std::int64_t begin_wall_ns = 0;
+  VirtualTime h_begin;     ///< Blocking wire's horizon at episode begin.
+  VirtualTime needed;      ///< Horizon that releases the head (tie-break'd).
+  /// Sender-side wall stamp of the first promise covering `needed`;
+  /// nullopt when no such promise exists in the sender's stream.
+  std::optional<std::int64_t> promise_wall_ns;
+  /// (wire, seq) of the sender's first data emit at vt >= needed, when the
+  /// horizon advanced via data — joins to the receiver's kDispatch.
+  std::optional<std::uint64_t> resolving_emit_seq;
+  Decomposition split;
+  /// Blocking wire identified and blame facts present (kStallBlame found).
+  bool attributed = false;
+};
+
+/// Per-(receiver, blocking wire, sender) blame rollup.
+struct BlameTotal {
+  ComponentId component;
+  WireId wire;
+  ComponentId sender;  ///< invalid => external
+  std::uint64_t episodes = 0;
+  std::int64_t stall_ns = 0;
+  std::int64_t estimator_error_ns = 0;
+  std::int64_t propagation_lag_ns = 0;
+};
+
+struct ForensicsReport {
+  std::vector<Episode> episodes;  ///< (component, episode id) order.
+  std::vector<BlameTotal> blame;  ///< Sorted by stall_ns, worst first.
+  std::int64_t total_stall_ns = 0;
+  std::int64_t attributed_stall_ns = 0;
+
+  /// Fraction of recorded stall wall-time attributed to a (blocking wire,
+  /// sender) pair; 1.0 when there were no episodes at all.
+  [[nodiscard]] double attributed_fraction() const;
+  /// The k worst episodes by stall duration.
+  [[nodiscard]] std::vector<const Episode*> top(std::size_t k) const;
+  [[nodiscard]] const Episode* find(ComponentId component,
+                                    std::uint64_t id) const;
+};
+
+/// Reconstructs episodes and blame totals from one or more traces (one per
+/// node of a deployment). Traces recorded without the diagnostic category
+/// contribute no episodes.
+[[nodiscard]] ForensicsReport analyze(const std::vector<Trace>& traces);
+
+}  // namespace tart::trace

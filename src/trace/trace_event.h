@@ -41,15 +41,30 @@ enum class TraceEventKind : std::uint8_t {
   kGap = 6,               ///< Sequence jump detected; replay needed.
   kCrash = 7,             ///< Hosting engine fail-stopped.
   // Diagnostic class.
-  kSilencePromise = 8,    ///< Output horizon advanced: vt = new horizon.
+  kSilencePromise = 8,    ///< Output horizon advanced: vt = new horizon,
+                          ///< aux = sender-side wall clock ns (steady; lets
+                          ///< forensics split stalls into estimator error vs
+                          ///< propagation lag).
   kCuriosityProbe = 9,    ///< Probe sent at a lagging input wire.
   kStallBegin = 10,       ///< Head held back awaiting silence (§II.E).
   kStallEnd = 11,         ///< Held head released: aux = real ns stalled.
   kLinkUp = 12,           ///< Socket link to a peer node established.
   kLinkDown = 13,         ///< Socket link lost (EOF, error, heartbeat miss).
+  // Stall forensics (diagnostic). A pessimism-stall episode begins at
+  // kStallBegin, ends at kStallEnd (kept for back-compat: aux = real ns
+  // stalled), and is *explained* by the pair below, correlated through a
+  // per-component episode id in aux:
+  kStallResolved = 14,    ///< vt = held vt, wire = blocking wire (the last
+                          ///< silence horizon to advance past the held vt),
+                          ///< aux = episode id, payload_hash = wall ns
+                          ///< stalled.
+  kStallBlame = 15,       ///< vt = blocking wire's horizon at episode begin,
+                          ///< wire = blocking wire, aux = episode id,
+                          ///< payload_hash = episode-begin wall clock ns
+                          ///< (steady, same clock as kSilencePromise aux).
 };
 
-inline constexpr std::uint8_t kMaxTraceEventKind = 13;
+inline constexpr std::uint8_t kMaxTraceEventKind = 15;
 
 enum class TraceCategory : std::uint32_t {
   kScheduling = 1u << 0,
@@ -80,6 +95,8 @@ enum class TraceCategory : std::uint32_t {
     case TraceEventKind::kStallEnd: return "stall-end";
     case TraceEventKind::kLinkUp: return "link-up";
     case TraceEventKind::kLinkDown: return "link-down";
+    case TraceEventKind::kStallResolved: return "stall-resolved";
+    case TraceEventKind::kStallBlame: return "stall-blame";
   }
   return "?";
 }

@@ -1,0 +1,353 @@
+// Stall-forensics tests: the decomposition math against hand-computed
+// values, episode reconstruction from hand-built traces (tie-break relief,
+// external wires, positional blame matching after episode-id restarts,
+// multi-trace cross-node correlation), and an end-to-end run where a
+// pessimistic hold is forced, traced, analyzed, and cross-linked to the
+// registry's histogram exemplars.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "apps/wordcount.h"
+#include "core/runtime.h"
+#include "obs/registry.h"
+#include "trace/forensics.h"
+#include "trace/trace_file.h"
+
+namespace tart::trace {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// decompose(): pure math against hand-computed values.
+
+TEST(Decompose, SplitsAreExclusiveAndExhaustive) {
+  // Receiver starts waiting at wall 1'000; the covering promise publishes
+  // at wall 601'000; total stall 1'000'000 ns.
+  const Decomposition d = decompose(/*stall_ns=*/1'000'000,
+                                    /*begin_wall_ns=*/1'000,
+                                    /*promise_wall_ns=*/601'000,
+                                    /*needed_ticks=*/9, /*h_begin_ticks=*/7,
+                                    /*next_emit_ticks=*/12);
+  EXPECT_EQ(d.estimator_error_ns, 600'000);
+  EXPECT_EQ(d.propagation_lag_ns, 400'000);
+  EXPECT_EQ(d.estimator_error_ns + d.propagation_lag_ns, 1'000'000);
+  EXPECT_EQ(d.deficit_ticks, 2);
+  // Next data emit at 12: ticks 8..9 carried no data, so a perfect
+  // estimator would have promised both at episode begin.
+  EXPECT_EQ(d.estimator_error_ticks, 2);
+}
+
+TEST(Decompose, NoPromiseChargesTheEstimatorFully) {
+  const Decomposition d = decompose(500, 100, /*promise_wall_ns=*/-1,
+                                    /*needed=*/10, /*h_begin=*/10,
+                                    /*next_emit=*/-1);
+  EXPECT_EQ(d.estimator_error_ns, 500);
+  EXPECT_EQ(d.propagation_lag_ns, 0);
+  EXPECT_EQ(d.deficit_ticks, 0);
+  EXPECT_EQ(d.estimator_error_ticks, 0);
+}
+
+TEST(Decompose, PromiseBeforeBeginIsAllPropagation) {
+  // The covering horizon was already published before the receiver began
+  // waiting: the sender's estimator was blameless, the promise just took
+  // its time to land.
+  const Decomposition d = decompose(1'000, /*begin=*/5'000, /*promise=*/4'000,
+                                    20, 10, -1);
+  EXPECT_EQ(d.estimator_error_ns, 0);
+  EXPECT_EQ(d.propagation_lag_ns, 1'000);
+}
+
+TEST(Decompose, LatePromiseClampsToTheStall) {
+  const Decomposition d = decompose(1'000, /*begin=*/0, /*promise=*/50'000,
+                                    20, 10, -1);
+  EXPECT_EQ(d.estimator_error_ns, 1'000);
+  EXPECT_EQ(d.propagation_lag_ns, 0);
+}
+
+TEST(Decompose, TickShadowStopsAtTheSendersNextEmit) {
+  // Sender's next data emit was at h_begin + 1: no silent deficit tick was
+  // promisable, the wait was for data, not a better estimator.
+  const Decomposition d = decompose(100, 0, 50, /*needed=*/15,
+                                    /*h_begin=*/10, /*next_emit=*/11);
+  EXPECT_EQ(d.deficit_ticks, 5);
+  EXPECT_EQ(d.estimator_error_ticks, 0);
+  // No emit at all: every deficit tick was silent, all promisable.
+  const Decomposition e = decompose(100, 0, 50, 15, 10, /*next_emit=*/-1);
+  EXPECT_EQ(e.estimator_error_ticks, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Episode reconstruction from hand-built traces.
+
+TraceEvent ev(std::uint64_t seq, TraceEventKind kind, std::int64_t vt,
+              WireId wire, std::uint64_t aux, std::uint64_t payload_hash) {
+  TraceEvent e;
+  e.seq = seq;
+  e.kind = kind;
+  e.vt = VirtualTime(vt);
+  e.wire = wire;
+  e.aux = aux;
+  e.payload_hash = payload_hash;
+  return e;
+}
+
+Trace wrap(std::vector<ComponentTrace> components) {
+  Trace t;
+  t.categories = static_cast<std::uint32_t>(TraceCategory::kAll);
+  for (auto& ct : components) {
+    for (auto& e : ct.events) e.component = ct.component;
+    t.components.push_back(std::move(ct));
+  }
+  return t;
+}
+
+/// A receiver (component 1) that held vt 10 from wire 5 for 1 ms, blocked
+/// by wire 6 (horizon 7 at episode begin, wall stamp 1'000); the sender
+/// (component 2) on wire 6 promised horizon 8 early, then a covering
+/// horizon 10 at wall 601'000, then emitted data at vt 12 (seq 42).
+std::vector<ComponentTrace> tie_break_scenario() {
+  ComponentTrace receiver;
+  receiver.component = ComponentId(1);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallBegin, 10, WireId(5), 0, 0),
+      ev(1, TraceEventKind::kStallResolved, 10, WireId(6), /*episode=*/7,
+         /*stall_ns=*/1'000'000),
+      ev(2, TraceEventKind::kStallBlame, /*h_begin=*/7, WireId(6), 7,
+         /*begin_wall=*/1'000),
+  };
+  ComponentTrace sender;
+  sender.component = ComponentId(2);
+  sender.events = {
+      ev(0, TraceEventKind::kSilencePromise, 8, WireId(6),
+         /*wall=*/200'000, 0),
+      ev(1, TraceEventKind::kSilencePromise, 10, WireId(6),
+         /*wall=*/601'000, 0),
+      ev(2, TraceEventKind::kEmit, 12, WireId(6), /*seq=*/42, 0),
+  };
+  return {std::move(receiver), std::move(sender)};
+}
+
+void check_tie_break_report(const ForensicsReport& report) {
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const Episode& ep = report.episodes[0];
+  EXPECT_EQ(ep.component, ComponentId(1));
+  EXPECT_EQ(ep.id, 7u);
+  EXPECT_EQ(ep.held_vt, VirtualTime(10));
+  EXPECT_EQ(ep.held_wire, WireId(5));
+  EXPECT_EQ(ep.blocking_wire, WireId(6));
+  EXPECT_EQ(ep.sender, ComponentId(2));
+  EXPECT_EQ(ep.stall_ns, 1'000'000);
+  EXPECT_EQ(ep.begin_wall_ns, 1'000);
+  EXPECT_EQ(ep.h_begin, VirtualTime(7));
+  // Wire 6 > held wire 5 loses the vt tie-break, so horizon 9 suffices.
+  EXPECT_EQ(ep.needed, VirtualTime(9));
+  ASSERT_TRUE(ep.promise_wall_ns.has_value());
+  EXPECT_EQ(*ep.promise_wall_ns, 601'000);  // vt 10 is the first covering 9
+  ASSERT_TRUE(ep.resolving_emit_seq.has_value());
+  EXPECT_EQ(*ep.resolving_emit_seq, 42u);
+  EXPECT_TRUE(ep.attributed);
+  EXPECT_EQ(ep.split.estimator_error_ns, 600'000);
+  EXPECT_EQ(ep.split.propagation_lag_ns, 400'000);
+  EXPECT_EQ(ep.split.deficit_ticks, 2);
+  EXPECT_EQ(ep.split.estimator_error_ticks, 2);
+
+  ASSERT_EQ(report.blame.size(), 1u);
+  EXPECT_EQ(report.blame[0].sender, ComponentId(2));
+  EXPECT_EQ(report.blame[0].episodes, 1u);
+  EXPECT_EQ(report.blame[0].stall_ns, 1'000'000);
+  EXPECT_EQ(report.total_stall_ns, 1'000'000);
+  EXPECT_EQ(report.attributed_stall_ns, 1'000'000);
+  EXPECT_DOUBLE_EQ(report.attributed_fraction(), 1.0);
+  EXPECT_NE(report.find(ComponentId(1), 7), nullptr);
+  EXPECT_EQ(report.find(ComponentId(1), 8), nullptr);
+}
+
+TEST(Forensics, ReconstructsATieBreakEpisode) {
+  check_tie_break_report(analyze({wrap(tie_break_scenario())}));
+}
+
+TEST(Forensics, CorrelatesSenderAndReceiverAcrossTraces) {
+  // Same scenario, but receiver and sender live in different nodes'
+  // traces — wire ids are deployment-global, so the join is free.
+  auto streams = tie_break_scenario();
+  const Trace node_a = wrap({streams[0]});
+  const Trace node_b = wrap({streams[1]});
+  check_tie_break_report(analyze({node_a, node_b}));
+}
+
+TEST(Forensics, NoTieBreakReliefWhenBlockingWireWins) {
+  // Blocking wire 6 < held wire 9: the blocking wire wins equal-vt merges,
+  // so its horizon must reach the held vt itself.
+  ComponentTrace receiver;
+  receiver.component = ComponentId(1);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallBegin, 10, WireId(9), 0, 0),
+      ev(1, TraceEventKind::kStallResolved, 10, WireId(6), 0, 500),
+      ev(2, TraceEventKind::kStallBlame, 7, WireId(6), 0, 100),
+  };
+  const ForensicsReport report = analyze({wrap({std::move(receiver)})});
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_EQ(report.episodes[0].needed, VirtualTime(10));
+}
+
+TEST(Forensics, ExternalWireChargesTheEstimatorFully) {
+  // No component ever emits on wire 3: it is an external input. There is
+  // no sender stream, no promise — "nobody ever promised".
+  ComponentTrace receiver;
+  receiver.component = ComponentId(4);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallBegin, 50, WireId(2), 0, 0),
+      ev(1, TraceEventKind::kStallResolved, 50, WireId(3), 1, 9'000),
+      ev(2, TraceEventKind::kStallBlame, 10, WireId(3), 1, 77),
+  };
+  const ForensicsReport report = analyze({wrap({std::move(receiver)})});
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const Episode& ep = report.episodes[0];
+  EXPECT_FALSE(ep.sender.is_valid());
+  EXPECT_FALSE(ep.promise_wall_ns.has_value());
+  EXPECT_TRUE(ep.attributed);
+  EXPECT_EQ(ep.split.estimator_error_ns, 9'000);
+  EXPECT_EQ(ep.split.propagation_lag_ns, 0);
+  ASSERT_EQ(report.blame.size(), 1u);
+  EXPECT_FALSE(report.blame[0].sender.is_valid());
+}
+
+TEST(Forensics, MissingBlameLeavesTheEpisodeUnattributed) {
+  ComponentTrace receiver;
+  receiver.component = ComponentId(1);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallResolved, 10, WireId(6), 0, 800),
+  };
+  const ForensicsReport report = analyze({wrap({std::move(receiver)})});
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_FALSE(report.episodes[0].attributed);
+  EXPECT_EQ(report.total_stall_ns, 800);
+  EXPECT_EQ(report.attributed_stall_ns, 0);
+  EXPECT_DOUBLE_EQ(report.attributed_fraction(), 0.0);
+  EXPECT_TRUE(report.blame.empty());
+}
+
+TEST(Forensics, BlameMatchesPositionallyAfterEpisodeIdRestart) {
+  // After crash/recover the runner's episode counter restarts while the
+  // trace stream continues: two episodes with id 0 in one stream. Each
+  // must bind the first blame record *after* its own resolution.
+  ComponentTrace receiver;
+  receiver.component = ComponentId(1);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallResolved, 10, WireId(6), 0, 100),
+      ev(1, TraceEventKind::kStallBlame, 5, WireId(6), 0, /*wall=*/111),
+      ev(2, TraceEventKind::kStallResolved, 20, WireId(6), 0, 200),
+      ev(3, TraceEventKind::kStallBlame, 15, WireId(6), 0, /*wall=*/222),
+  };
+  const ForensicsReport report = analyze({wrap({std::move(receiver)})});
+  ASSERT_EQ(report.episodes.size(), 2u);
+  EXPECT_EQ(report.episodes[0].begin_wall_ns, 111);
+  EXPECT_EQ(report.episodes[0].h_begin, VirtualTime(5));
+  EXPECT_EQ(report.episodes[1].begin_wall_ns, 222);
+  EXPECT_EQ(report.episodes[1].h_begin, VirtualTime(15));
+  EXPECT_TRUE(report.episodes[0].attributed);
+  EXPECT_TRUE(report.episodes[1].attributed);
+  // Both roll into one blame row.
+  ASSERT_EQ(report.blame.size(), 1u);
+  EXPECT_EQ(report.blame[0].episodes, 2u);
+  EXPECT_EQ(report.blame[0].stall_ns, 300);
+}
+
+TEST(Forensics, EmptyReportAttributesEverything) {
+  const ForensicsReport report = analyze({});
+  EXPECT_TRUE(report.episodes.empty());
+  EXPECT_DOUBLE_EQ(report.attributed_fraction(), 1.0);
+  EXPECT_TRUE(report.top(5).empty());
+}
+
+// ---------------------------------------------------------------------------
+// End to end: force a pessimistic hold, trace it, analyze it, and check
+// the registry exemplars point at episodes the report can explain.
+
+TEST(Forensics, ExplainsARealStallAndLinksExemplars) {
+  core::Topology topo;
+  const ComponentId a =
+      topo.add("a", [] { return std::make_unique<apps::Passthrough>(); });
+  const ComponentId b =
+      topo.add("b", [] { return std::make_unique<apps::Passthrough>(); });
+  const ComponentId c =
+      topo.add("c", [] { return std::make_unique<apps::TotalingMerger>(); });
+  const WireId in_a = topo.external_input(a, PortId(0));
+  const WireId in_b = topo.external_input(b, PortId(0));
+  (void)topo.connect(a, PortId(0), c, PortId(0));
+  const WireId b_to_c = topo.connect(b, PortId(0), c, PortId(1));
+  (void)topo.external_output(c, PortId(0));
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tart_forensics_e2e.trc")
+          .string();
+  core::RuntimeConfig config;
+  config.trace.enabled = true;
+  config.trace.path = path;
+  config.trace.categories = static_cast<std::uint32_t>(TraceCategory::kAll);
+
+  std::vector<obs::BucketExemplar> exemplars;
+  {
+    core::Runtime rt(topo,
+                     {{a, EngineId(0)}, {b, EngineId(0)}, {c, EngineId(1)}},
+                     std::move(config));
+    rt.start();
+    // A's message reaches the merger quickly; B's input wire stays silent,
+    // so the merger pessimistically holds the head for real wall time.
+    rt.inject_at(in_a, VirtualTime(100'000), Payload(std::int64_t{1}));
+    std::this_thread::sleep_for(30ms);
+    rt.inject_at(in_b, VirtualTime(300'000), Payload(std::int64_t{2}));
+    ASSERT_TRUE(rt.drain(60s));
+    for (const obs::Sample& s : rt.registry().samples())
+      if (s.name == "tart_pessimism_stall_seconds")
+        exemplars.insert(exemplars.end(), s.exemplars.begin(),
+                         s.exemplars.end());
+    rt.stop();
+  }
+
+  const Trace trace = TraceReader::read_file(path);
+  const ForensicsReport report = analyze({trace});
+
+  // The forced hold shows up as an attributed episode blaming B's wire
+  // into the merger, with most of the ~30 ms wall wait recorded.
+  ASSERT_FALSE(report.episodes.empty());
+  const Episode* forced = nullptr;
+  for (const Episode& ep : report.episodes)
+    if (ep.component == c && ep.blocking_wire == b_to_c &&
+        (forced == nullptr || ep.stall_ns > forced->stall_ns))
+      forced = &ep;
+  ASSERT_NE(forced, nullptr);
+  EXPECT_TRUE(forced->attributed);
+  EXPECT_EQ(forced->sender, b);
+  EXPECT_GE(forced->stall_ns, 15'000'000) << "expected a ~30 ms hold";
+
+  // Decomposition invariant on every episode: the parts sum to the stall.
+  for (const Episode& ep : report.episodes) {
+    EXPECT_EQ(ep.split.estimator_error_ns + ep.split.propagation_lag_ns,
+              ep.stall_ns)
+        << "episode " << ep.id;
+    EXPECT_GE(ep.split.estimator_error_ns, 0);
+    EXPECT_GE(ep.split.propagation_lag_ns, 0);
+  }
+
+  // Every exemplar the stall histograms stashed names an episode the
+  // report can explain — the link `tart-trace explain --episode` follows.
+  EXPECT_FALSE(exemplars.empty());
+  for (const obs::BucketExemplar& be : exemplars) {
+    const Episode* ep =
+        report.find(ComponentId(be.ex.component), be.ex.episode);
+    ASSERT_NE(ep, nullptr) << "exemplar episode " << be.ex.episode;
+    EXPECT_NEAR(be.ex.value, static_cast<double>(ep->stall_ns) * 1e-9,
+                1e-9);
+  }
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tart::trace

@@ -171,6 +171,64 @@ TEST(Samples, MergeKeepsFirstOnBucketShapeMismatch) {
   EXPECT_DOUBLE_EQ(merged[0].hist->bucket_width(), 1.0);
 }
 
+// --- Exemplars --------------------------------------------------------------
+
+TEST(Exemplars, DisabledUnlessEnabled) {
+  Registry reg;
+  Histogram& h = reg.histogram("tart_h_seconds", "h", {}, 1.0, 4);
+  EXPECT_FALSE(h.exemplars_enabled());
+  h.record(0.5, Exemplar{0.5, 7, 1, 2});  // attachment is a no-op...
+  EXPECT_TRUE(h.exemplars().empty());
+  EXPECT_EQ(h.count(), 1u);  // ...but the observation still counts
+}
+
+TEST(Exemplars, RingBoundsAndEviction) {
+  Registry reg;
+  Histogram& h = reg.histogram("tart_h_seconds", "h", {}, 1.0, 4);
+  h.enable_exemplars(2);
+  h.enable_exemplars(8);  // idempotent: first capacity wins
+  ASSERT_TRUE(h.exemplars_enabled());
+
+  // Three exemplars into bucket 0: ring capacity 2, oldest evicted.
+  h.record(0.1, Exemplar{0.1, 10, 1, 5});
+  h.record(0.2, Exemplar{0.2, 11, 1, 5});
+  h.record(0.3, Exemplar{0.3, 12, 1, 5});
+  // One into the overflow bucket.
+  h.record(99.0, Exemplar{99.0, 13, 1, 6});
+
+  const auto exs = h.exemplars();
+  ASSERT_EQ(exs.size(), 3u);
+  EXPECT_EQ(exs[0].bucket, 0u);
+  EXPECT_EQ(exs[0].ex.episode, 11u);  // oldest-first; episode 10 evicted
+  EXPECT_EQ(exs[1].bucket, 0u);
+  EXPECT_EQ(exs[1].ex.episode, 12u);
+  EXPECT_EQ(exs[2].bucket, 4u);  // overflow bucket
+  EXPECT_EQ(exs[2].ex.episode, 13u);
+  EXPECT_EQ(exs[2].ex.wire, 6u);
+}
+
+TEST(Exemplars, TravelThroughSerdeAndMerge) {
+  Registry node_a;
+  Registry node_b;
+  Histogram& ha = node_a.histogram("tart_h_seconds", "h", {}, 1.0, 4);
+  ha.enable_exemplars(4);
+  ha.record(0.5, Exemplar{0.5, 1, 10, 20});
+  Histogram& hb = node_b.histogram("tart_h_seconds", "h", {}, 1.0, 4);
+  hb.enable_exemplars(4);
+  hb.record(2.5, Exemplar{2.5, 2, 11, 21});
+
+  const auto round = round_trip(node_a.samples());
+  ASSERT_EQ(round.size(), 1u);
+  ASSERT_EQ(round[0].exemplars.size(), 1u);
+  EXPECT_EQ(round[0].exemplars[0], (BucketExemplar{0, {0.5, 1, 10, 20}}));
+
+  const auto merged = merge_samples({node_a.samples(), node_b.samples()});
+  ASSERT_EQ(merged.size(), 1u);
+  ASSERT_EQ(merged[0].exemplars.size(), 2u);
+  EXPECT_EQ(merged[0].exemplars[0].ex.episode, 1u);
+  EXPECT_EQ(merged[0].exemplars[1].ex.episode, 2u);
+}
+
 // --- Exposition + lint ------------------------------------------------------
 
 TEST(Exposition, RegistrySeriesRenderWithHelpAndType) {
@@ -244,6 +302,58 @@ TEST(ExpositionLint, CatchesConventionViolations) {
                             "# TYPE tart_x_total counter\n"
                             "tart_x_total{component=\"a b\"} 1\n"),
             std::nullopt);
+}
+
+TEST(Exposition, ExemplarsRenderOnlyWhenAskedAndLintClean) {
+  Registry reg;
+  Histogram& h = reg.histogram("tart_stall_seconds", "Stall.",
+                               {{"component", "merger"}}, 1e-3, 16);
+  h.enable_exemplars(4);
+  h.record(2.5e-3, Exemplar{2.5e-3, 42, 3, 7});
+  h.record(99.0, Exemplar{99.0, 43, 3, 8});  // overflow -> le="+Inf"
+
+  const std::string plain = render_prometheus_samples(reg.samples());
+  EXPECT_EQ(plain.find(" # {"), std::string::npos) << plain;
+  EXPECT_EQ(lint_exposition(plain), std::nullopt) << *lint_exposition(plain);
+
+  const std::string page =
+      render_prometheus_samples(reg.samples(), /*with_exemplars=*/true);
+  EXPECT_NE(page.find("tart_stall_seconds_bucket{component=\"merger\","),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("# {episode=\"42\",component=\"3\",wire=\"7\"} 0.0025"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("le=\"+Inf\""), std::string::npos) << page;
+  EXPECT_NE(page.find("episode=\"43\""), std::string::npos) << page;
+  EXPECT_EQ(lint_exposition(page), std::nullopt) << *lint_exposition(page);
+}
+
+TEST(ExpositionLint, ExemplarSyntax) {
+  const std::string framing =
+      "# HELP tart_h_seconds h\n"
+      "# TYPE tart_h_seconds summary\n";
+  // Valid: exemplar suffix on a _bucket sample.
+  EXPECT_EQ(lint_exposition(framing +
+                            "tart_h_seconds_bucket{le=\"1\"} 1 "
+                            "# {episode=\"4\",component=\"1\",wire=\"2\"} "
+                            "0.5\n"),
+            std::nullopt);
+  // Exemplars belong to buckets only.
+  EXPECT_TRUE(lint_exposition(framing +
+                              "tart_h_seconds_count 1 "
+                              "# {episode=\"4\"} 0.5\n")
+                  .has_value());
+  // Unterminated label set.
+  EXPECT_TRUE(lint_exposition(framing +
+                              "tart_h_seconds_bucket{le=\"1\"} 1 "
+                              "# {episode=\"4\" 0.5\n")
+                  .has_value());
+  // Missing exemplar value.
+  EXPECT_TRUE(lint_exposition(framing +
+                              "tart_h_seconds_bucket{le=\"1\"} 1 "
+                              "# {episode=\"4\"}\n")
+                  .has_value());
 }
 
 // --- Status JSON ------------------------------------------------------------

@@ -260,6 +260,43 @@ TEST(TraceDeterminism, SamplerAndInstrumentationDoNotPerturbTraces) {
   }
 }
 
+// PR 5's stall-forensics events (kStallResolved/kStallBlame, plus the wall
+// stamp riding kSilencePromise's aux) are diagnostic-class: they carry
+// real-time measurements, so they may differ between seeded runs — but
+// they must never leak into the scheduling stream, and the default
+// (scheduling-only) trace must not contain them at all.
+TEST(TraceDeterminism, ForensicsEventsStayOutOfTheSchedulingStream) {
+  for (const std::uint64_t seed : {3ull, 8ull}) {
+    const std::string sched = temp_trace_path("sched" + std::to_string(seed));
+    run_traced(seed, sched, RuntimeConfig{});
+
+    RuntimeConfig diag_config;
+    diag_config.trace.categories =
+        static_cast<std::uint32_t>(trace::TraceCategory::kAll);
+    const std::string diag = temp_trace_path("diag" + std::to_string(seed));
+    run_traced(seed, diag, diag_config);
+
+    const auto ts = trace::TraceReader::read_file(sched);
+    const auto td = trace::TraceReader::read_file(diag);
+
+    // Scheduling-only trace: no diagnostic kinds at all.
+    for (const auto& ct : ts.components)
+      for (const auto& e : ct.events)
+        EXPECT_EQ(trace::category_of(e.kind),
+                  trace::TraceCategory::kScheduling)
+            << trace::name_of(e.kind);
+
+    // The differ ignores diagnostics by design, so the kAll run must make
+    // exactly the scheduling decisions of the bare run.
+    const auto diff = trace::diff_traces(ts, td);
+    EXPECT_TRUE(diff.identical())
+        << "seed " << seed << "\n" << diff.divergence->describe();
+
+    std::remove(sched.c_str());
+    std::remove(diag.c_str());
+  }
+}
+
 TEST(TraceDeterminism, DisabledTracingWritesNothing) {
   proptest::GeneratedApp app = proptest::generate_app(1);
   Runtime rt(app.topo, two_engine_placement(app), RuntimeConfig{});

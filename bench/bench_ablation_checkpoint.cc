@@ -9,11 +9,19 @@
 //     to the passive replica, and sender retention (trimmed by the
 //     stability acks the merger's checkpoints generate);
 //   - recovery: wall time from merger-engine failover to full catch-up.
+//   - durable path (docs/RECOVERY.md): the same workload against a
+//     log-dir-backed runtime with durable checkpoints enabled; one forced
+//     checkpoint at the end gates log compaction, so the column pair shows
+//     the checkpoint's on-disk size against the log bytes left after the
+//     gate reclaimed everything the checkpoint covers.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "apps/wordcount.h"
 #include "core/runtime.h"
+#include "durability/manager.h"
 #include "estimator/estimator.h"
 #include "exp_util.h"
 
@@ -66,6 +74,21 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
          1000.0;
 }
 
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/tart_ablation_ckpt_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void inject_workload(tart::core::Runtime& rt, const App& app) {
+  for (int i = 0; i < kMessagesPerSender; ++i) {
+    rt.inject_at(app.in1, tart::VirtualTime(1000 + i * 100000),
+                 tart::apps::sentence({"the", "cat", "sat"}));
+    rt.inject_at(app.in2, tart::VirtualTime(500 + i * 90000),
+                 tart::apps::sentence({"dog", "ran"}));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -75,7 +98,9 @@ int main() {
 
   tart::bench::Table table({"ckpt every N msgs", "run (ms)",
                             "replica snapshots", "replica KB",
-                            "sender retention", "recovery (ms)"});
+                            "sender retention", "recovery (ms)",
+                            "durable run (ms)", "durable ckpt KB",
+                            "log KB gated"});
 
   for (const std::uint64_t every_n : {0ULL, 1ULL, 4ULL, 16ULL, 64ULL}) {
     App app;
@@ -90,12 +115,7 @@ int main() {
     rt.start();
 
     const auto t0 = Clock::now();
-    for (int i = 0; i < kMessagesPerSender; ++i) {
-      rt.inject_at(app.in1, tart::VirtualTime(1000 + i * 100000),
-                   tart::apps::sentence({"the", "cat", "sat"}));
-      rt.inject_at(app.in2, tart::VirtualTime(500 + i * 90000),
-                   tart::apps::sentence({"dog", "ran"}));
-    }
+    inject_workload(rt, app);
     if (!rt.drain(120s)) {
       std::printf("ERROR: failed to drain at every_n=%llu\n",
                   static_cast<unsigned long long>(every_n));
@@ -119,6 +139,47 @@ int main() {
     const auto r1 = Clock::now();
     rt.stop();
 
+    // Durable path: same workload, log-dir-backed, one forced durable
+    // checkpoint at the end (which gates segment compaction).
+    const std::string dir = make_temp_dir();
+    double durable_ms = 0.0;
+    std::uint64_t ckpt_bytes = 0;
+    std::uint64_t log_bytes = 0;
+    {
+      App dapp;
+      tart::core::RuntimeConfig dconfig;
+      dconfig.checkpoint.every_n_messages = every_n;
+      dconfig.checkpoint.full_every_k = 8;
+      dconfig.log_dir = dir;
+      dconfig.durability.enabled = true;
+      // Small segments so "log KB gated" shows compaction actually deleting
+      // covered files, not just one giant undeletable active segment.
+      dconfig.durability.segment_bytes = 16ull << 10;
+      tart::core::Runtime drt(
+          dapp.topo,
+          {{dapp.s1, EngineId(0)}, {dapp.s2, EngineId(0)},
+           {dapp.merger, EngineId(1)}},
+          dconfig);
+      drt.start();
+      const auto d0 = Clock::now();
+      inject_workload(drt, dapp);
+      if (!drt.drain(120s)) {
+        std::printf("ERROR: failed to drain durable run\n");
+        return 1;
+      }
+      durable_ms = ms_between(d0, Clock::now());
+      const auto stats = drt.checkpoint_manager()->checkpoint_now();
+      if (!stats.ok) {
+        std::printf("ERROR: durable checkpoint failed: %s\n",
+                    stats.error.c_str());
+        return 1;
+      }
+      ckpt_bytes = stats.bytes;
+      log_bytes = drt.log_bytes_on_disk();
+      drt.stop();
+    }
+    if (!dir.empty()) std::filesystem::remove_all(dir);
+
     table.row({
         every_n == 0 ? std::string("off") : tart::bench::fmt("%llu",
                        static_cast<unsigned long long>(every_n)),
@@ -127,6 +188,9 @@ int main() {
         tart::bench::fmt("%.1f", static_cast<double>(bytes) / 1024.0),
         tart::bench::fmt("%llu", static_cast<unsigned long long>(retained)),
         tart::bench::fmt("%.1f", ms_between(r0, r1)),
+        tart::bench::fmt("%.1f", durable_ms),
+        tart::bench::fmt("%.1f", static_cast<double>(ckpt_bytes) / 1024.0),
+        tart::bench::fmt("%.1f", static_cast<double>(log_bytes) / 1024.0),
     });
   }
   table.print();

@@ -15,6 +15,12 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== gateway bench smoke =="
 ./build/bench/bench_gateway --smoke
 
+# Recovery smoke: SIGKILL a checkpointed ingester, restart it, and assert
+# the restart actually boots from the checkpoint and replays only the log
+# suffix (docs/RECOVERY.md).
+echo "== recovery bench smoke =="
+./build/bench/bench_recovery --smoke
+
 # Exposition lint: the Prometheus-conventions linter (obs::lint_exposition)
 # must pass both on synthetic pages (obs_test) and against a real gateway
 # scrape (gateway_test's MetricsAndHealthz). Run them by name so a filter

@@ -124,7 +124,100 @@ EOF
   echo "== live scrape clean =="
 }
 
+# Durable checkpoint + tiered-restart phase: a durable left node ingests,
+# checkpoints on demand (POST /checkpoint), is SIGKILLed, and must come
+# back through the fast path — the restart metrics have to show a
+# checkpoint-covered prefix that was NOT replayed (docs/RECOVERY.md).
+checkpoint_phase() {
+  echo "== durable checkpoint + tiered restart =="
+  local dir
+  dir="$(mktemp -d)"
+  local ports=()
+  local i
+  for i in 1 2 3 4 5 6; do ports+=("$((20000 + RANDOM % 30000))"); done
+  local left_http="127.0.0.1:${ports[4]}" right_http="127.0.0.1:${ports[5]}"
+  cat > "$dir/deploy.conf" <<EOF
+topology = wordcount
+param senders = 2
+partition left = 127.0.0.1:${ports[0]}
+control left = 127.0.0.1:${ports[1]}
+partition right = 127.0.0.1:${ports[2]}
+control right = 127.0.0.1:${ports[3]}
+place sender1 = left
+place sender2 = left
+place merger = right
+EOF
+  mkdir -p "$dir/left"
+  local durable_flags=(--log-dir="$dir/left" --durable --segment-bytes=1024)
+  ./build/src/tools/tart-node "$dir/deploy.conf" left \
+    --http="$left_http" "${durable_flags[@]}" > "$dir/left.out" 2>&1 &
+  local left_pid=$!
+  ./build/src/tools/tart-node "$dir/deploy.conf" right \
+    --http="$right_http" > "$dir/right.out" 2>&1 &
+  local right_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $left_pid $right_pid 2>/dev/null || true; rm -rf '$dir'" RETURN
+
+  wait_healthy "$left_http"
+  wait_healthy "$right_http"
+
+  for i in $(seq 1 60); do
+    curl -fsS -X POST --data "ckpt$((i % 5))" -H 'Content-Type: text/plain' \
+      "http://$left_http/inject/sender$(((i % 2) + 1))" >/dev/null
+  done
+  local ck
+  ck="$(curl -fsS -X POST "http://$left_http/checkpoint")"
+  echo "checkpoint: $ck"
+  grep -q '"ok":true' <<<"$ck" || {
+    echo "ERROR: on-demand checkpoint failed: $ck" >&2
+    return 1
+  }
+
+  # A post-checkpoint suffix, then the crash.
+  for i in $(seq 61 80); do
+    curl -fsS -X POST --data "ckpt$((i % 5))" -H 'Content-Type: text/plain' \
+      "http://$left_http/inject/sender$(((i % 2) + 1))" >/dev/null
+  done
+  kill -9 "$left_pid"
+  wait "$left_pid" 2>/dev/null || true
+
+  ./build/src/tools/tart-node "$dir/deploy.conf" left \
+    --http="$left_http" "${durable_flags[@]}" > "$dir/left2.out" 2>&1 &
+  left_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $left_pid $right_pid 2>/dev/null || true; rm -rf '$dir'" RETURN
+  wait_healthy "$left_http"
+
+  local covered
+  covered="$(curl -fsS "http://$left_http/metrics" \
+    | awk '/^tart_restart_covered_records/ {print int($2)}')"
+  echo "restart: covered_records=$covered"
+  [[ -n "$covered" && "$covered" -gt 0 ]] || {
+    echo "ERROR: restart did not boot from the durable checkpoint" >&2
+    return 1
+  }
+
+  # The restarted node keeps accepting and checkpointing.
+  curl -fsS -X POST --data "after" -H 'Content-Type: text/plain' \
+    "http://$left_http/inject/sender1" >/dev/null
+  ck="$(curl -fsS -X POST "http://$left_http/checkpoint")"
+  grep -q '"ok":true' <<<"$ck" || {
+    echo "ERROR: post-restart checkpoint failed: $ck" >&2
+    return 1
+  }
+  curl -fsS -X POST "http://$left_http/drain" >/dev/null
+  curl -fsS -X POST "http://$right_http/drain" >/dev/null
+
+  curl -fsS -X POST "http://$left_http/shutdown" >/dev/null || true
+  curl -fsS -X POST "http://$right_http/shutdown" >/dev/null || true
+  wait "$left_pid" "$right_pid" 2>/dev/null || true
+  trap - RETURN
+  rm -rf "$dir"
+  echo "== checkpoint restart clean =="
+}
+
 scrape_phase
+checkpoint_phase
 
 for i in $(seq 1 "$iters"); do
   echo "== soak iteration $i/$iters =="

@@ -78,6 +78,16 @@ std::uint64_t ReplicaStore::latest_version(ComponentId component) const {
                              : plan.deltas.back().version;
 }
 
+std::map<ComponentId, RestorePlan> ReplicaStore::export_plans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return plans_;
+}
+
+void ReplicaStore::import_plan(ComponentId component, RestorePlan plan) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plans_.insert_or_assign(component, std::move(plan));
+}
+
 std::uint64_t ReplicaStore::bytes_received() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return bytes_;

@@ -49,6 +49,14 @@ class ReplicaStore {
   /// Latest version held for a component (0 if none).
   [[nodiscard]] std::uint64_t latest_version(ComponentId component) const;
 
+  /// Consistent copy of every component's restore plan, taken under the
+  /// store lock — the state a durable checkpoint file persists.
+  [[nodiscard]] std::map<ComponentId, RestorePlan> export_plans() const;
+
+  /// Seeds a component's plan from a durable checkpoint file (boot path,
+  /// before any engine starts). Replaces whatever is held.
+  void import_plan(ComponentId component, RestorePlan plan);
+
   /// Cumulative bytes received — the shipping cost of checkpointing, used
   /// by the checkpoint-frequency ablation bench.
   [[nodiscard]] std::uint64_t bytes_received() const;

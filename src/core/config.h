@@ -10,6 +10,7 @@
 
 #include "common/ids.h"
 #include "common/virtual_time.h"
+#include "durability/config.h"
 #include "estimator/calibrator.h"
 #include "estimator/comm_delay.h"
 #include "trace/trace_config.h"
@@ -95,6 +96,13 @@ struct RuntimeConfig {
   /// recovers them and Runtime::start() replays the recovered input — a
   /// full cold restart of the whole deployment from stable storage.
   std::string log_dir;
+
+  /// Durable checkpoints + checkpoint-gated log compaction + tiered fast
+  /// restart (src/durability, docs/RECOVERY.md). Engages only when enabled
+  /// AND log_dir is set: the external log then lives in rotated segments
+  /// and restart replays only the suffix past the newest durable
+  /// checkpoint.
+  durability::DurabilityConfig durability;
 };
 
 }  // namespace tart::core

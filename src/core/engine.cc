@@ -57,7 +57,20 @@ void Engine::start() {
   // restored positions. On a fresh deployment the requests are no-ops; on
   // a cold restart over persisted state they resume the execution.
   RunnerMap runners = make_runners();
-  for (auto& [c, r] : runners) r->restore_from(replica_.restore(c));
+  for (auto& [c, r] : runners) {
+    const auto plan = replica_.restore(c);
+    // A cold restart that found persisted state IS a recovery: the marker
+    // tells the trace differ (diff --recovery) which dispatch prefix the
+    // restored checkpoint already covers. A truly fresh component gets no
+    // marker — its trace must match a never-failed run exactly.
+    if (plan && tracer_ != nullptr) {
+      const checkpoint::ComponentSnapshot& last =
+          plan->deltas.empty() ? plan->base : plan->deltas.back();
+      tracer_->record(c, trace::TraceEventKind::kRecoveryStart, last.vt,
+                      WireId::invalid(), last.version);
+    }
+    r->restore_from(plan);
+  }
   {
     const std::lock_guard<std::mutex> lk(map_mu_);
     runners_ = std::move(runners);

@@ -95,7 +95,27 @@ namespace tart::core {
   X(gw_commit_records, "tart_gw_commit_records_total",                        \
     "Injections across all commit rounds", SUM, 1.0)                          \
   X(gw_commit_batch_max, "tart_gw_commit_batch_max",                          \
-    "Largest single group-commit round", MAX, 1.0)
+    "Largest single group-commit round", MAX, 1.0)                            \
+  X(ckpt_written, "tart_ckpt_written_total",                                  \
+    "Durable checkpoint files written", SUM, 1.0)                             \
+  X(ckpt_bytes, "tart_ckpt_bytes_total",                                      \
+    "Bytes written into durable checkpoint files", SUM, 1.0)                  \
+  X(ckpt_failed, "tart_ckpt_failed_total",                                    \
+    "Durable checkpoint attempts that failed (barrier or write)", SUM, 1.0)   \
+  X(ckpt_skipped_invalid, "tart_ckpt_skipped_invalid_total",                  \
+    "Torn/corrupt checkpoint files skipped at restart", SUM, 1.0)             \
+  X(log_segments, "tart_log_segments",                                        \
+    "External-log segments currently on disk", MAX, 1.0)                      \
+  X(log_bytes_on_disk, "tart_log_bytes_on_disk",                              \
+    "Bytes the segmented external log occupies on disk", MAX, 1.0)            \
+  X(log_segments_deleted, "tart_log_segments_deleted_total",                  \
+    "Wholly-covered log segments deleted by compaction", SUM, 1.0)            \
+  X(log_records_reclaimed, "tart_log_records_reclaimed_total",                \
+    "Log records reclaimed by checkpoint-gated compaction", SUM, 1.0)         \
+  X(restart_covered_records, "tart_restart_covered_records",                  \
+    "Log records the restart checkpoint covered (not replayed)", MAX, 1.0)    \
+  X(restart_suffix_records, "tart_restart_suffix_records",                    \
+    "Log records replayed from the suffix at restart", MAX, 1.0)
 
 #define TART_METRICS_SCALAR_FIELDS(X) \
   TART_METRICS_COMPONENT_FIELDS(X)    \

@@ -630,6 +630,10 @@ void ComponentRunner::serve_control(const ControlMsg& msg) {
             dup->call_id)) {
       router_.to_receiver(reply->wire, transport::DataFrame{*reply});
     }
+  } else if (std::holds_alternative<CheckpointNowCtl>(msg)) {
+    force_full_checkpoint_ = true;
+    capture_checkpoint();
+    processed_since_checkpoint_ = 0;
   }
 }
 

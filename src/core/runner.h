@@ -74,7 +74,13 @@ struct DupCallCtl {
   WireId call_wire;
   std::uint64_t call_id;
 };
-using ControlMsg = std::variant<ReplayRequestCtl, StabilityCtl, DupCallCtl>;
+/// Forces an immediate FULL soft checkpoint on the runner thread — the
+/// per-component barrier a durable checkpoint is assembled from
+/// (src/durability). Full, so the replica's latest version is guaranteed
+/// to advance even if a delta would have been rejected.
+struct CheckpointNowCtl {};
+using ControlMsg =
+    std::variant<ReplayRequestCtl, StabilityCtl, DupCallCtl, CheckpointNowCtl>;
 
 class ComponentRunner {
  public:

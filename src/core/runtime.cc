@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "durability/checkpoint_file.h"
+#include "durability/manager.h"
+
 namespace tart::core {
 
 Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
@@ -39,7 +42,9 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
   }
   // Stable storage: recover any previously persisted logs, then attach
   // write-through stores for this incarnation.
-  if (!config_.log_dir.empty()) {
+  const bool durable =
+      config_.durability.enabled && !config_.log_dir.empty();
+  if (!config_.log_dir.empty() && !durable) {
     const std::string messages_path = config_.log_dir + "/messages.log";
     const std::string faults_path = config_.log_dir + "/faults.log";
     const std::string replica_path = config_.log_dir + "/replica.log";
@@ -53,6 +58,42 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
     fault_log_.attach_store(fault_store_.get());
     replica_.attach_store(replica_store_.get());
   }
+  if (durable) {
+    // Tiered fast restart (docs/RECOVERY.md): restore plans + per-wire
+    // coverage from the newest valid checkpoint file, then load only the
+    // log suffix past it. Plans persist in checkpoint files, so the
+    // unbounded replica.log write-through is not used in this mode.
+    durability::DurabilityConfig& d = config_.durability;
+    if (d.dir.empty()) d.dir = config_.log_dir;
+    const auto newest =
+        durability::CheckpointReader::load_newest(d.dir, d.deployment_fp);
+    if (newest.has_value()) {
+      recovery_.from_checkpoint = true;
+      recovery_.checkpoint_id = newest->checkpoint.id;
+      recovery_.skipped_invalid = newest->skipped_invalid;
+      for (const auto& [component, plan] : newest->checkpoint.plans)
+        replica_.import_plan(component, plan);
+      for (const auto& cover : newest->checkpoint.wires) {
+        message_log_.set_base(cover.wire, cover.covered_seq, cover.last_vt);
+        recovery_.covered_records += cover.covered_seq;
+      }
+    }
+    log::SegmentedStore::Options seg_opts;
+    seg_opts.segment_bytes = d.segment_bytes;
+    segment_store_ = std::make_unique<log::SegmentedStore>(
+        config_.log_dir, "messages", seg_opts);
+    message_log_.load_records(segment_store_->scan_all(),
+                              segment_store_->first_retained_index());
+    message_log_.attach_store(segment_store_.get());
+    recovery_.suffix_records = message_log_.total_size();
+
+    const std::string faults_path = config_.log_dir + "/faults.log";
+    fault_log_.load_from(faults_path);
+    fault_store_ = std::make_unique<log::FileStableStore>(faults_path);
+    fault_log_.attach_store(fault_store_.get());
+
+    ckpt_manager_ = std::make_unique<durability::CheckpointManager>(*this, d);
+  }
 
   // External endpoints — only those adjacent to a local component: a
   // remote partition owns (logs, timestamps, replays) its own boundary.
@@ -60,8 +101,10 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
     if (spec.kind == WireKind::kExternalInput &&
         engine_is_local(engine_of(spec.to))) {
       auto adapter = std::make_unique<InputAdapter>();
-      // Resume positions past anything recovered from stable storage.
-      adapter->next_seq = message_log_.size(spec.id);
+      // Resume positions past anything recovered from stable storage
+      // (next_seq, not size: compaction may have truncated a covered
+      // prefix out of the retained log).
+      adapter->next_seq = message_log_.next_seq(spec.id);
       adapter->last_vt = message_log_.last_vt(spec.id);
       inputs_.emplace(spec.id, std::move(adapter));
     }
@@ -104,6 +147,7 @@ void Runtime::start() {
   // included — to replay everything past its restored position.
   for (auto& [id, engine] : engines_) engine->start();
   started_ = true;
+  if (ckpt_manager_ != nullptr) ckpt_manager_->start();
 }
 
 bool Runtime::drain(std::chrono::milliseconds timeout) {
@@ -120,6 +164,9 @@ bool Runtime::drain(std::chrono::milliseconds timeout) {
 }
 
 void Runtime::stop() {
+  // The trigger thread first: a checkpoint barrier against stopping
+  // runners would stall until its timeout.
+  if (ckpt_manager_ != nullptr) ckpt_manager_->stop();
   for (auto& [id, engine] : engines_) engine->stop();
   for (auto& bridge : bridges_) bridge->channel->shutdown();
   // After every producer thread is quiet: drain the rings, freeze the
@@ -319,7 +366,9 @@ void Runtime::deliver_external_output(WireId wire,
     record.stutter = data->msg.vt <= sink.last_vt;
     sink.last_vt = max(sink.last_vt, data->msg.vt);
     sink.records.push_back(record);
-    callback = sink.callback;
+    // Catch-up replay must be invisible to the outside world (§II.A): the
+    // record is kept, the subscriber is not called.
+    if (!outputs_suppressed_.load()) callback = sink.callback;
   }
   if (callback) callback(record.vt, record.payload, record.stutter);
 }
@@ -544,7 +593,72 @@ MetricsSnapshot Runtime::total_metrics() const {
     total.store_records_written += store->records_written();
     total.store_flushes += store->flushes();
   }
+  if (segment_store_ != nullptr) {
+    total.store_records_written += segment_store_->records_written();
+    total.store_flushes += segment_store_->flushes();
+    total.log_segments = segment_store_->segment_count();
+    total.log_bytes_on_disk = segment_store_->bytes_on_disk();
+    total.log_segments_deleted = segment_store_->segments_deleted();
+    total.log_records_reclaimed = message_log_.truncated_messages();
+  }
+  if (ckpt_manager_ != nullptr) {
+    total.ckpt_written = ckpt_manager_->checkpoints_written();
+    total.ckpt_bytes = ckpt_manager_->checkpoint_bytes();
+    total.ckpt_failed = ckpt_manager_->checkpoint_failures();
+  }
+  total.ckpt_skipped_invalid = recovery_.skipped_invalid;
+  total.restart_covered_records = recovery_.covered_records;
+  total.restart_suffix_records = recovery_.suffix_records;
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// Durability (docs/RECOVERY.md)
+
+std::vector<WireId> Runtime::external_input_wires() const {
+  std::vector<WireId> wires;
+  wires.reserve(inputs_.size());
+  for (const auto& [wire, adapter] : inputs_) wires.push_back(wire);
+  return wires;
+}
+
+bool Runtime::force_component_checkpoints(std::chrono::milliseconds timeout) {
+  struct Pending {
+    ComponentId component;
+    std::uint64_t pre_version;
+  };
+  std::vector<Pending> pending;
+  for (const auto& [component, engine] : placement_) {
+    if (!engine_is_local(engine)) continue;
+    Engine& e = *engines_.at(engine);
+    if (e.crashed()) continue;  // fail-stopped: nothing to capture
+    const auto runner = e.runner(component);
+    if (runner == nullptr) continue;
+    pending.push_back({component, replica_.latest_version(component)});
+    runner->enqueue_control(CheckpointNowCtl{});
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool all = true;
+    for (const auto& p : pending)
+      if (replica_.latest_version(p.component) <= p.pre_version) all = false;
+    if (all) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+std::uint64_t Runtime::compact_below(
+    const std::map<WireId, std::uint64_t>& covered) {
+  const std::uint64_t before = message_log_.truncated_messages();
+  const std::uint64_t first_retained = message_log_.truncate_covered(covered);
+  if (segment_store_ != nullptr)
+    segment_store_->truncate_below(first_retained);
+  return message_log_.truncated_messages() - before;
+}
+
+std::uint64_t Runtime::log_bytes_on_disk() const {
+  return segment_store_ == nullptr ? 0 : segment_store_->bytes_on_disk();
 }
 
 StatusReport Runtime::status() const {

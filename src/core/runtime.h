@@ -35,8 +35,13 @@
 #include "core/topology.h"
 #include "log/fault_log.h"
 #include "log/message_log.h"
+#include "log/segmented_store.h"
 #include "trace/recorder.h"
 #include "transport/reliable_link.h"
+
+namespace tart::durability {
+class CheckpointManager;
+}
 
 namespace tart::core {
 
@@ -74,6 +79,15 @@ struct InjectRequest {
 struct InjectResult {
   InjectStatus status = InjectStatus::kOk;
   VirtualTime vt{-1};  ///< assigned virtual time when status != error
+};
+
+/// What this incarnation booted from (durable mode; see docs/RECOVERY.md).
+struct RecoveryInfo {
+  bool from_checkpoint = false;
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t skipped_invalid = 0;  ///< torn/corrupt checkpoint files
+  std::uint64_t covered_records = 0;  ///< log records the checkpoint covers
+  std::uint64_t suffix_records = 0;   ///< log records left to replay
 };
 
 class Runtime final : public FrameRouter {
@@ -191,6 +205,47 @@ class Runtime final : public FrameRouter {
   }
   [[nodiscard]] log::DeterminismFaultLog& fault_log() { return fault_log_; }
   [[nodiscard]] checkpoint::ReplicaStore& replica() { return replica_; }
+
+  // --- Durability (docs/RECOVERY.md; active only in durable mode) ----------
+
+  /// External input wires whose consumer is local — the wires a durable
+  /// checkpoint records coverage for.
+  [[nodiscard]] std::vector<WireId> external_input_wires() const;
+
+  /// Forces every live local component to take a FULL soft checkpoint and
+  /// waits until the replica holds them all. Returns false on timeout (a
+  /// crashed component is skipped, not waited for).
+  bool force_component_checkpoints(std::chrono::milliseconds timeout);
+
+  /// Checkpoint-gated compaction: drops log records covered per-wire by
+  /// `covered` (consumer next_seq bounds) and deletes wholly-covered log
+  /// segments. Call only after the covering checkpoint is durable.
+  /// Returns records reclaimed from memory.
+  std::uint64_t compact_below(const std::map<WireId, std::uint64_t>& covered);
+
+  /// Bytes the segmented external log occupies on disk (0 when not in
+  /// durable mode).
+  [[nodiscard]] std::uint64_t log_bytes_on_disk() const;
+
+  /// Suppresses external output callbacks (records are still kept): the
+  /// replay driver hides catch-up re-deliveries from the outside world.
+  void set_output_suppressed(bool suppressed) {
+    outputs_suppressed_.store(suppressed);
+  }
+  [[nodiscard]] bool outputs_suppressed() const {
+    return outputs_suppressed_.load();
+  }
+
+  /// What this incarnation restored from (zeroes outside durable mode).
+  [[nodiscard]] const RecoveryInfo& recovery_info() const { return recovery_; }
+  /// Null when durable mode is off.
+  [[nodiscard]] durability::CheckpointManager* checkpoint_manager() {
+    return ckpt_manager_.get();
+  }
+  /// Null when durable mode is off.
+  [[nodiscard]] log::SegmentedStore* segment_store() {
+    return segment_store_.get();
+  }
   /// Flight recorder; nullptr when `config.trace.enabled` is false. The
   /// trace file (if configured) is written when the runtime stops.
   [[nodiscard]] trace::TraceRecorder* trace_recorder() {
@@ -262,6 +317,14 @@ class Runtime final : public FrameRouter {
   std::unique_ptr<log::FileStableStore> message_store_;
   std::unique_ptr<log::FileStableStore> fault_store_;
   std::unique_ptr<log::FileStableStore> replica_store_;
+
+  /// Durable mode (config.durability.enabled && log_dir set): the external
+  /// log lives in rotated segments instead of one messages.log, and the
+  /// manager writes checkpoint files + gates compaction on them.
+  std::unique_ptr<log::SegmentedStore> segment_store_;
+  std::unique_ptr<durability::CheckpointManager> ckpt_manager_;
+  RecoveryInfo recovery_;
+  std::atomic<bool> outputs_suppressed_{false};
 
   /// Owned here, not by the engines: a component's trace stream (and its
   /// sequence counter) must survive engine crash/recover for recovery

@@ -1,0 +1,99 @@
+// Durable checkpoint files: the on-disk "replay starting points".
+//
+// A checkpoint file captures, in one atomically-written unit, everything a
+// restarting node needs short of the external-log suffix:
+//
+//   - every local component's restore plan (base snapshot + delta chain),
+//     exactly as the in-memory ReplicaStore held it — snapshots embed the
+//     per-wire input/output positions and retained output messages, so the
+//     per-component capture times need not be aligned (§II.F.2);
+//   - per external-input wire: the covered sequence bound (the consumer's
+//     next expected seq — log records below it never need replaying again)
+//     and the vt of the last covered message (the wire's silence floor
+//     when the whole log suffix is empty);
+//   - the global external-log record index the checkpoint covers: the
+//     compaction bound ("never truncate above the newest durable
+//     checkpoint's covered offset", docs/RECOVERY.md).
+//
+// Format: u32 magic | u32 version | u64 body_size | body | u64 fnv(body).
+// Files are written tmp + fsync + rename + dir fsync, so a crash leaves
+// either the complete previous set or the complete new file; a torn or
+// corrupt file (failed rename, bit rot, hand-made in tests) fails the
+// checksum and the reader falls back to the next-newest file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checkpoint/replica.h"
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "serde/archive.h"
+
+namespace tart::durability {
+
+/// Per external-input-wire coverage recorded in a checkpoint.
+struct WireCover {
+  WireId wire;
+  std::uint64_t covered_seq = 0;  ///< log entries with seq < this are covered
+  VirtualTime last_vt{-1};        ///< vt of the last covered message
+};
+
+struct DurableCheckpoint {
+  std::uint64_t id = 0;             ///< monotone per directory
+  std::uint64_t deployment_fp = 0;  ///< 0 = unchecked
+  std::uint64_t covered_record_index = 0;
+  std::vector<WireCover> wires;
+  std::map<ComponentId, checkpoint::RestorePlan> plans;
+
+  void encode(serde::Writer& w) const;
+  [[nodiscard]] static DurableCheckpoint decode(serde::Reader& r);
+};
+
+/// Atomic checkpoint writer with keep-last-K pruning.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(std::string dir, std::uint64_t keep_last);
+
+  /// Assigns the next id, writes atomically, prunes old files. Returns the
+  /// bytes written on success, 0 on failure (checkpoint.id is updated
+  /// either way).
+  std::uint64_t write(DurableCheckpoint& checkpoint);
+
+  [[nodiscard]] std::uint64_t next_id() const { return next_id_; }
+
+ private:
+  std::string dir_;
+  std::uint64_t keep_last_;
+  std::uint64_t next_id_ = 1;
+};
+
+class CheckpointReader {
+ public:
+  struct Newest {
+    DurableCheckpoint checkpoint;
+    std::string path;
+    std::uint64_t skipped_invalid = 0;  ///< torn/corrupt files skipped
+  };
+
+  /// Checkpoint file paths in the directory, ascending by id.
+  [[nodiscard]] static std::vector<std::string> list(const std::string& dir);
+
+  /// Validates and decodes one file; nullopt on any corruption.
+  [[nodiscard]] static std::optional<DurableCheckpoint> load(
+      const std::string& path);
+
+  /// Newest valid checkpoint, skipping (and counting) invalid files.
+  /// `deployment_fp` != 0 additionally refuses mismatched deployments.
+  [[nodiscard]] static std::optional<Newest> load_newest(
+      const std::string& dir, std::uint64_t deployment_fp = 0);
+};
+
+/// `<dir>/ckpt.<020d id>.tckp`.
+[[nodiscard]] std::string checkpoint_path(const std::string& dir,
+                                          std::uint64_t id);
+
+}  // namespace tart::durability

@@ -1,0 +1,43 @@
+// Durability subsystem knobs. Dependency-free so core/config.h can embed
+// it without core -> durability header coupling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tart::durability {
+
+struct DurabilityConfig {
+  /// Master switch. Durable checkpoints, segmented external log and
+  /// checkpoint-gated compaction engage only when this is set AND the
+  /// runtime has a log_dir.
+  bool enabled = false;
+
+  /// Checkpoint directory; empty = the runtime's log_dir.
+  std::string dir;
+
+  /// Write a durable checkpoint every this many milliseconds. <= 0
+  /// disables the timer (on-demand checkpoints still work).
+  int interval_ms = 0;
+
+  /// Write a durable checkpoint whenever the external log has grown this
+  /// many bytes since the last one. 0 disables the bytes trigger.
+  std::uint64_t bytes_trigger = 0;
+
+  /// Checkpoint files retained on disk; older ones are pruned after each
+  /// successful write. At least 1.
+  std::uint64_t keep_last = 3;
+
+  /// External-log segment rotation threshold (SegmentedStore).
+  std::uint64_t segment_bytes = 4ull << 20;
+
+  /// How long a forced checkpoint waits for every component runner to
+  /// capture its snapshot before giving up.
+  int barrier_timeout_ms = 10000;
+
+  /// Deployment fingerprint stamped into checkpoint files (0 = unchecked);
+  /// a restart refuses a checkpoint written under a different deployment.
+  std::uint64_t deployment_fp = 0;
+};
+
+}  // namespace tart::durability

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "durability/manager.h"
 #include "net/partition_config.h"
 #include "obs/exposition.h"
 
@@ -382,6 +383,46 @@ void Gateway::handle_request(std::uint64_t id, HttpRequest req) {
           errors_.fetch_add(1);
           respond(id, 503, {}, "drain timeout\n", keep);
         }
+        serve_next(id);
+      });
+    });
+    return;
+  }
+  if (path == "/checkpoint") {
+    if (req.method != "POST") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "POST"}}, "POST only\n", req.keep_alive);
+      return;
+    }
+    durability::CheckpointManager* mgr = runtime_->checkpoint_manager();
+    if (mgr == nullptr) {
+      errors_.fetch_add(1);
+      respond(id, 503, {}, "durability is not enabled on this node\n",
+              req.keep_alive);
+      return;
+    }
+    // checkpoint_now() blocks on the component barrier + fsyncs — never
+    // on the loop thread (same pattern as /drain).
+    const auto conn_it = conns_.find(id);
+    Conn* c = conn_it->second.get();
+    c->awaiting = true;
+    loop_.set_interest(c->fd.get(), false, c->out_off < c->outbuf.size());
+    const bool keep = req.keep_alive;
+    const std::lock_guard<std::mutex> lk(workers_mu_);
+    workers_.emplace_back([this, id, mgr, keep] {
+      const durability::CheckpointStats stats = mgr->checkpoint_now();
+      loop_.post([this, id, stats, keep] {
+        if (!conns_.contains(id)) return;
+        std::ostringstream body;
+        body << "{\"ok\":" << (stats.ok ? "true" : "false")
+             << ",\"id\":" << stats.id << ",\"bytes\":" << stats.bytes
+             << ",\"covered_records\":" << stats.covered_records
+             << ",\"reclaimed_records\":" << stats.reclaimed_records;
+        if (!stats.ok) body << ",\"error\":\"" << stats.error << "\"";
+        body << "}\n";
+        if (!stats.ok) errors_.fetch_add(1);
+        respond(id, stats.ok ? 200 : 500,
+                {{"Content-Type", "application/json"}}, body.str(), keep);
         serve_next(id);
       });
     });

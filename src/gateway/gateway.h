@@ -19,6 +19,7 @@
 //   POST /inject/<input>[?vt=N]   body = payload (Content-Type-typed)
 //   POST /close/<input>           promise silence forever
 //   POST /drain[?timeout_ms=N]    quiesce the runtime
+//   POST /checkpoint              force a durable checkpoint (RECOVERY.md)
 //   POST /shutdown                ask the host process to exit
 //   GET  /outputs/<output>[?after=N&wait_ms=M&max=K]   drain/long-poll
 //   GET  /metrics                 Prometheus text exposition (obs registry)

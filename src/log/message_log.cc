@@ -5,12 +5,25 @@
 
 namespace tart::log {
 
+void ExternalMessageLog::append_locked(const Message& message) {
+  auto& list = entries_[message.wire];
+  if (list.empty()) {
+    // First retained entry on this wire must continue from the base (when
+    // a compaction base exists; otherwise any starting seq is accepted).
+    const auto base = base_seq_.find(message.wire);
+    assert(base == base_seq_.end() || message.seq == base->second);
+    (void)base;
+  } else {
+    assert(message.seq == list.back().seq + 1 &&
+           message.vt >= list.back().vt);
+  }
+  list.push_back(message);
+  order_.emplace_back(message.wire, message.seq);
+}
+
 void ExternalMessageLog::append(const Message& message) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto& list = entries_[message.wire];
-  assert(list.empty() || (message.seq == list.back().seq + 1 &&
-                          message.vt >= list.back().vt));
-  list.push_back(message);
+  append_locked(message);
   if (store_ != nullptr) {
     serde::Writer w;
     message.encode(w);
@@ -31,16 +44,11 @@ bool ExternalMessageLog::append_batch(const std::vector<Message>& messages) {
     }
     durable = store_->append_batch(records);
   }
-  for (const Message& m : messages) {
-    auto& list = entries_[m.wire];
-    assert(list.empty() ||
-           (m.seq == list.back().seq + 1 && m.vt >= list.back().vt));
-    list.push_back(m);
-  }
+  for (const Message& m : messages) append_locked(m);
   return durable;
 }
 
-void ExternalMessageLog::attach_store(FileStableStore* store) {
+void ExternalMessageLog::attach_store(StableSink* store) {
   const std::lock_guard<std::mutex> lock(mutex_);
   store_ = store;
 }
@@ -51,12 +59,42 @@ void ExternalMessageLog::load_from(const std::string& path) {
     serde::Reader r(record);
     const Message m = Message::decode(r);
     entries_[m.wire].push_back(m);
+    order_.emplace_back(m.wire, m.seq);
   }
   // Batched appends from one writer may interleave with single appends
   // from another across wires; per wire the seq order is authoritative.
   for (auto& [wire, list] : entries_)
     std::sort(list.begin(), list.end(),
               [](const Message& a, const Message& b) { return a.seq < b.seq; });
+}
+
+void ExternalMessageLog::load_records(
+    const std::vector<std::vector<std::byte>>& records,
+    std::uint64_t first_index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  order_base_ = first_index;
+  for (const auto& record : records) {
+    serde::Reader r(record);
+    const Message m = Message::decode(r);
+    // The order index must mirror the store record-for-record — including
+    // covered records whose segment has not been reclaimed yet — or a
+    // later covered_record_index would point at the wrong segment.
+    order_.emplace_back(m.wire, m.seq);
+    const auto base = base_seq_.find(m.wire);
+    if (base != base_seq_.end() && m.seq < base->second)
+      continue;  // covered by the restored checkpoint
+    entries_[m.wire].push_back(m);
+  }
+  for (auto& [wire, list] : entries_)
+    std::sort(list.begin(), list.end(),
+              [](const Message& a, const Message& b) { return a.seq < b.seq; });
+}
+
+void ExternalMessageLog::set_base(WireId wire, std::uint64_t next_seq,
+                                  VirtualTime last_vt) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  base_seq_[wire] = next_seq;
+  base_vt_[wire] = last_vt;
 }
 
 std::vector<Message> ExternalMessageLog::replay_after(
@@ -97,8 +135,81 @@ std::uint64_t ExternalMessageLog::total_size() const {
 VirtualTime ExternalMessageLog::last_vt(WireId wire) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(wire);
-  if (it == entries_.end() || it->second.empty()) return VirtualTime(-1);
-  return it->second.back().vt;
+  if (it != entries_.end() && !it->second.empty()) return it->second.back().vt;
+  const auto base = base_vt_.find(wire);
+  return base == base_vt_.end() ? VirtualTime(-1) : base->second;
+}
+
+std::uint64_t ExternalMessageLog::next_seq(WireId wire) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(wire);
+  if (it != entries_.end() && !it->second.empty())
+    return it->second.back().seq + 1;
+  const auto base = base_seq_.find(wire);
+  return base == base_seq_.end() ? 0 : base->second;
+}
+
+VirtualTime ExternalMessageLog::vt_below(WireId wire,
+                                         std::uint64_t seq) const {
+  if (seq == 0) return VirtualTime(-1);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(wire);
+  if (it != entries_.end()) {
+    const auto& list = it->second;
+    const auto pos = std::lower_bound(
+        list.begin(), list.end(), seq - 1,
+        [](const Message& m, std::uint64_t s) { return m.seq < s; });
+    if (pos != list.end() && pos->seq == seq - 1) return pos->vt;
+  }
+  const auto base = base_vt_.find(wire);
+  return base == base_vt_.end() ? VirtualTime(-1) : base->second;
+}
+
+std::uint64_t ExternalMessageLog::covered_record_index(
+    const std::map<WireId, std::uint64_t>& covered) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t index = order_base_;
+  for (const auto& [wire, seq] : order_) {
+    const auto bound = covered.find(wire);
+    if (bound == covered.end() || seq >= bound->second) break;
+    ++index;
+  }
+  return index;
+}
+
+std::uint64_t ExternalMessageLog::truncate_covered(
+    const std::map<WireId, std::uint64_t>& covered) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<WireId, std::uint64_t> drop;  // wire -> entries to erase
+  while (!order_.empty()) {
+    const auto& [wire, seq] = order_.front();
+    const auto bound = covered.find(wire);
+    if (bound == covered.end() || seq >= bound->second) break;
+    auto& base = base_seq_[wire];
+    if (seq >= base) {
+      base = seq + 1;
+      ++drop[wire];
+    }
+    order_.pop_front();
+    ++order_base_;
+    ++truncated_;
+  }
+  for (const auto& [wire, count] : drop) {
+    auto& list = entries_[wire];
+    const std::size_t n = std::min<std::size_t>(count, list.size());
+    if (n > 0) {
+      base_vt_[wire] = max(base_vt_.try_emplace(wire, VirtualTime(-1))
+                               .first->second,
+                           list[n - 1].vt);
+      list.erase(list.begin(), list.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+  return order_base_;
+}
+
+std::uint64_t ExternalMessageLog::truncated_messages() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return truncated_;
 }
 
 }  // namespace tart::log

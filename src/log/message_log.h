@@ -9,11 +9,22 @@
 // failure, the entire execution is a deterministic function of this log.
 // Entries are keyed by the external wire they enter on; replay reads a
 // contiguous range by virtual time or sequence.
+//
+// Compaction support (src/durability): once a durable checkpoint covers a
+// prefix of the log, that prefix never needs replaying again. Each wire
+// then carries a *base* — the first sequence number still retained and the
+// virtual time of the last message below it — so position accounting
+// (next_seq, last_vt) survives truncation. The log also tracks the global
+// append order of records (mirroring the backing store's record indices),
+// which lets the checkpoint manager translate per-wire covered sequence
+// numbers into a store record index safe to truncate below.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -51,22 +62,70 @@ class ExternalMessageLog {
   [[nodiscard]] std::uint64_t size(WireId wire) const;
   [[nodiscard]] std::uint64_t total_size() const;
 
-  /// Highest vt logged on a wire (or -1 when empty) — external sources are
-  /// silent through this when closed.
+  /// Highest vt logged on a wire — external sources are silent through
+  /// this when closed. Falls back to the wire's base vt (the last
+  /// truncated message's vt) when no entry survives, and -1 when the wire
+  /// never logged anything.
   [[nodiscard]] VirtualTime last_vt(WireId wire) const;
+
+  /// Sequence number the next arrival on `wire` will get: one past the
+  /// last retained entry, or the wire's base when nothing is retained.
+  [[nodiscard]] std::uint64_t next_seq(WireId wire) const;
+
+  /// VT of the message just below `seq` on `wire` (-1 when seq == 0);
+  /// answers from retained entries or the base.
+  [[nodiscard]] VirtualTime vt_below(WireId wire, std::uint64_t seq) const;
+
+  // --- Compaction (checkpoint-gated; see src/durability) -------------------
+
+  /// Restores a wire's position accounting from a durable checkpoint:
+  /// messages with seq < next_seq are covered (loads skip them) and the
+  /// wire's silence floor is `last_vt`. Call before load_records.
+  void set_base(WireId wire, std::uint64_t next_seq, VirtualTime last_vt);
+
+  /// Largest global record index N such that every record with index < N
+  /// is covered: its wire appears in `covered` with a sequence bound
+  /// strictly above the record's seq. Records at index >= N stay.
+  [[nodiscard]] std::uint64_t covered_record_index(
+      const std::map<WireId, std::uint64_t>& covered) const;
+
+  /// Drops every covered record in the global prefix (advancing per-wire
+  /// bases) and returns the new first retained record index — the bound to
+  /// hand to SegmentedStore::truncate_below. Never drops a record above
+  /// the covered bound: the gating invariant.
+  std::uint64_t truncate_covered(
+      const std::map<WireId, std::uint64_t>& covered);
+
+  [[nodiscard]] std::uint64_t truncated_messages() const;
 
   /// Write-through persistence: every subsequent append is also framed
   /// into `store` before the call returns (stable-storage durability).
-  void attach_store(FileStableStore* store);
+  void attach_store(StableSink* store);
 
   /// Reloads a log persisted by attach_store. Call on an empty log before
   /// re-attaching a store.
   void load_from(const std::string& path);
 
+  /// Reloads from pre-scanned store records whose first record has global
+  /// index `first_index` (SegmentedStore::scan_all after compaction).
+  /// Records below a wire's base (covered by the restored checkpoint but
+  /// not yet reclaimed from disk) are index-tracked but not retained.
+  void load_records(const std::vector<std::vector<std::byte>>& records,
+                    std::uint64_t first_index);
+
  private:
+  void append_locked(const Message& message);
+
   mutable std::mutex mutex_;
   std::map<WireId, std::vector<Message>> entries_;
-  FileStableStore* store_ = nullptr;
+  std::map<WireId, std::uint64_t> base_seq_;
+  std::map<WireId, VirtualTime> base_vt_;
+  /// (wire, seq) of every record still backed by the store, in global
+  /// append order; front has index order_base_.
+  std::deque<std::pair<WireId, std::uint64_t>> order_;
+  std::uint64_t order_base_ = 0;
+  std::uint64_t truncated_ = 0;
+  StableSink* store_ = nullptr;
 };
 
 }  // namespace tart::log

@@ -63,9 +63,11 @@ bool FileStableStore::append_batch(
 }
 
 std::vector<std::vector<std::byte>> FileStableStore::scan(
-    const std::string& path) {
+    const std::string& path, std::uint64_t* intact_bytes) {
   std::vector<std::vector<std::byte>> records;
+  std::uint64_t intact = 0;
   std::ifstream in(path, std::ios::binary);
+  if (intact_bytes != nullptr) *intact_bytes = 0;
   if (!in.is_open()) return records;
 
   for (;;) {
@@ -82,7 +84,9 @@ std::vector<std::vector<std::byte>> FileStableStore::scan(
     if (in.gcount() != static_cast<std::streamsize>(size)) break;  // torn
     if (serde::fingerprint(record) != checksum) break;  // corrupted
     records.push_back(std::move(record));
+    intact += sizeof(header) + size;
   }
+  if (intact_bytes != nullptr) *intact_bytes = intact;
   return records;
 }
 

@@ -28,7 +28,21 @@
 
 namespace tart::log {
 
-class FileStableStore {
+/// Anything a log can write through to for durability. FileStableStore is
+/// the single-file implementation; SegmentedStore (segmented_store.h)
+/// rotates across files so checkpoint-gated compaction can reclaim whole
+/// prefixes by deleting sealed segments.
+class StableSink {
+ public:
+  virtual ~StableSink() = default;
+  virtual bool append(const std::vector<std::byte>& record) = 0;
+  virtual bool append_batch(
+      std::span<const std::vector<std::byte>> records) = 0;
+  [[nodiscard]] virtual std::uint64_t records_written() const = 0;
+  [[nodiscard]] virtual std::uint64_t flushes() const = 0;
+};
+
+class FileStableStore final : public StableSink {
  public:
   /// Opens (creating if absent) the store for appending.
   explicit FileStableStore(std::string path);
@@ -39,30 +53,33 @@ class FileStableStore {
 
   /// Appends one record durably (framed + checksummed + fsynced). Returns
   /// false on I/O failure.
-  bool append(const std::vector<std::byte>& record);
+  bool append(const std::vector<std::byte>& record) override;
 
   /// Appends N records with ONE write and ONE fsync: the records become
   /// durable together, for the cost of a single flush. Returns false on
   /// I/O failure (no record of the batch should then be trusted durable,
   /// though an intact prefix may still survive a scan). An empty batch is
   /// a no-op that succeeds without flushing.
-  bool append_batch(std::span<const std::vector<std::byte>> records);
+  bool append_batch(std::span<const std::vector<std::byte>> records) override;
 
   [[nodiscard]] const std::string& path() const { return path_; }
-  [[nodiscard]] std::uint64_t records_written() const {
+  [[nodiscard]] std::uint64_t records_written() const override {
     return written_.load(std::memory_order_relaxed);
   }
   /// Durability flushes issued (fsync calls): one per append(), one per
   /// non-empty append_batch(). records_written / flushes is the achieved
   /// group-commit factor.
-  [[nodiscard]] std::uint64_t flushes() const {
+  [[nodiscard]] std::uint64_t flushes() const override {
     return flushes_.load(std::memory_order_relaxed);
   }
 
   /// Reads every intact record from a store file, stopping at the first
-  /// torn or corrupted frame. Missing file yields an empty list.
+  /// torn or corrupted frame. Missing file yields an empty list. When
+  /// `intact_bytes` is non-null it receives the byte length of the intact
+  /// prefix, so a writer reopening the file can truncate a torn tail
+  /// before appending past it.
   [[nodiscard]] static std::vector<std::vector<std::byte>> scan(
-      const std::string& path);
+      const std::string& path, std::uint64_t* intact_bytes = nullptr);
 
  private:
   std::string path_;

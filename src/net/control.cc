@@ -225,6 +225,31 @@ ObsPushBody ObsPushBody::decode(const std::vector<std::byte>& p) {
   return b;
 }
 
+std::vector<std::byte> CheckpointResultBody::encode() const {
+  serde::Writer w;
+  w.write_bool(ok);
+  w.write_varint(id);
+  w.write_varint(bytes);
+  w.write_varint(covered_records);
+  w.write_varint(reclaimed_records);
+  w.write_string(error);
+  return w.take();
+}
+
+CheckpointResultBody CheckpointResultBody::decode(
+    const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  CheckpointResultBody b;
+  b.ok = r.read_bool();
+  b.id = r.read_varint();
+  b.bytes = r.read_varint();
+  b.covered_records = r.read_varint();
+  b.reclaimed_records = r.read_varint();
+  b.error = r.read_string();
+  if (!r.at_end()) throw NetError("checkpoint body: trailing bytes");
+  return b;
+}
+
 // --- Client -----------------------------------------------------------------
 
 std::optional<ControlClient> ControlClient::connect(
@@ -327,6 +352,12 @@ std::vector<obs::Sample> ControlClient::obs_samples() {
   const auto resp = request(NetMsgType::kGetObs, {});
   expect(resp, NetMsgType::kObs, "get-obs");
   return decode_obs_body(resp.payload);
+}
+
+CheckpointResultBody ControlClient::checkpoint() {
+  const auto resp = request(NetMsgType::kCheckpoint, {});
+  expect(resp, NetMsgType::kCheckpointAck, "checkpoint");
+  return CheckpointResultBody::decode(resp.payload);
 }
 
 void ControlClient::shutdown_node() {

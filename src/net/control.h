@@ -87,6 +87,21 @@ struct ObsPushBody {
   [[nodiscard]] static ObsPushBody decode(const std::vector<std::byte>& p);
 };
 
+/// Result of an on-demand durable checkpoint (kCheckpointAck): mirrors
+/// durability::CheckpointStats.
+struct CheckpointResultBody {
+  bool ok = false;
+  std::uint64_t id = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t covered_records = 0;
+  std::uint64_t reclaimed_records = 0;
+  std::string error;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static CheckpointResultBody decode(
+      const std::vector<std::byte>& p);
+};
+
 // --- Blocking client --------------------------------------------------------
 
 /// Synchronous control connection. Methods throw NetError on transport or
@@ -115,6 +130,9 @@ class ControlClient {
   [[nodiscard]] core::StatusReport status();
   /// Telemetry registry samples (labelled counters + histograms).
   [[nodiscard]] std::vector<obs::Sample> obs_samples();
+  /// Forces a durable checkpoint on the node (throws when durability is
+  /// off; a failed attempt is returned with ok=false).
+  [[nodiscard]] CheckpointResultBody checkpoint();
   void shutdown_node();
 
   /// One raw round-trip (used by the helpers above).

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "durability/manager.h"
+#include "durability/replay.h"
 
 namespace tart::net {
 namespace {
@@ -56,6 +58,14 @@ NetHost::NetHost(DeploymentConfig deploy, const std::string& partition,
   core::RuntimeConfig config;
   config.local_engines = {self_->engine};
   config.log_dir = options_.log_dir;
+  if (options_.durability.enabled) {
+    if (options_.log_dir.empty())
+      throw ConfigError("durability requires --log-dir");
+    config.durability = options_.durability;
+    // Refuse a checkpoint written under a different deployment file: its
+    // wire ids would alias unrelated wires here.
+    config.durability.deployment_fp = deploy_.fingerprint();
+  }
   if (!options_.trace_path.empty()) {
     config.trace.enabled = true;
     config.trace.path = options_.trace_path;
@@ -119,6 +129,21 @@ void NetHost::start() {
   }
 
   runtime_->start();
+
+  // Tiered fast restart: consume the recovered log suffix (outputs
+  // suppressed) before the gateway opens — new external traffic then lands
+  // on a caught-up node (docs/RECOVERY.md).
+  if (options_.durability.enabled && runtime_->recovery_info().suffix_records +
+                                             runtime_->recovery_info()
+                                                 .covered_records >
+                                         0) {
+    const auto stats = durability::ReplayDriver::catch_up(
+        *runtime_, std::chrono::milliseconds(options_.catch_up_timeout_ms));
+    TART_INFO << "restart: checkpoint covered " << stats.covered_records
+              << " records, replayed " << stats.suffix_records
+              << " suffix records in " << stats.seconds << "s"
+              << (stats.caught_up ? "" : " (TIMED OUT)");
+  }
 
   if (!options_.http_addr.empty()) {
     // Serve only what this partition can adapt: the input's receiver (or
@@ -254,6 +279,14 @@ void NetHost::gauge_sweep() {
   reg.gauge("tart_external_log_messages_total",
             "Total external input messages retained in the replay log.")
       .set(static_cast<std::int64_t>(elog.total_size()));
+  if (log::SegmentedStore* seg = runtime_->segment_store()) {
+    reg.gauge("tart_log_segment_files",
+              "External-log segment files currently on disk.")
+        .set(static_cast<std::int64_t>(seg->segment_count()));
+    reg.gauge("tart_log_disk_bytes",
+              "Bytes the segmented external log occupies on disk.")
+        .set(static_cast<std::int64_t>(seg->bytes_on_disk()));
+  }
   gauge_timer_ = conn_->loop().add_timer(
       EventLoop::Clock::now() +
           std::chrono::milliseconds(options_.gauge_interval_ms),
@@ -462,6 +495,21 @@ NetMessage NetHost::handle_control(const NetMessage& request) {
       case NetMsgType::kGetObs:
         return NetMessage{NetMsgType::kObs,
                           encode_obs_body(runtime_->registry().samples())};
+      case NetMsgType::kCheckpoint: {
+        durability::CheckpointManager* manager =
+            runtime_->checkpoint_manager();
+        if (manager == nullptr)
+          return error("durability is not enabled on this node");
+        const durability::CheckpointStats stats = manager->checkpoint_now();
+        CheckpointResultBody body;
+        body.ok = stats.ok;
+        body.id = stats.id;
+        body.bytes = stats.bytes;
+        body.covered_records = stats.covered_records;
+        body.reclaimed_records = stats.reclaimed_records;
+        body.error = stats.error;
+        return NetMessage{NetMsgType::kCheckpointAck, body.encode()};
+      }
       case NetMsgType::kShutdown:
         request_shutdown();
         return NetMessage{NetMsgType::kAck, {}};

@@ -63,6 +63,13 @@ struct HostOptions {
   /// Empty = no pushing (default).
   std::string push_addr;
   int push_interval_ms = 1000;
+  /// Durable checkpoints + checkpoint-gated log compaction + tiered fast
+  /// restart (docs/RECOVERY.md). Requires log_dir. start() then replays
+  /// the recovered log suffix to quiescence — outputs suppressed — before
+  /// the gateway opens for new traffic.
+  durability::DurabilityConfig durability;
+  /// Upper bound on the start()-time catch-up replay.
+  int catch_up_timeout_ms = 30000;
   NetTuning tuning;
 };
 

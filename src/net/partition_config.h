@@ -16,6 +16,11 @@
 //   place sender2 = left
 //   place merger  = right
 //
+// Addresses may be numeric IPv4, bracketed IPv6 ("[fe80::1]:7101"), or
+// hostnames ("db-2.rack1:7101") — hostnames resolve via getaddrinfo when
+// the node listens or dials (net/socket.h), so one config file can name
+// machines symbolically across a cluster.
+//
 // Every process parses the SAME file and builds the SAME global topology;
 // only construction is restricted to the local partition. Engine ids are
 // assigned by sorted partition name — a pure function of the file — so

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -26,11 +27,46 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-bool to_sockaddr(const SockAddr& addr, sockaddr_in* out) {
+/// Resolves host:port to the first usable socket address. Numeric IPv4 and
+/// IPv6 literals short-circuit inside getaddrinfo; hostnames hit the
+/// resolver (blocking — callers run on dialing/startup threads, not the
+/// event loop). Returns the address length, 0 on failure (`error` set).
+socklen_t resolve(const SockAddr& addr, sockaddr_storage* out,
+                  std::string* error) {
   std::memset(out, 0, sizeof(*out));
-  out->sin_family = AF_INET;
-  out->sin_port = htons(addr.port);
-  return ::inet_pton(AF_INET, addr.host.c_str(), &out->sin_addr) == 1;
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  // No AI_ADDRCONFIG: it disregards loopback-only interfaces, which would
+  // break 127.0.0.1/::1 resolution inside minimal containers.
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string service = std::to_string(addr.port);
+  addrinfo* results = nullptr;
+  const int rc =
+      ::getaddrinfo(addr.host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0 || results == nullptr) {
+    if (error)
+      *error = "resolve " + addr.to_string() + ": " + ::gai_strerror(rc);
+    return 0;
+  }
+  // First result wins: getaddrinfo orders candidates by RFC 6724, which
+  // prefers a loopback/IPv4 match for the common single-machine case.
+  const socklen_t len = results->ai_addrlen;
+  std::memcpy(out, results->ai_addr, len);
+  ::freeaddrinfo(results);
+  return len;
+}
+
+bool valid_hostname(const std::string& host) {
+  if (host.empty() || host.size() > 253) return false;
+  for (const char c : host) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 std::string errno_string(const char* what) {
@@ -45,32 +81,49 @@ void Fd::reset() {
 }
 
 std::optional<SockAddr> SockAddr::parse(const std::string& spec) {
-  const auto colon = spec.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
-    return std::nullopt;
   SockAddr addr;
-  addr.host = spec.substr(0, colon);
-  if (addr.host == "localhost") addr.host = "127.0.0.1";
+  std::string port_part;
+  if (!spec.empty() && spec.front() == '[') {
+    // Bracketed IPv6 literal: "[fe80::1]:9000".
+    const auto close = spec.find(']');
+    if (close == std::string::npos || close + 1 >= spec.size() ||
+        spec[close + 1] != ':')
+      return std::nullopt;
+    addr.host = spec.substr(1, close - 1);
+    port_part = spec.substr(close + 2);
+    in6_addr check;
+    if (::inet_pton(AF_INET6, addr.host.c_str(), &check) != 1)
+      return std::nullopt;
+  } else {
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
+      return std::nullopt;
+    addr.host = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+    if (addr.host == "localhost") addr.host = "127.0.0.1";
+    // A second colon in the host means an unbracketed IPv6 literal —
+    // ambiguous against the port separator, so rejected.
+    in_addr check4;
+    if (::inet_pton(AF_INET, addr.host.c_str(), &check4) != 1 &&
+        !valid_hostname(addr.host))
+      return std::nullopt;
+  }
+  if (port_part.empty()) return std::nullopt;
   long port = 0;
-  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
-    const char c = spec[i];
+  for (const char c : port_part) {
     if (c < '0' || c > '9') return std::nullopt;
     port = port * 10 + (c - '0');
     if (port > 65535) return std::nullopt;
   }
   addr.port = static_cast<std::uint16_t>(port);
-  sockaddr_in check;
-  if (!to_sockaddr(addr, &check)) return std::nullopt;
   return addr;
 }
 
 Fd listen_tcp(const SockAddr& addr, std::string* error) {
-  sockaddr_in sa;
-  if (!to_sockaddr(addr, &sa)) {
-    if (error) *error = "bad address " + addr.to_string();
-    return Fd();
-  }
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  sockaddr_storage sa;
+  const socklen_t salen = resolve(addr, &sa, error);
+  if (salen == 0) return Fd();
+  Fd fd(::socket(sa.ss_family, SOCK_STREAM, 0));
   if (!fd.valid()) {
     if (error) *error = errno_string("socket");
     return Fd();
@@ -81,7 +134,7 @@ Fd listen_tcp(const SockAddr& addr, std::string* error) {
     if (error) *error = errno_string("fcntl");
     return Fd();
   }
-  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), salen) < 0) {
     if (error) *error = errno_string(("bind " + addr.to_string()).c_str());
     return Fd();
   }
@@ -93,10 +146,12 @@ Fd listen_tcp(const SockAddr& addr, std::string* error) {
 }
 
 std::uint16_t local_port(int fd) {
-  sockaddr_in sa;
+  sockaddr_storage sa;
   socklen_t len = sizeof(sa);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) return 0;
-  return ntohs(sa.sin_port);
+  if (sa.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<sockaddr_in6*>(&sa)->sin6_port);
+  return ntohs(reinterpret_cast<sockaddr_in*>(&sa)->sin_port);
 }
 
 Fd accept_tcp(int listen_fd) {
@@ -109,12 +164,10 @@ Fd accept_tcp(int listen_fd) {
 
 Fd connect_tcp(const SockAddr& addr, bool* in_progress, std::string* error) {
   *in_progress = false;
-  sockaddr_in sa;
-  if (!to_sockaddr(addr, &sa)) {
-    if (error) *error = "bad address " + addr.to_string();
-    return Fd();
-  }
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  sockaddr_storage sa;
+  const socklen_t salen = resolve(addr, &sa, error);
+  if (salen == 0) return Fd();
+  Fd fd(::socket(sa.ss_family, SOCK_STREAM, 0));
   if (!fd.valid()) {
     if (error) *error = errno_string("socket");
     return Fd();
@@ -124,7 +177,7 @@ Fd connect_tcp(const SockAddr& addr, bool* in_progress, std::string* error) {
     return Fd();
   }
   set_nodelay(fd.get());
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0)
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), salen) == 0)
     return fd;
   if (errno == EINPROGRESS) {
     *in_progress = true;

@@ -2,9 +2,13 @@
 //
 // Everything the net layer opens is non-blocking (the event loop never
 // sleeps in a socket call) and CLOEXEC (tart-node fork/execs nothing, but
-// test drivers fork tart-node itself). Addresses are numeric IPv4
-// "host:port" strings ("localhost" accepted as 127.0.0.1): deployment
-// configs name concrete endpoints, name resolution stays out of scope.
+// test drivers fork tart-node itself). Addresses are "host:port" strings
+// where host may be a numeric IPv4 address, a bracketed IPv6 address
+// ("[::1]:9000"), or a hostname ("db-2.rack1:9000"); hostnames and IPv6
+// literals resolve through getaddrinfo at listen/connect time, so
+// deployment configs can name machines the way operators do. Resolution
+// happens on the dialing thread (connection manager / startup), never on
+// the event loop.
 #pragma once
 
 #include <cstdint>
@@ -43,13 +47,21 @@ class Fd {
 
 /// Parsed "host:port". Parsing failures return nullopt (no exceptions: a
 /// malformed peer address in a config is a startup error, not a crash).
+///
+/// Accepted host forms: numeric IPv4 ("10.0.0.2"), bracketed IPv6
+/// ("[fe80::1]"; brackets required — a bare IPv6 literal is ambiguous
+/// against the port separator), or a hostname ("node-3.example.com").
+/// "localhost" normalizes to 127.0.0.1 so single-machine deployments stay
+/// resolver-independent.
 struct SockAddr {
-  std::string host;  ///< dotted-quad IPv4
+  std::string host;  ///< IPv4/IPv6 literal (no brackets) or hostname
   std::uint16_t port = 0;
 
   [[nodiscard]] static std::optional<SockAddr> parse(const std::string& spec);
+  /// Round-trips the bracket form for IPv6 literals.
   [[nodiscard]] std::string to_string() const {
-    return host + ":" + std::to_string(port);
+    const bool v6 = host.find(':') != std::string::npos;
+    return (v6 ? "[" + host + "]" : host) + ":" + std::to_string(port);
   }
 };
 

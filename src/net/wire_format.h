@@ -76,6 +76,10 @@ enum class NetMsgType : std::uint8_t {
   /// samples as kObs, so collectors aggregate pushed and polled nodes
   /// with identical SUM/MAX/merge semantics.
   kObsPush = 33,
+  /// Force a durable checkpoint now (src/durability) -> kCheckpointAck
+  /// (CheckpointResultBody), or kError when durability is off.
+  kCheckpoint = 34,
+  kCheckpointAck = 35,
 };
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the classic table-driven form.

@@ -3,7 +3,9 @@
 //   tart-node <deployment.conf> <partition> [--log-dir=DIR] [--trace=FILE]
 //             [--http=ADDR|PORT] [--no-group-commit] [--exemplars]
 //             [--sample=FILE] [--sample-interval-ms=N]
-//             [--gauge-interval-ms=N] [--push=ADDR[,INTERVALMS]] [--verbose]
+//             [--gauge-interval-ms=N] [--push=ADDR[,INTERVALMS]]
+//             [--durable] [--checkpoint-interval-ms=N] [--checkpoint-bytes=N]
+//             [--checkpoint-keep=K] [--segment-bytes=N] [--verbose]
 //
 // Every node of a deployment runs this binary with the SAME config file and
 // its own partition name. The node builds the global topology, constructs
@@ -28,6 +30,13 @@
 // With --push=ADDR, the node remote-writes its telemetry (metrics +
 // registry samples) to a collector — `tart-obs --listen` — every interval,
 // for deployments where the collector cannot dial the nodes.
+//
+// With --durable (requires --log-dir), the node writes durable checkpoints
+// (docs/RECOVERY.md), compacts its external log below the newest durable
+// checkpoint, and restarts fast: checkpoint restore + suffix-only replay
+// with outputs suppressed instead of a full cold replay. Checkpoints fire
+// on demand (control kCheckpoint / gateway POST /checkpoint) and, with
+// --checkpoint-interval-ms / --checkpoint-bytes, automatically.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +60,9 @@ int usage() {
                "[--log-dir=DIR] [--trace=FILE] [--http=ADDR|PORT] "
                "[--no-group-commit] [--exemplars] [--sample=FILE] "
                "[--sample-interval-ms=N] [--gauge-interval-ms=N] "
-               "[--push=ADDR[,INTERVALMS]] [--verbose]\n");
+               "[--push=ADDR[,INTERVALMS]] [--durable] "
+               "[--checkpoint-interval-ms=N] [--checkpoint-bytes=N] "
+               "[--checkpoint-keep=K] [--segment-bytes=N] [--verbose]\n");
   return 2;
 }
 
@@ -110,6 +121,38 @@ int main(int argc, char** argv) {
       options.push_addr = spec;
       if (options.push_addr.find(':') == std::string::npos) {
         std::fprintf(stderr, "tart-node: --push needs HOST:PORT\n");
+        return usage();
+      }
+    } else if (arg == "--durable") {
+      options.durability.enabled = true;
+    } else if (arg.rfind("--checkpoint-interval-ms=", 0) == 0) {
+      options.durability.enabled = true;
+      options.durability.interval_ms =
+          std::atoi(arg.c_str() + std::strlen("--checkpoint-interval-ms="));
+      if (options.durability.interval_ms <= 0) {
+        std::fprintf(stderr, "tart-node: bad --checkpoint-interval-ms\n");
+        return usage();
+      }
+    } else if (arg.rfind("--checkpoint-bytes=", 0) == 0) {
+      options.durability.enabled = true;
+      options.durability.bytes_trigger = static_cast<std::uint64_t>(
+          std::atoll(arg.c_str() + std::strlen("--checkpoint-bytes=")));
+      if (options.durability.bytes_trigger == 0) {
+        std::fprintf(stderr, "tart-node: bad --checkpoint-bytes\n");
+        return usage();
+      }
+    } else if (arg.rfind("--checkpoint-keep=", 0) == 0) {
+      options.durability.keep_last = static_cast<std::uint64_t>(
+          std::atoll(arg.c_str() + std::strlen("--checkpoint-keep=")));
+      if (options.durability.keep_last == 0) {
+        std::fprintf(stderr, "tart-node: bad --checkpoint-keep\n");
+        return usage();
+      }
+    } else if (arg.rfind("--segment-bytes=", 0) == 0) {
+      options.durability.segment_bytes = static_cast<std::uint64_t>(
+          std::atoll(arg.c_str() + std::strlen("--segment-bytes=")));
+      if (options.durability.segment_bytes == 0) {
+        std::fprintf(stderr, "tart-node: bad --segment-bytes\n");
         return usage();
       }
     } else if (arg == "--verbose") {

@@ -308,6 +308,30 @@ void print_wavefront(const std::vector<StatusReport>& reports) {
   if (!any) std::printf("  (no component is held; no node crashed)\n");
 }
 
+/// One fleet-wide durability line: checkpoints taken, checkpoint-gated
+/// compaction progress, and what the last restarts skipped vs replayed.
+/// Prints nothing while every counter is zero (durability off everywhere).
+void print_durability(const MetricsSnapshot& m) {
+  if (m.ckpt_written + m.ckpt_failed + m.ckpt_skipped_invalid +
+          m.log_segments + m.restart_covered_records +
+          m.restart_suffix_records ==
+      0)
+    return;
+  std::printf(
+      "durability: ckpts=%llu (failed=%llu skipped=%llu, %.1f KB) "
+      "log=%llu segs/%.1f KB reclaimed=%llu | restart covered=%llu "
+      "suffix=%llu\n",
+      static_cast<unsigned long long>(m.ckpt_written),
+      static_cast<unsigned long long>(m.ckpt_failed),
+      static_cast<unsigned long long>(m.ckpt_skipped_invalid),
+      static_cast<double>(m.ckpt_bytes) / 1024.0,
+      static_cast<unsigned long long>(m.log_segments),
+      static_cast<double>(m.log_bytes_on_disk) / 1024.0,
+      static_cast<unsigned long long>(m.log_records_reclaimed),
+      static_cast<unsigned long long>(m.restart_covered_records),
+      static_cast<unsigned long long>(m.restart_suffix_records));
+}
+
 int run_control_mode(const std::vector<std::string>& addrs, bool once,
                      int interval_ms, const std::string& series_path,
                      bool strict, PushServer* push) {
@@ -382,6 +406,7 @@ int run_control_mode(const std::vector<std::string>& addrs, bool once,
     for (const std::string& addr : down)
       std::printf("  %-24s down\n", addr.c_str());
     print_rows(build_rows(merged));
+    print_durability(total);
     std::printf("wavefront:\n");
     print_wavefront(reports);
 

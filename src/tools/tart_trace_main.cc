@@ -104,7 +104,8 @@ int cmd_diff(const Trace& a, const Trace& b, bool recovery) {
       tart::trace::diff_traces(a, b, options);
   std::cout << "compared=" << result.compared
             << " stutter=" << result.stutter_records
-            << " skipped=" << result.skipped << "\n";
+            << " skipped=" << result.skipped
+            << " fast_forwarded=" << result.fast_forwarded << "\n";
   if (result.identical()) {
     std::cout << (recovery ? "traces match (stutter tolerated)\n"
                            : "traces identical\n");

@@ -71,11 +71,20 @@ std::optional<Divergence> diff_recovery(const ComponentTrace& a,
   std::size_t i = 0;   // next expected decision in ref
   std::size_t hi = 0;  // high-water mark of matched decisions
   bool replay_licensed = false;
+  // A kRecoveryStart BEFORE any matched decision marks a tiered restart:
+  // B booted from a durable checkpoint restored at ff_vt, so reference
+  // decisions at or below ff_vt were covered and never re-execute.
+  bool ff_licensed = false;
+  VirtualTime ff_vt{-1};
 
   for (std::size_t bi = 0; bi < b.events.size(); ++bi) {
     const TraceEvent& e = b.events[bi];
     if (e.kind == TraceEventKind::kRecoveryStart) {
       replay_licensed = true;
+      if (hi == 0 && e.aux > 0) {
+        ff_licensed = true;
+        ff_vt = std::max(ff_vt, e.vt);
+      }
       ++result.skipped;
       continue;
     }
@@ -92,6 +101,23 @@ std::optional<Divergence> diff_recovery(const ComponentTrace& a,
       ++i;
       hi = std::max(hi, i);
       continue;
+    }
+    if (ff_licensed && hi == 0) {
+      // Fast-forward: skip reference decisions the checkpoint covered
+      // (vt <= ff_vt) up to B's first actually-replayed decision. Stops
+      // at the first uncovered reference decision — skipping one of those
+      // would hide a real divergence.
+      std::size_t j = i;
+      while (j < ref.size() && ref[j].vt <= ff_vt &&
+             !e.same_decision(ref[j]))
+        ++j;
+      if (j < ref.size() && e.same_decision(ref[j])) {
+        result.fast_forwarded += j - i;
+        ++result.compared;
+        i = j + 1;
+        hi = i;
+        continue;
+      }
     }
     if (replay_licensed) {
       // Rollback: the recovering component restarts from its checkpoint,
@@ -120,6 +146,16 @@ std::optional<Divergence> diff_recovery(const ComponentTrace& a,
     return d;
   }
   if (hi < ref.size()) {
+    const bool all_covered =
+        ff_licensed && hi == 0 &&
+        std::all_of(ref.begin(), ref.end(),
+                    [&](const TraceEvent& r) { return r.vt <= ff_vt; });
+    if (all_covered) {
+      // Tiered restart with nothing to replay: every reference decision
+      // was inside the checkpoint.
+      result.fast_forwarded += ref.size();
+      return std::nullopt;
+    }
     Divergence d;
     d.component = a.component;
     d.index_a = hi;

@@ -21,6 +21,16 @@
 //     Any dispatch that matches neither the next expected decision nor an
 //     already-executed one is a true divergence.
 //
+//     Recovery mode also understands *tiered restarts* (docs/RECOVERY.md):
+//     when trace B BEGINS with a kRecoveryStart (the component booted from
+//     a durable checkpoint rather than crashing mid-trace), every
+//     reference decision at or below the checkpoint's restored virtual
+//     time was covered by the snapshot and legitimately never re-executes.
+//     The differ fast-forwards the reference stream to B's first replayed
+//     decision and tallies the skipped prefix as `fast_forwarded`; the
+//     suffix must then match exactly as usual. A reference decision above
+//     the restored vt that B never executes is still a divergence.
+//
 // Diagnostic-class events (stalls, probes, silence promises) are never
 // compared: they depend on real time by design.
 #pragma once
@@ -57,6 +67,9 @@ struct DiffResult {
   std::uint64_t compared = 0;         ///< Decisions checked and matched.
   std::uint64_t stutter_records = 0;  ///< Re-executed decisions (recovery).
   std::uint64_t skipped = 0;          ///< Replay artifacts not compared.
+  /// Reference decisions covered by a durable checkpoint that trace B
+  /// restored from (recovery mode; see header comment).
+  std::uint64_t fast_forwarded = 0;
 
   [[nodiscard]] bool identical() const { return !divergence.has_value(); }
 };

@@ -397,6 +397,10 @@ TEST_F(GatewayTest, TypedRejections) {
   EXPECT_EQ(c.post("/inject/in?vt=99999", "z", "text/plain").status, 409)
       << "closed input must be refused";
 
+  EXPECT_EQ(c.get("/checkpoint").status, 405);
+  EXPECT_EQ(c.post("/checkpoint", "").status, 503)
+      << "this fixture runs without durability; /checkpoint must say so";
+
   const auto counters = gw_->counters();
   EXPECT_GT(counters.errors, 0u);
   EXPECT_EQ(counters.acked, 1u);

@@ -360,3 +360,85 @@ TEST(ConnectionManagerTest, MalformedInboundBytesDropConnectionNotProcess) {
       << "garbage never surfaced as a decode error";
   b.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Address parsing + resolution: numeric IPv4, bracketed IPv6, hostnames.
+
+TEST(SockAddrTest, ParsesNumericIPv4) {
+  const auto a = SockAddr::parse("10.0.0.2:7100");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->host, "10.0.0.2");
+  EXPECT_EQ(a->port, 7100);
+  EXPECT_EQ(a->to_string(), "10.0.0.2:7100");
+}
+
+TEST(SockAddrTest, ParsesBracketedIPv6AndRoundTripsBrackets) {
+  const auto a = SockAddr::parse("[::1]:9000");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->host, "::1");  // brackets stripped internally
+  EXPECT_EQ(a->port, 9000);
+  EXPECT_EQ(a->to_string(), "[::1]:9000");
+
+  const auto b = SockAddr::parse("[fe80::2:1]:7101");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->host, "fe80::2:1");
+  EXPECT_EQ(b->port, 7101);
+}
+
+TEST(SockAddrTest, ParsesHostnames) {
+  const auto a = SockAddr::parse("db-2.rack1:7101");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->host, "db-2.rack1");
+  EXPECT_EQ(a->port, 7101);
+
+  // localhost normalizes to the v4 loopback literal so single-machine
+  // deployments never depend on resolver configuration.
+  const auto l = SockAddr::parse("localhost:80");
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l->host, "127.0.0.1");
+}
+
+TEST(SockAddrTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(SockAddr::parse("::1:9000"));       // bare v6: ambiguous
+  EXPECT_FALSE(SockAddr::parse("[not-v6]:9000"));  // brackets imply v6
+  EXPECT_FALSE(SockAddr::parse("[::1]9000"));      // missing separator
+  EXPECT_FALSE(SockAddr::parse("host.example"));   // no port
+  EXPECT_FALSE(SockAddr::parse("host:"));          // empty port
+  EXPECT_FALSE(SockAddr::parse(":7100"));          // empty host
+  EXPECT_FALSE(SockAddr::parse("host:99999"));     // port overflow
+  EXPECT_FALSE(SockAddr::parse("host:7x1"));       // non-numeric port
+  EXPECT_FALSE(SockAddr::parse("ba d.host:7100")); // bad hostname charset
+}
+
+TEST(SockAddrTest, HostnameListenAndConnectOverLoopback) {
+  // End-to-end through getaddrinfo: listen on the v4 loopback, dial it by
+  // hostname ("localhost" pre-normalizes, so use the literal for listen
+  // and the name for connect).
+  std::string err;
+  Fd lfd = listen_tcp(*SockAddr::parse("127.0.0.1:0"), &err);
+  ASSERT_TRUE(lfd.valid()) << err;
+  const std::uint16_t port = local_port(lfd.get());
+  ASSERT_NE(port, 0);
+
+  bool in_progress = false;
+  Fd cfd = connect_tcp(*SockAddr::parse("localhost:" + std::to_string(port)),
+                       &in_progress, &err);
+  ASSERT_TRUE(cfd.valid()) << err;
+  ASSERT_TRUE(eventually([&] { return accept_tcp(lfd.get()).valid(); }));
+}
+
+TEST(SockAddrTest, IPv6LoopbackListenAndConnect) {
+  // Bind the v6 loopback if the kernel offers it (skip otherwise: minimal
+  // containers sometimes ship v4-only network namespaces).
+  std::string err;
+  Fd lfd = listen_tcp(*SockAddr::parse("[::1]:0"), &err);
+  if (!lfd.valid()) GTEST_SKIP() << "no IPv6 loopback: " << err;
+  const std::uint16_t port = local_port(lfd.get());
+  ASSERT_NE(port, 0);
+
+  bool in_progress = false;
+  Fd cfd = connect_tcp(*SockAddr::parse("[::1]:" + std::to_string(port)),
+                       &in_progress, &err);
+  ASSERT_TRUE(cfd.valid()) << err;
+  ASSERT_TRUE(eventually([&] { return accept_tcp(lfd.get()).valid(); }));
+}

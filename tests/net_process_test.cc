@@ -361,3 +361,129 @@ TEST(NetProcessTest, TwoProcessRunMatchesBaselineAndSurvivesSigkill) {
       << "tart-trace diff --recovery flagged divergence on the surviving "
          "node";
 }
+
+// Durable-checkpoint variant of the kill/restart story: the left node
+// checkpoints mid-run (covering + compacting its external log), is
+// SIGKILLed, and comes back through the tiered fast path — checkpoint
+// restore plus suffix-only replay — instead of a full-log replay. The
+// output stream must still be byte-for-byte the single-process baseline,
+// and the surviving merger's traces recovery-equivalent (docs/RECOVERY.md).
+TEST(NetProcessTest, DurableCheckpointRestartMatchesBaseline) {
+  const auto steps = make_script(40);
+  const OutputStream expected = baseline(steps);
+  ASSERT_FALSE(expected.empty());
+
+  const std::string dir = make_temp_dir();
+  const std::string right_clean_trace = dir + "/right_clean.trace";
+  const std::string right_ckpt_trace = dir + "/right_ckpt.trace";
+
+  // --- Reference: clean two-process run ------------------------------------
+  OutputStream clean_out;
+  {
+    const Deployment d = write_deployment(dir);
+    ASSERT_EQ(mkdir((dir + "/clean_left").c_str(), 0755), 0);
+    NodeProc left(d.config_path, "left", {"--log-dir=" + dir + "/clean_left"});
+    NodeProc right(d.config_path, "right", {"--trace=" + right_clean_trace});
+    auto left_ctl = connect_or_die(d.left_control);
+    auto right_ctl = connect_or_die(d.right_control);
+    for (const auto& s : steps)
+      EXPECT_EQ(left_ctl.inject(s.input, s.vt, apps::sentence(s.words)),
+                s.vt);
+    ASSERT_TRUE(left_ctl.drain(30s));
+    ASSERT_TRUE(right_ctl.drain(30s));
+    clean_out = fetch_outputs(right_ctl);
+    left_ctl.shutdown_node();
+    right_ctl.shutdown_node();
+    EXPECT_EQ(left.reap(), 0);
+    EXPECT_EQ(right.reap(), 0);
+  }
+  ASSERT_EQ(clean_out, expected);
+
+  // --- Durable run: checkpoint, SIGKILL, tiered restart --------------------
+  OutputStream ckpt_out;
+  {
+    const Deployment d = write_deployment(dir);
+    const std::string log_dir = dir + "/ckpt_left";
+    ASSERT_EQ(mkdir(log_dir.c_str(), 0755), 0);
+    // Tiny segments so the mid-run checkpoint demonstrably reclaims
+    // wholly-covered ones (log stays bounded, not just covered).
+    const std::vector<std::string> durable_flags = {
+        "--log-dir=" + log_dir, "--durable", "--segment-bytes=512"};
+    NodeProc right(d.config_path, "right", {"--trace=" + right_ckpt_trace});
+    auto right_ctl = connect_or_die(d.right_control);
+    const std::size_t half = steps.size() / 2;
+    const std::size_t kill_at = steps.size() * 3 / 4;
+
+    {
+      NodeProc left(d.config_path, "left", durable_flags);
+      auto left_ctl = connect_or_die(d.left_control);
+      for (std::size_t i = 0; i < half; ++i)
+        EXPECT_EQ(left_ctl.inject(steps[i].input, steps[i].vt,
+                                  apps::sentence(steps[i].words)),
+                  steps[i].vt);
+      // The senders consume their logged inputs almost immediately; wait
+      // until they have, so the forced checkpoint covers the whole prefix.
+      const auto deadline = std::chrono::steady_clock::now() + 10s;
+      while (left_ctl.metrics().messages_processed < half) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "left never consumed the pre-checkpoint prefix";
+        std::this_thread::sleep_for(5ms);
+      }
+      const auto ck = left_ctl.checkpoint();
+      ASSERT_TRUE(ck.ok) << ck.error;
+      EXPECT_EQ(ck.covered_records, half);
+      EXPECT_GT(ck.bytes, 0u);
+      EXPECT_GT(ck.reclaimed_records, 0u)
+          << "gated compaction reclaimed nothing despite tiny segments";
+
+      // A post-checkpoint suffix the restart will have to replay.
+      for (std::size_t i = half; i < kill_at; ++i)
+        EXPECT_EQ(left_ctl.inject(steps[i].input, steps[i].vt,
+                                  apps::sentence(steps[i].words)),
+                  steps[i].vt);
+      // log-before-ack: every acked injection above is already durable, so
+      // the kill can land immediately.
+      left.kill9();
+      left.reap();
+    }
+
+    // Tiered restart over the same stable storage.
+    NodeProc left(d.config_path, "left", durable_flags);
+    auto left_ctl = connect_or_die(d.left_control);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (left_ctl.metrics().restart_covered_records == 0) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "restarted left never reported a checkpoint-covered restart";
+      std::this_thread::sleep_for(5ms);
+    }
+    const auto lm = left_ctl.metrics();
+    EXPECT_EQ(lm.restart_covered_records, half)
+        << "restart should skip exactly the checkpoint-covered prefix";
+    EXPECT_EQ(lm.restart_suffix_records, kill_at - half)
+        << "restart should replay exactly the post-checkpoint suffix";
+
+    for (std::size_t i = kill_at; i < steps.size(); ++i)
+      EXPECT_EQ(left_ctl.inject(steps[i].input, steps[i].vt,
+                                apps::sentence(steps[i].words)),
+                steps[i].vt);
+    ASSERT_TRUE(left_ctl.drain(30s)) << "restarted left never quiesced";
+    ASSERT_TRUE(right_ctl.drain(30s)) << "right never quiesced";
+    ckpt_out = fetch_outputs(right_ctl);
+
+    // The restarted node checkpoints again: durability survives recovery.
+    const auto ck2 = left_ctl.checkpoint();
+    EXPECT_TRUE(ck2.ok) << ck2.error;
+    EXPECT_EQ(ck2.covered_records, steps.size());
+
+    left_ctl.shutdown_node();
+    right_ctl.shutdown_node();
+    EXPECT_EQ(left.reap(), 0);
+    EXPECT_EQ(right.reap(), 0);
+  }
+  EXPECT_EQ(ckpt_out, expected)
+      << "output stream after checkpointed restart diverged from baseline";
+
+  // The surviving merger cannot tell a tiered restart from a full replay.
+  EXPECT_EQ(run_trace_diff(right_clean_trace, right_ckpt_trace), 0)
+      << "tart-trace diff --recovery flagged divergence after tiered restart";
+}

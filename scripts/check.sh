@@ -21,6 +21,12 @@ echo "== gateway bench smoke =="
 echo "== recovery bench smoke =="
 ./build/bench/bench_recovery --smoke
 
+# Migration smoke: one live round trip of a stateful component between
+# engines over loopback, asserting completion, a bounded blackout, and an
+# advancing placement epoch (docs/PLACEMENT.md).
+echo "== migration bench smoke =="
+./build/bench/bench_migration --smoke
+
 # Exposition lint: the Prometheus-conventions linter (obs::lint_exposition)
 # must pass both on synthetic pages (obs_test) and against a real gateway
 # scrape (gateway_test's MetricsAndHealthz). Run them by name so a filter

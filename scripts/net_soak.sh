@@ -2,7 +2,10 @@
 # Multi-process soak: repeatedly runs the two-process deployment test
 # (real tart-node processes over loopback TCP, SIGKILL + restart included)
 # to shake out timing-dependent bugs in the socket transport and the
-# recovery path. Each run also boots a live two-node deployment and
+# recovery path. A live-migration phase moves a stateful component
+# between engines mid-traffic over HTTP and asserts checkpoint-bounded
+# retention stays flat (docs/PLACEMENT.md). Each run also boots a live
+# two-node deployment and
 # scrapes /metrics + /status from both gateways mid-run with
 # `tart-obs --scrape` (lint-clean exposition, stall-attribution series
 # present, parsable wavefront JSON) and aggregates both control ports
@@ -216,8 +219,209 @@ EOF
   echo "== checkpoint restart clean =="
 }
 
+# Retained-message sum across all components on one node, from /metrics.
+# Empty (no gauge sweep yet) prints -1 so callers can poll.
+retained_sum() {
+  local addr="$1"
+  curl -fsS "http://$addr/metrics" | awk '
+    /^tart_component_retained_messages\{/ { sum += $2; seen = 1 }
+    END { print seen ? sum : -1 }'
+}
+
+# Messages dispatched to handlers on one node. /drain is off-limits in the
+# migration phase (draining closes external inputs for good, and the closed
+# flag would ride the slice to the target), so quiescence is observed via
+# this counter instead.
+processed_total() {
+  local addr="$1"
+  curl -fsS "http://$addr/metrics" \
+    | awk '/^tart_messages_processed_total/ {print int($2)}'
+}
+
+wait_processed() {
+  local addr="$1" want="$2" got=0
+  local i
+  for i in $(seq 1 100); do
+    got="$(processed_total "$addr")"
+    [[ -n "$got" && "$got" -ge "$want" ]] && return 0
+    sleep 0.1
+  done
+  echo "ERROR: node $addr processed $got messages, wanted >= $want" >&2
+  return 1
+}
+
+# Elastic-placement phase (docs/PLACEMENT.md): three nodes, live traffic.
+#   1. Checkpoint-bounded retention: the durable consumer checkpoints, the
+#      kCoverUpdate broadcast must trim the senders' output retention to
+#      zero — the memory-flatness guarantee.
+#   2. Live migration over HTTP: POST /migrate moves sender2 left->mid
+#      while a feeder keeps injecting; post-move injects to the old home
+#      must 307-redirect to the new one, and a second consumer checkpoint
+#      must bound retention at the component's NEW home.
+migration_phase() {
+  echo "== live migration + checkpoint-bounded retention =="
+  local dir
+  dir="$(mktemp -d)"
+  local ports=()
+  local i
+  for i in $(seq 0 8); do ports+=("$((20000 + RANDOM % 30000))"); done
+  local left_http="127.0.0.1:${ports[6]}" mid_http="127.0.0.1:${ports[7]}"
+  local right_http="127.0.0.1:${ports[8]}"
+  cat > "$dir/deploy.conf" <<EOF
+topology = wordcount
+param senders = 2
+partition left = 127.0.0.1:${ports[0]}
+control left = 127.0.0.1:${ports[1]}
+partition mid = 127.0.0.1:${ports[2]}
+control mid = 127.0.0.1:${ports[3]}
+partition right = 127.0.0.1:${ports[4]}
+control right = 127.0.0.1:${ports[5]}
+http left = $left_http
+http mid = $mid_http
+http right = $right_http
+place sender1 = left
+place sender2 = left
+place merger = right
+EOF
+  mkdir -p "$dir/left" "$dir/mid" "$dir/right"
+  ./build/src/tools/tart-node "$dir/deploy.conf" left \
+    --http="$left_http" --log-dir="$dir/left" > "$dir/left.out" 2>&1 &
+  local left_pid=$!
+  ./build/src/tools/tart-node "$dir/deploy.conf" mid \
+    --http="$mid_http" --log-dir="$dir/mid" > "$dir/mid.out" 2>&1 &
+  local mid_pid=$!
+  ./build/src/tools/tart-node "$dir/deploy.conf" right \
+    --http="$right_http" --log-dir="$dir/right" --durable \
+    > "$dir/right.out" 2>&1 &
+  local right_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $left_pid $mid_pid $right_pid 2>/dev/null || true; rm -rf '$dir'" \
+    RETURN
+
+  wait_healthy "$left_http"
+  wait_healthy "$mid_http"
+  wait_healthy "$right_http"
+
+  for i in $(seq 1 80); do
+    curl -fsS -X POST --data "mig$((i % 9))" -H 'Content-Type: text/plain' \
+      "http://$left_http/inject/sender$(((i % 2) + 1))" >/dev/null
+  done
+  wait_processed "$right_http" 80
+
+  # Memory-flatness gate #1: the senders hold retained output until the
+  # durable consumer's checkpoint cover arrives, then drop to zero.
+  local ck
+  ck="$(curl -fsS -X POST "http://$right_http/checkpoint")"
+  grep -q '"ok":true' <<<"$ck" || {
+    echo "ERROR: consumer checkpoint failed: $ck" >&2
+    return 1
+  }
+  local retained=-1
+  for i in $(seq 1 100); do
+    retained="$(retained_sum "$left_http")"
+    [[ "$retained" == "0" ]] && break
+    sleep 0.1
+  done
+  echo "retention after consumer checkpoint: left=$retained"
+  [[ "$retained" == "0" ]] || {
+    echo "ERROR: sender retention not trimmed by kCoverUpdate" >&2
+    return 1
+  }
+
+  # Live migration while traffic flows: sender2 moves left -> mid.
+  (
+    for i in $(seq 1 60); do
+      curl -fsS -X POST --data "bg$((i % 5))" -H 'Content-Type: text/plain' \
+        "http://$left_http/inject/sender1" >/dev/null || true
+    done
+  ) &
+  local feeder_pid=$!
+  local mig
+  mig="$(curl -fsS -X POST \
+    "http://$left_http/migrate?component=sender2&to=mid")"
+  echo "migrate: $mig"
+  grep -q '"ok":true' <<<"$mig" || {
+    echo "ERROR: live migration failed: $mig" >&2
+    return 1
+  }
+  wait "$feeder_pid" || true
+
+  # The old home redirects: -L follows the 307 (method+body preserved) to
+  # mid, which now owns sender2.
+  for i in $(seq 1 20); do
+    curl -fsS -L -X POST --data "post$((i % 3))" \
+      -H 'Content-Type: text/plain' \
+      "http://$left_http/inject/sender2" >/dev/null
+  done
+  wait_processed "$right_http" 160
+
+  local completed adopted
+  completed="$(curl -fsS "http://$left_http/metrics" \
+    | awk '/^tart_mig_completed_total/ {print int($2)}')"
+  adopted="$(curl -fsS "http://$mid_http/metrics" \
+    | awk '/^tart_mig_adopted_total/ {print int($2)}')"
+  echo "migration: completed=$completed adopted=$adopted"
+  [[ -n "$completed" && "$completed" -ge 1 ]] || {
+    echo "ERROR: source never counted the migration as completed" >&2
+    return 1
+  }
+  [[ -n "$adopted" && "$adopted" -ge 1 ]] || {
+    echo "ERROR: target never adopted the migrated component" >&2
+    return 1
+  }
+
+  # Memory-flatness gate #2: the cover bound must follow the component to
+  # its new home — mid's retention for sender2 trims on the next consumer
+  # checkpoint, so migrated components cannot leak retained output.
+  ck="$(curl -fsS -X POST "http://$right_http/checkpoint")"
+  grep -q '"ok":true' <<<"$ck" || {
+    echo "ERROR: second consumer checkpoint failed: $ck" >&2
+    return 1
+  }
+  retained=-1
+  for i in $(seq 1 100); do
+    retained="$(retained_sum "$mid_http")"
+    [[ "$retained" == "0" ]] && break
+    sleep 0.1
+  done
+  echo "retention at the new home after checkpoint: mid=$retained"
+  [[ "$retained" == "0" ]] || {
+    echo "ERROR: migrated component's retention not trimmed at new home" >&2
+    return 1
+  }
+
+  # SIGKILL the new owner. Its adoption is journaled, so the restarted
+  # node must come back owning sender2 (boot re-adopt) and keep serving
+  # redirected injects — the functional proof of single ownership.
+  kill -9 "$mid_pid"
+  wait "$mid_pid" 2>/dev/null || true
+  ./build/src/tools/tart-node "$dir/deploy.conf" mid \
+    --http="$mid_http" --log-dir="$dir/mid" > "$dir/mid2.out" 2>&1 &
+  mid_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $left_pid $mid_pid $right_pid 2>/dev/null || true; rm -rf '$dir'" \
+    RETURN
+  wait_healthy "$mid_http"
+  for i in $(seq 1 10); do
+    curl -fsS -L -X POST --data "rez$((i % 3))" \
+      -H 'Content-Type: text/plain' \
+      "http://$left_http/inject/sender2" >/dev/null
+  done
+  wait_processed "$right_http" 170
+  echo "new owner survived SIGKILL and kept serving sender2"
+
+  curl -fsS -X POST "http://$left_http/shutdown" >/dev/null || true
+  curl -fsS -X POST "http://$mid_http/shutdown" >/dev/null || true
+  curl -fsS -X POST "http://$right_http/shutdown" >/dev/null || true
+  wait "$left_pid" "$mid_pid" "$right_pid" 2>/dev/null || true
+  trap - RETURN
+  rm -rf "$dir"
+  echo "== migration + retention clean =="
+}
+
 scrape_phase
 checkpoint_phase
+migration_phase
 
 for i in $(seq 1 "$iters"); do
   echo "== soak iteration $i/$iters =="

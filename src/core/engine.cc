@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tart::core {
@@ -26,8 +27,13 @@ void Engine::add_component(ComponentId component) {
 }
 
 Engine::RunnerMap Engine::make_runners() const {
+  std::vector<ComponentId> placed;
+  {
+    const std::lock_guard<std::mutex> lk(map_mu_);
+    placed = placed_;
+  }
   RunnerMap runners;
-  for (const ComponentId c : placed_) {
+  for (const ComponentId c : placed) {
     runners.emplace(c, std::make_shared<ComponentRunner>(
                            topology_, c, config_, router_, fault_log_,
                            replica_, registry_, tracer_));
@@ -108,7 +114,7 @@ void Engine::crash() {
   // frames into this very engine).
   for (auto& [c, r] : dead) r->stop();
   if (tracer_ != nullptr) {
-    for (const ComponentId c : placed_)
+    for (const ComponentId c : components())
       tracer_->record(c, trace::TraceEventKind::kCrash, VirtualTime(-1),
                       WireId::invalid(), id_.value());
   }
@@ -188,8 +194,13 @@ std::shared_ptr<ComponentRunner> Engine::runner(ComponentId component) const {
 
 bool Engine::all_exhausted() const {
   if (crashed_.load()) return false;
-  const auto runners = pin_all();
-  if (runners.size() != placed_.size()) return false;
+  std::vector<std::shared_ptr<ComponentRunner>> runners;
+  {
+    const std::lock_guard<std::mutex> lk(map_mu_);
+    if (runners_.size() != placed_.size()) return false;
+    runners.reserve(runners_.size());
+    for (const auto& [c, r] : runners_) runners.push_back(r);
+  }
   for (const auto& r : runners)
     if (!r->exhausted()) return false;
   return true;
@@ -200,7 +211,58 @@ MetricsSnapshot Engine::metrics(ComponentId component) const {
   return r == nullptr ? MetricsSnapshot{} : r->metrics();
 }
 
-std::vector<ComponentId> Engine::components() const { return placed_; }
+std::vector<ComponentId> Engine::components() const {
+  const std::lock_guard<std::mutex> lk(map_mu_);
+  return placed_;
+}
+
+bool Engine::adopt_component(
+    ComponentId component, const std::optional<checkpoint::RestorePlan>& plan) {
+  if (crashed_.load()) return false;
+  {
+    const std::lock_guard<std::mutex> lk(map_mu_);
+    if (runners_.count(component) != 0) return false;
+  }
+  auto r = std::make_shared<ComponentRunner>(topology_, component, config_,
+                                             router_, fault_log_, replica_,
+                                             registry_, tracer_);
+  // Adoption IS recovery on a new node: the marker tells the trace differ
+  // (diff --recovery) which dispatch prefix the restored plan covers.
+  if (tracer_ != nullptr) {
+    const checkpoint::ComponentSnapshot* last =
+        plan ? (plan->deltas.empty() ? &plan->base : &plan->deltas.back())
+             : nullptr;
+    tracer_->record(component, trace::TraceEventKind::kRecoveryStart,
+                    last != nullptr ? last->vt : VirtualTime(-1),
+                    WireId::invalid(), last != nullptr ? last->version : 0);
+  }
+  r->restore_from(plan);
+  {
+    const std::lock_guard<std::mutex> lk(map_mu_);
+    if (!runners_.emplace(component, r).second) return false;  // raced adopt
+    placed_.push_back(component);
+  }
+  r->request_replays();
+  r->start();
+  return true;
+}
+
+std::optional<std::vector<ComponentRunner::SilenceUpdate>>
+Engine::evict_component(ComponentId component) {
+  std::shared_ptr<ComponentRunner> r;
+  {
+    const std::lock_guard<std::mutex> lk(map_mu_);
+    const auto it = runners_.find(component);
+    if (it == runners_.end()) return std::nullopt;
+    r = it->second;
+    runners_.erase(it);
+    placed_.erase(std::remove(placed_.begin(), placed_.end(), component),
+                  placed_.end());
+  }
+  // Join the scheduler thread with no lock held (it may be routing frames).
+  r->stop();
+  return r->seal_outputs();
+}
 
 void Engine::aggressive_loop() {
   std::unique_lock<std::mutex> lk(timer_mu_);

@@ -63,6 +63,23 @@ class Engine {
   /// engine will be asked to replay messages" (§II.F.3).
   void recover();
 
+  // --- Elastic placement (live migration; src/placement) -------------------
+
+  /// Adds a component to a RUNNING engine: builds its runner, restores it
+  /// from `plan` (nullopt = fresh), requests replays past the restored
+  /// positions and starts the scheduler thread — the recover() protocol,
+  /// scoped to one component. No-op (false) if the component is already
+  /// hosted or the engine is crashed.
+  bool adopt_component(ComponentId component,
+                       const std::optional<checkpoint::RestorePlan>& plan);
+
+  /// Removes a component from a RUNNING engine: stops its runner thread and
+  /// unhosts it. Returns the sealed output positions (published horizon +
+  /// next seq per wire) the departing node may promise as final silence, or
+  /// nullopt when the component is not hosted.
+  std::optional<std::vector<ComponentRunner::SilenceUpdate>> evict_component(
+      ComponentId component);
+
   [[nodiscard]] bool crashed() const { return crashed_.load(); }
   [[nodiscard]] EngineId id() const { return id_; }
 
@@ -95,8 +112,9 @@ class Engine {
   obs::Registry& registry_;
   trace::TraceRecorder* const tracer_;
 
+  /// Guarded by map_mu_ since live migration mutates it mid-run.
   std::vector<ComponentId> placed_;
-  mutable std::mutex map_mu_;  // guards runners_ only; never held across calls
+  mutable std::mutex map_mu_;  // guards runners_ + placed_; never held across calls
   RunnerMap runners_;
   std::atomic<bool> crashed_{false};
   std::atomic<bool> started_{false};

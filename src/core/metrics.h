@@ -96,6 +96,8 @@ namespace tart::core {
     "Injections across all commit rounds", SUM, 1.0)                          \
   X(gw_commit_batch_max, "tart_gw_commit_batch_max",                          \
     "Largest single group-commit round", MAX, 1.0)                            \
+  X(gw_redirects, "tart_gw_redirects_total",                                  \
+    "307 redirects to the input's current owner after migration", SUM, 1.0)   \
   X(ckpt_written, "tart_ckpt_written_total",                                  \
     "Durable checkpoint files written", SUM, 1.0)                             \
   X(ckpt_bytes, "tart_ckpt_bytes_total",                                      \
@@ -115,7 +117,30 @@ namespace tart::core {
   X(restart_covered_records, "tart_restart_covered_records",                  \
     "Log records the restart checkpoint covered (not replayed)", MAX, 1.0)    \
   X(restart_suffix_records, "tart_restart_suffix_records",                    \
-    "Log records replayed from the suffix at restart", MAX, 1.0)
+    "Log records replayed from the suffix at restart", MAX, 1.0)              \
+  X(net_msgs_in, "tart_net_msgs_in_total",                                    \
+    "Non-frame peer messages received (placement/stream/cover)", SUM, 1.0)    \
+  X(net_msgs_out, "tart_net_msgs_out_total",                                  \
+    "Non-frame peer messages sent (placement/stream/cover)", SUM, 1.0)        \
+  X(mig_started, "tart_mig_started_total",                                    \
+    "Live migrations initiated on this node as source", SUM, 1.0)             \
+  X(mig_completed, "tart_mig_completed_total",                                \
+    "Live migrations that reached cutover (source side)", SUM, 1.0)           \
+  X(mig_failed, "tart_mig_failed_total",                                      \
+    "Live migrations aborted or rolled back (source side)", SUM, 1.0)         \
+  X(mig_adopted, "tart_mig_adopted_total",                                    \
+    "Components adopted by this node as migration target", SUM, 1.0)          \
+  X(mig_evicted, "tart_mig_evicted_total",                                    \
+    "Components evicted from this node after cutover", SUM, 1.0)              \
+  X(mig_bytes_sent, "tart_mig_bytes_sent_total",                              \
+    "Checkpoint-slice bytes shipped to migration targets", SUM, 1.0)          \
+  X(mig_bytes_received, "tart_mig_bytes_received_total",                      \
+    "Checkpoint-slice bytes received as migration target", SUM, 1.0)          \
+  X(mig_updates_applied, "tart_mig_updates_applied_total",                    \
+    "Placement updates applied from peers (re-routes)", SUM, 1.0)             \
+  X(retention_trimmed_records, "tart_retention_trimmed_records_total",        \
+    "Retention-buffer records trimmed below the remote durable cover",        \
+    SUM, 1.0)
 
 #define TART_METRICS_SCALAR_FIELDS(X) \
   TART_METRICS_COMPONENT_FIELDS(X)    \

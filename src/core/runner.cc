@@ -634,6 +634,14 @@ void ComponentRunner::serve_control(const ControlMsg& msg) {
     force_full_checkpoint_ = true;
     capture_checkpoint();
     processed_since_checkpoint_ = 0;
+  } else if (const auto* trim = std::get_if<RetentionTrimCtl>(&msg)) {
+    const auto it = outputs_.find(trim->wire);
+    if (it != outputs_.end()) {
+      const std::size_t dropped =
+          it->second->retention.trim_below_seq(trim->below_seq);
+      if (trim->trimmed != nullptr && dropped > 0)
+        trim->trimmed->fetch_add(dropped, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -1008,6 +1016,17 @@ void ComponentRunner::request_replays() {
 
 // ---------------------------------------------------------------------------
 // Introspection
+
+std::vector<ComponentRunner::SilenceUpdate> ComponentRunner::seal_outputs()
+    const {
+  std::vector<SilenceUpdate> out;
+  out.reserve(outputs_.size());
+  for (const auto& [wid, o] : outputs_)
+    out.push_back(
+        SilenceUpdate{wid, VirtualTime(o->published.load()),
+                      o->next_seq.load()});
+  return out;
+}
 
 VirtualTime ComponentRunner::published_horizon(WireId wire) const {
   const auto it = outputs_.find(wire);

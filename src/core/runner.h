@@ -79,8 +79,19 @@ struct DupCallCtl {
 /// (src/durability). Full, so the replica's latest version is guaranteed
 /// to advance even if a delta would have been rejected.
 struct CheckpointNowCtl {};
-using ControlMsg =
-    std::variant<ReplayRequestCtl, StabilityCtl, DupCallCtl, CheckpointNowCtl>;
+/// Drops output retention on `wire` below `below_seq`: the remote
+/// consumer's durable checkpoint covers those messages, so no failover can
+/// ever replay-request them (checkpoint-bounded retention; the bound
+/// arrives in HELLO / kCoverUpdate frames).
+struct RetentionTrimCtl {
+  WireId wire;
+  std::uint64_t below_seq;
+  /// When set, the number of records dropped is added here (the runtime's
+  /// process-wide trim counter; surfaced as a metric).
+  std::atomic<std::uint64_t>* trimmed = nullptr;
+};
+using ControlMsg = std::variant<ReplayRequestCtl, StabilityCtl, DupCallCtl,
+                                CheckpointNowCtl, RetentionTrimCtl>;
 
 class ComponentRunner {
  public:
@@ -167,6 +178,11 @@ class ComponentRunner {
   /// published horizon advanced past the last push. Calling marks them
   /// pushed. Invoked by the engine's aggressive timer.
   [[nodiscard]] std::vector<SilenceUpdate> collect_silence_updates();
+
+  /// Every output wire's sealed position (published horizon + next seq).
+  /// Call only after stop(): the departing node of a live migration
+  /// promises this as its final silence on each wire it abandons.
+  [[nodiscard]] std::vector<SilenceUpdate> seal_outputs() const;
 
  private:
   friend class RunnerContext;

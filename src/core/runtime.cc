@@ -15,14 +15,17 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
       placement_(std::move(placement)),
       config_(std::move(config)),
       epoch_(std::chrono::steady_clock::now()) {
-  // Flight recorder, shared by every engine (see member comment). In a
-  // partitioned deployment only local components record (each node owns
-  // its own trace file), plus the net pseudo-component for link events.
+  // Flight recorder, shared by every engine (see member comment). EVERY
+  // component gets a stream — including ones currently placed remotely:
+  // live migration may adopt them here mid-run, and an unregistered
+  // component would record nothing. Unused streams stay empty and cost
+  // only their preallocated ring. The net pseudo-component carries link
+  // events in partitioned deployments.
   if (config_.trace.enabled) {
     std::vector<ComponentId> traced;
     traced.reserve(placement_.size() + 1);
     for (const auto& [component, engine] : placement_)
-      if (engine_is_local(engine)) traced.push_back(component);
+      traced.push_back(component);
     if (!config_.local_engines.empty()) traced.push_back(kNetTraceComponent);
     tracer_ =
         std::make_unique<trace::TraceRecorder>(config_.trace, traced);
@@ -39,6 +42,16 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
                                    tracer_.get()));
     }
     engines_.at(engine)->add_component(component);
+  }
+  // A node that starts with no components still needs its engine running —
+  // it may be the TARGET of a live migration and must be able to adopt.
+  for (const EngineId engine : config_.local_engines) {
+    if (!engines_.contains(engine)) {
+      engines_.emplace(engine, std::make_unique<Engine>(
+                                   engine, topology_, config_, *this,
+                                   fault_log_, replica_, registry_,
+                                   tracer_.get()));
+    }
   }
   // Stable storage: recover any previously persisted logs, then attach
   // write-through stores for this incarnation.
@@ -100,7 +113,7 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
   for (const auto& spec : topology_.wires()) {
     if (spec.kind == WireKind::kExternalInput &&
         engine_is_local(engine_of(spec.to))) {
-      auto adapter = std::make_unique<InputAdapter>();
+      auto adapter = std::make_shared<InputAdapter>();
       // Resume positions past anything recovered from stable storage
       // (next_seq, not size: compaction may have truncated a covered
       // prefix out of the retained log).
@@ -110,7 +123,7 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
     }
     if (spec.kind == WireKind::kExternalOutput &&
         engine_is_local(engine_of(spec.from)))
-      outputs_.emplace(spec.id, std::make_unique<OutputSink>());
+      outputs_.emplace(spec.id, std::make_shared<OutputSink>());
   }
   // Simulated links between engine pairs (local pairs only; cross-process
   // pairs are bridged by the real socket transport instead).
@@ -184,7 +197,10 @@ VirtualTime Runtime::real_now() const {
 }
 
 VirtualTime Runtime::inject(WireId input_wire, Payload payload) {
-  InputAdapter& in = *inputs_.at(input_wire);
+  const auto pinned = input_adapter(input_wire);
+  if (pinned == nullptr)
+    throw std::out_of_range("inject: wire has no local input adapter");
+  InputAdapter& in = *pinned;
   Message m;
   {
     const std::lock_guard<std::mutex> lk(in.mu);
@@ -211,7 +227,10 @@ VirtualTime Runtime::inject(WireId input_wire, Payload payload) {
 
 VirtualTime Runtime::inject_at(WireId input_wire, VirtualTime vt,
                                Payload payload) {
-  InputAdapter& in = *inputs_.at(input_wire);
+  const auto pinned = input_adapter(input_wire);
+  if (pinned == nullptr)
+    throw std::out_of_range("inject_at: wire has no local input adapter");
+  InputAdapter& in = *pinned;
   Message m;
   {
     const std::lock_guard<std::mutex> lk(in.mu);
@@ -248,14 +267,15 @@ std::vector<InjectResult> Runtime::try_inject_batch(
 
   // Adapters of every wire named by the batch, locked in WireId order (the
   // single-inject paths take one adapter lock at a time, so any consistent
-  // multi-lock order is deadlock-free against them).
-  std::map<WireId, InputAdapter*> adapters;
+  // multi-lock order is deadlock-free against them). Pinned shared_ptrs: a
+  // concurrent eviction may erase the map entry mid-batch.
+  std::map<WireId, std::shared_ptr<InputAdapter>> adapters;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const auto it = inputs_.find(requests[i].wire);
-    if (it == inputs_.end()) {
+    auto pinned = input_adapter(requests[i].wire);
+    if (pinned == nullptr) {
       results[i].status = InjectStatus::kUnknownWire;
     } else {
-      adapters.emplace(requests[i].wire, it->second.get());
+      adapters.emplace(requests[i].wire, std::move(pinned));
     }
   }
   std::vector<std::unique_lock<std::mutex>> guards;
@@ -316,7 +336,9 @@ std::vector<InjectResult> Runtime::try_inject_batch(
 }
 
 void Runtime::close_input(WireId input_wire) {
-  InputAdapter& in = *inputs_.at(input_wire);
+  const auto pinned = input_adapter(input_wire);
+  if (pinned == nullptr) return;  // not locally owned (anymore)
+  InputAdapter& in = *pinned;
   std::uint64_t seq;
   {
     const std::lock_guard<std::mutex> lk(in.mu);
@@ -329,31 +351,34 @@ void Runtime::close_input(WireId input_wire) {
 }
 
 void Runtime::close_all_inputs() {
-  for (auto& [wire, in] : inputs_) close_input(wire);
+  for (const WireId wire : external_input_wires()) close_input(wire);
 }
 
 void Runtime::subscribe(WireId output_wire, OutputCallback callback) {
-  OutputSink& sink = *outputs_.at(output_wire);
-  const std::lock_guard<std::mutex> lk(sink.mu);
-  sink.callback = std::move(callback);
+  const auto pinned = output_sink(output_wire);
+  if (pinned == nullptr)
+    throw std::out_of_range("subscribe: wire has no local output sink");
+  const std::lock_guard<std::mutex> lk(pinned->mu);
+  pinned->callback = std::move(callback);
 }
 
 std::vector<OutputRecord> Runtime::output_records(WireId output_wire) const {
-  const OutputSink& sink = *outputs_.at(output_wire);
-  const std::lock_guard<std::mutex> lk(sink.mu);
-  return sink.records;
+  const auto pinned = output_sink(output_wire);
+  if (pinned == nullptr) return {};
+  const std::lock_guard<std::mutex> lk(pinned->mu);
+  return pinned->records;
 }
 
 void Runtime::deliver_external_output(WireId wire,
                                       const transport::Frame& frame) {
   const auto* data = std::get_if<transport::DataFrame>(&frame);
   if (data == nullptr) return;  // silence to the external world is dropped
-  const auto it = outputs_.find(wire);
-  if (it == outputs_.end()) {  // output owned by a remote partition
+  const auto pinned = output_sink(wire);
+  if (pinned == nullptr) {  // output owned by a remote partition
     remote_frames_dropped_.fetch_add(1);
     return;
   }
-  OutputSink& sink = *it->second;
+  OutputSink& sink = *pinned;
   OutputCallback callback;
   OutputRecord record;
   {
@@ -375,12 +400,12 @@ void Runtime::deliver_external_output(WireId wire,
 
 void Runtime::handle_external_sender_frame(WireId wire,
                                            const transport::Frame& frame) {
-  const auto it = inputs_.find(wire);
-  if (it == inputs_.end()) {  // input owned by a remote partition
+  const auto pinned = input_adapter(wire);
+  if (pinned == nullptr) {  // input owned by a remote partition
     remote_frames_dropped_.fetch_add(1);
     return;
   }
-  InputAdapter& in = *it->second;
+  InputAdapter& in = *pinned;
   if (std::holds_alternative<transport::ProbeFrame>(frame)) {
     // A real-time source IS silent through "now": any future arrival will
     // be stamped with a later real time. Scripted sources (inject_at) have
@@ -427,7 +452,26 @@ void Runtime::handle_external_sender_frame(WireId wire,
 // Routing
 
 EngineId Runtime::engine_of(ComponentId component) const {
+  const std::shared_lock<std::shared_mutex> lk(placement_mu_);
   return placement_.at(component);
+}
+
+std::map<ComponentId, EngineId> Runtime::placement_snapshot() const {
+  const std::shared_lock<std::shared_mutex> lk(placement_mu_);
+  return placement_;
+}
+
+std::shared_ptr<Runtime::InputAdapter> Runtime::input_adapter(
+    WireId wire) const {
+  const std::shared_lock<std::shared_mutex> lk(io_mu_);
+  const auto it = inputs_.find(wire);
+  return it == inputs_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Runtime::OutputSink> Runtime::output_sink(WireId wire) const {
+  const std::shared_lock<std::shared_mutex> lk(io_mu_);
+  const auto it = outputs_.find(wire);
+  return it == outputs_.end() ? nullptr : it->second;
 }
 
 bool Runtime::engine_is_local(EngineId id) const {
@@ -582,7 +626,7 @@ std::size_t Runtime::retained_messages(ComponentId component) {
 
 MetricsSnapshot Runtime::total_metrics() const {
   MetricsSnapshot total;
-  for (const auto& [component, engine] : placement_) {
+  for (const auto& [component, engine] : placement_snapshot()) {
     if (!engine_is_local(engine)) continue;
     const MetricsSnapshot s = engines_.at(engine)->metrics(component);
     total += s;
@@ -616,6 +660,7 @@ MetricsSnapshot Runtime::total_metrics() const {
 // Durability (docs/RECOVERY.md)
 
 std::vector<WireId> Runtime::external_input_wires() const {
+  const std::shared_lock<std::shared_mutex> lk(io_mu_);
   std::vector<WireId> wires;
   wires.reserve(inputs_.size());
   for (const auto& [wire, adapter] : inputs_) wires.push_back(wire);
@@ -628,7 +673,7 @@ bool Runtime::force_component_checkpoints(std::chrono::milliseconds timeout) {
     std::uint64_t pre_version;
   };
   std::vector<Pending> pending;
-  for (const auto& [component, engine] : placement_) {
+  for (const auto& [component, engine] : placement_snapshot()) {
     if (!engine_is_local(engine)) continue;
     Engine& e = *engines_.at(engine);
     if (e.crashed()) continue;  // fail-stopped: nothing to capture
@@ -663,7 +708,7 @@ std::uint64_t Runtime::log_bytes_on_disk() const {
 
 StatusReport Runtime::status() const {
   StatusReport report;
-  for (const auto& [component, engine] : placement_) {
+  for (const auto& [component, engine] : placement_snapshot()) {
     if (!engine_is_local(engine)) continue;
     const auto runner = engines_.at(engine)->runner(component);
     if (runner == nullptr) {
@@ -678,6 +723,178 @@ StatusReport Runtime::status() const {
     report.components.push_back(runner->status());
   }
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic placement (live migration; src/placement)
+
+std::vector<WireId> Runtime::external_inputs_of(ComponentId c) const {
+  std::vector<WireId> wires;
+  for (const auto& spec : topology_.wires())
+    if (spec.kind == WireKind::kExternalInput && spec.to == c)
+      wires.push_back(spec.id);
+  return wires;
+}
+
+Runtime::ExternalInputState Runtime::external_input_state(WireId wire) const {
+  ExternalInputState st;
+  const auto pinned = input_adapter(wire);
+  if (pinned == nullptr) {
+    // No adapter (remote or already evicted): the log still knows the
+    // durable position, which is what a migration slice needs.
+    st.next_seq = message_log_.next_seq(wire);
+    st.last_vt = message_log_.last_vt(wire);
+    return st;
+  }
+  const std::lock_guard<std::mutex> lk(pinned->mu);
+  st.known = true;
+  st.next_seq = pinned->next_seq;
+  st.last_vt = pinned->last_vt;
+  st.closed = pinned->closed;
+  return st;
+}
+
+bool Runtime::component_is_local(ComponentId c) const {
+  return engine_is_local(engine_of(c));
+}
+
+bool Runtime::force_component_checkpoint(ComponentId c,
+                                         std::chrono::milliseconds timeout) {
+  const EngineId e = engine_of(c);
+  if (!engine_is_local(e)) return false;
+  const auto eit = engines_.find(e);
+  if (eit == engines_.end() || eit->second->crashed()) return false;
+  const auto runner = eit->second->runner(c);
+  if (runner == nullptr) return false;
+  const std::uint64_t pre = replica_.latest_version(c);
+  runner->enqueue_control(CheckpointNowCtl{});
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (replica_.latest_version(c) <= pre) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+std::optional<checkpoint::RestorePlan> Runtime::export_component_plan(
+    ComponentId c) {
+  return replica_.restore(c);
+}
+
+bool Runtime::adopt_component(ComponentId c, EngineId onto,
+                              const std::optional<checkpoint::RestorePlan>& plan,
+                              const std::vector<AdoptedInput>& inputs,
+                              std::string* error) {
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!engine_is_local(onto)) return fail("adopting engine is not local");
+  const auto eit = engines_.find(onto);
+  if (eit == engines_.end()) return fail("adopting engine does not exist");
+  if (eit->second->crashed()) return fail("adopting engine is crashed");
+  // Seed the external log with the shipped suffix before the new runner can
+  // request replays from it. Overlap with records already held (re-adoption,
+  // resumed delta rounds) is skipped by seq — append() demands order.
+  for (const AdoptedInput& in : inputs) {
+    if (message_log_.next_seq(in.wire) == 0 && in.base_seq > 0)
+      message_log_.set_base(in.wire, in.base_seq, in.base_vt);
+    for (const Message& m : in.records)
+      if (m.seq >= message_log_.next_seq(in.wire)) message_log_.append(m);
+  }
+  // Import the shipped plan so the local replica owns it from here on
+  // (delta checkpoints chain off it; durable checkpoints persist it).
+  if (plan.has_value()) replica_.import_plan(c, *plan);
+  // Routing flips first: replay requests the new runner issues must resolve
+  // against the local wires. Peers flip via the placement protocol, not
+  // this map.
+  {
+    const std::unique_lock<std::shared_mutex> lk(placement_mu_);
+    placement_[c] = onto;
+  }
+  // (Re)create the boundary adapters the component owns here now, resuming
+  // past whatever the freshly seeded log holds.
+  {
+    const std::unique_lock<std::shared_mutex> lk(io_mu_);
+    for (const auto& spec : topology_.wires()) {
+      if (spec.kind == WireKind::kExternalInput && spec.to == c &&
+          !inputs_.contains(spec.id)) {
+        auto adapter = std::make_shared<InputAdapter>();
+        adapter->next_seq = message_log_.next_seq(spec.id);
+        adapter->last_vt = message_log_.last_vt(spec.id);
+        inputs_.emplace(spec.id, std::move(adapter));
+      }
+      if (spec.kind == WireKind::kExternalOutput && spec.from == c &&
+          !outputs_.contains(spec.id))
+        outputs_.emplace(spec.id, std::make_shared<OutputSink>());
+    }
+  }
+  for (const AdoptedInput& in : inputs) {
+    if (!in.closed) continue;
+    if (const auto pinned = input_adapter(in.wire)) {
+      const std::lock_guard<std::mutex> lk(pinned->mu);
+      pinned->closed = true;
+    }
+  }
+  // The engine restores whatever the replica now holds (the imported plan,
+  // or the pre-eviction local state on a rollback), requests replays past
+  // the restored positions and starts the scheduler thread.
+  if (!eit->second->adopt_component(c, replica_.restore(c)))
+    return fail("component is already hosted on the adopting engine");
+  return true;
+}
+
+std::vector<Runtime::SealedOutput> Runtime::evict_component(
+    ComponentId c, EngineId new_owner) {
+  std::vector<SealedOutput> sealed;
+  const EngineId cur = engine_of(c);
+  if (engine_is_local(cur)) {
+    const auto eit = engines_.find(cur);
+    if (eit != engines_.end()) {
+      // Stops and joins the runner thread with NO runtime lock held — the
+      // thread may be routing frames through this very object right now.
+      if (const auto updates = eit->second->evict_component(c)) {
+        sealed.reserve(updates->size());
+        for (const auto& u : *updates)
+          sealed.push_back({u.wire, u.through, u.expected_seq});
+      }
+    }
+  }
+  {
+    const std::unique_lock<std::shared_mutex> lk(placement_mu_);
+    placement_[c] = new_owner;
+  }
+  // Drop the boundary adapters: external arrivals are the new owner's to
+  // timestamp and log from now on (the gateway redirects).
+  {
+    const std::unique_lock<std::shared_mutex> lk(io_mu_);
+    for (const auto& spec : topology_.wires()) {
+      if (spec.kind == WireKind::kExternalInput && spec.to == c)
+        inputs_.erase(spec.id);
+      if (spec.kind == WireKind::kExternalOutput && spec.from == c)
+        outputs_.erase(spec.id);
+    }
+  }
+  return sealed;
+}
+
+void Runtime::apply_placement(ComponentId c, EngineId engine) {
+  const std::unique_lock<std::shared_mutex> lk(placement_mu_);
+  placement_[c] = engine;
+}
+
+void Runtime::trim_retention_below(WireId wire, std::uint64_t below_seq) {
+  const auto& spec = topology_.wire(wire);
+  // External inputs are log-backed, not retention-backed; the checkpoint
+  // compaction path owns their trimming.
+  if (spec.kind == WireKind::kExternalInput || !spec.from.is_valid()) return;
+  const EngineId e = engine_of(spec.from);
+  if (!engine_is_local(e)) return;
+  const auto eit = engines_.find(e);
+  if (eit == engines_.end()) return;
+  if (const auto runner = eit->second->runner(spec.from))
+    runner->enqueue_control(
+        RetentionTrimCtl{wire, below_seq, &retention_trimmed_});
 }
 
 }  // namespace tart::core

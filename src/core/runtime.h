@@ -24,6 +24,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "checkpoint/replica.h"
@@ -206,6 +208,86 @@ class Runtime final : public FrameRouter {
   [[nodiscard]] log::DeterminismFaultLog& fault_log() { return fault_log_; }
   [[nodiscard]] checkpoint::ReplicaStore& replica() { return replica_; }
 
+  // --- Elastic placement (live migration; src/placement) -------------------
+
+  /// Everything a migration slice carries to re-create one external input
+  /// at the adopting node: the log base below the shipped suffix, plus the
+  /// suffix records themselves (appended to the local log, skipping seqs
+  /// already held — re-adoptions and resumed rounds overlap harmlessly).
+  struct AdoptedInput {
+    WireId wire;
+    std::uint64_t base_seq = 0;
+    VirtualTime base_vt{-1};
+    bool closed = false;
+    std::vector<Message> records;
+  };
+
+  /// An output wire's position at eviction: the final silence the departing
+  /// node may promise on the sealed wire (the adopter deterministically
+  /// continues from exactly this point).
+  struct SealedOutput {
+    WireId wire;
+    VirtualTime horizon{-1};
+    std::uint64_t next_seq = 0;
+  };
+
+  struct ExternalInputState {
+    bool known = false;  ///< an adapter exists locally
+    std::uint64_t next_seq = 0;
+    VirtualTime last_vt{-1};
+    bool closed = false;
+  };
+
+  /// External input wires feeding one component (migration slices ship the
+  /// log suffix per such wire).
+  [[nodiscard]] std::vector<WireId> external_inputs_of(ComponentId c) const;
+  [[nodiscard]] ExternalInputState external_input_state(WireId wire) const;
+  [[nodiscard]] bool component_is_local(ComponentId c) const;
+  /// Live owner of `component` (placement overrides applied; hot-path
+  /// shared-lock read).
+  [[nodiscard]] EngineId engine_of(ComponentId component) const;
+
+  /// Single-component FULL checkpoint barrier (the migration prepare and
+  /// seal points). False on timeout or when the component is not running.
+  bool force_component_checkpoint(ComponentId c,
+                                  std::chrono::milliseconds timeout);
+
+  /// The component's restore plan from the local replica (durable-boot
+  /// imports included); nullopt when the replica holds nothing.
+  [[nodiscard]] std::optional<checkpoint::RestorePlan> export_component_plan(
+      ComponentId c);
+
+  /// Makes `c` live on local engine `onto`: seeds the external log with the
+  /// shipped suffix, re-creates the boundary adapters, flips routing, and
+  /// runs the engine's single-component recovery (restore + request
+  /// replays + start). `plan` nullopt restores whatever the local replica
+  /// holds (rollback / repair path).
+  bool adopt_component(ComponentId c, EngineId onto,
+                       const std::optional<checkpoint::RestorePlan>& plan,
+                       const std::vector<AdoptedInput>& inputs,
+                       std::string* error);
+
+  /// Stops and unhosts a local component, drops its boundary adapters (the
+  /// gateway redirects external arrivals from then on) and flips routing to
+  /// `new_owner`. Returns the sealed output positions. Safe to call for a
+  /// non-local component (routing-only flip, empty result).
+  std::vector<SealedOutput> evict_component(ComponentId c, EngineId new_owner);
+
+  /// Routing-only placement override (the bystander path: neither adopting
+  /// nor evicting, just learning where a component lives now).
+  void apply_placement(ComponentId c, EngineId engine);
+
+  /// Trims the LOCAL sender's output retention on `wire` below `below_seq`
+  /// — the remote consumer's durable-checkpoint cover, which no failover
+  /// can ever replay-request again. No-op for external or non-local wires.
+  void trim_retention_below(WireId wire, std::uint64_t below_seq);
+
+  /// Records trimmed by trim_retention_below across all wires (monotone;
+  /// the host surfaces it as tart_retention_trimmed_records_total).
+  [[nodiscard]] std::uint64_t retention_trimmed() const {
+    return retention_trimmed_.load(std::memory_order_relaxed);
+  }
+
   // --- Durability (docs/RECOVERY.md; active only in durable mode) ----------
 
   /// External input wires whose consumer is local — the wires a durable
@@ -301,15 +383,23 @@ class Runtime final : public FrameRouter {
   /// Routes a frame that must travel from engine `src` toward engine `dst`,
   /// through the pair's link when one is configured.
   void route(EngineId src, EngineId dst, WireId wire, transport::Frame frame);
-  [[nodiscard]] EngineId engine_of(ComponentId component) const;
   [[nodiscard]] VirtualTime real_now() const;
+  /// Pins the adapter/sink for a wire (nullptr when not locally owned);
+  /// shared_ptr so a concurrent eviction cannot free it mid-call.
+  [[nodiscard]] std::shared_ptr<InputAdapter> input_adapter(WireId wire) const;
+  [[nodiscard]] std::shared_ptr<OutputSink> output_sink(WireId wire) const;
+  [[nodiscard]] std::map<ComponentId, EngineId> placement_snapshot() const;
 
   Topology topology_;
+  /// Live placement: migration rewrites entries mid-run. Reads on the
+  /// routing hot path take the shared lock; only adopt/evict/apply mutate.
+  mutable std::shared_mutex placement_mu_;
   std::map<ComponentId, EngineId> placement_;
   RuntimeConfig config_;
 
   RemoteRouter remote_router_;
   std::atomic<std::uint64_t> remote_frames_dropped_{0};
+  std::atomic<std::uint64_t> retention_trimmed_{0};
 
   log::ExternalMessageLog message_log_;
   log::DeterminismFaultLog fault_log_;
@@ -338,8 +428,12 @@ class Runtime final : public FrameRouter {
   obs::Registry registry_;
 
   std::map<EngineId, std::unique_ptr<Engine>> engines_;
-  std::map<WireId, std::unique_ptr<InputAdapter>> inputs_;
-  std::map<WireId, std::unique_ptr<OutputSink>> outputs_;
+  /// Guards the MAP STRUCTURE of inputs_/outputs_ (adoption inserts,
+  /// eviction erases); the per-adapter mutexes still guard the values.
+  /// Values are shared_ptr so in-flight calls outlive a concurrent erase.
+  mutable std::shared_mutex io_mu_;
+  std::map<WireId, std::shared_ptr<InputAdapter>> inputs_;
+  std::map<WireId, std::shared_ptr<OutputSink>> outputs_;
   std::vector<std::unique_ptr<LinkBridge>> bridges_;
 
   std::chrono::steady_clock::time_point epoch_;

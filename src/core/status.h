@@ -54,11 +54,34 @@ struct ComponentStatus {
   std::vector<WireStatus> inputs;
 };
 
+/// Where one component lives right now (placement overrides applied).
+struct PlacementEntry {
+  std::uint32_t component = 0;  ///< ComponentId::value()
+  std::uint32_t engine = 0;     ///< EngineId::value() of the owner
+  std::uint64_t epoch = 0;      ///< 0 = static (config) placement
+};
+
+/// One in-flight live migration, as seen from this node (either side).
+struct MigrationStatus {
+  std::uint64_t epoch = 0;
+  std::uint32_t component = 0;
+  std::uint32_t from_engine = 0;
+  std::uint32_t to_engine = 0;
+  std::string stage;  ///< prepare/transfer/delta/cutover (source);
+                      ///< staged/adopt (target)
+};
+
 /// Point-in-time wavefront over every component placed on this runtime.
 /// Each component's entry is internally consistent (read under its runner
 /// lock); entries are mutually concurrent.
 struct StatusReport {
   std::vector<ComponentStatus> components;
+
+  // --- Placement control plane (filled by the net host; empty when the
+  // runtime is in-process and placement is static) --------------------------
+  std::uint64_t placement_epoch = 0;
+  std::vector<PlacementEntry> placement;
+  std::vector<MigrationStatus> migrations;
 };
 
 }  // namespace tart::core

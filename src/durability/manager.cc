@@ -8,11 +8,40 @@
 
 namespace tart::durability {
 
+namespace {
+
+/// Every input wire's checkpointed next-seq, from the newest snapshot in
+/// each plan. This — not just the external-wire cover list — is what
+/// remote senders need to bound their retention buffers: the consumer can
+/// never replay-request below its durably checkpointed position.
+std::map<WireId, std::uint64_t> cover_from_plans(
+    const std::map<ComponentId, checkpoint::RestorePlan>& plans) {
+  std::map<WireId, std::uint64_t> cover;
+  for (const auto& [component, plan] : plans) {
+    (void)component;
+    const checkpoint::ComponentSnapshot& last =
+        plan.deltas.empty() ? plan.base : plan.deltas.back();
+    for (const auto& in : last.inputs) {
+      auto [it, inserted] = cover.emplace(in.wire, in.next_seq);
+      if (!inserted && in.next_seq > it->second) it->second = in.next_seq;
+    }
+  }
+  return cover;
+}
+
+}  // namespace
+
 CheckpointManager::CheckpointManager(core::Runtime& runtime,
                                      DurabilityConfig config)
     : runtime_(runtime),
       config_(std::move(config)),
-      writer_(config_.dir, config_.keep_last) {}
+      writer_(config_.dir, config_.keep_last) {
+  // Seed the cover from the newest on-disk checkpoint so a restarted node
+  // advertises accurate bounds in its very first HELLO.
+  if (const auto newest =
+          CheckpointReader::load_newest(config_.dir, config_.deployment_fp))
+    latest_cover_ = cover_from_plans(newest->checkpoint.plans);
+}
 
 CheckpointManager::~CheckpointManager() { stop(); }
 
@@ -116,7 +145,28 @@ CheckpointStats CheckpointManager::checkpoint_now() {
   stats.id = c.id;
   stats.bytes = file_bytes;
   stats.covered_records = c.covered_record_index;
+
+  // Publish the fresh cover; peers bound their retention with it.
+  std::function<void(const std::map<WireId, std::uint64_t>&)> hook;
+  std::map<WireId, std::uint64_t> cover = cover_from_plans(c.plans);
+  {
+    const std::lock_guard<std::mutex> cover_lk(cover_mu_);
+    latest_cover_ = cover;
+    hook = on_checkpoint_;
+  }
+  if (hook) hook(cover);
   return stats;
+}
+
+std::map<WireId, std::uint64_t> CheckpointManager::latest_cover() const {
+  const std::lock_guard<std::mutex> lk(cover_mu_);
+  return latest_cover_;
+}
+
+void CheckpointManager::set_on_checkpoint(
+    std::function<void(const std::map<WireId, std::uint64_t>&)> fn) {
+  const std::lock_guard<std::mutex> lk(cover_mu_);
+  on_checkpoint_ = std::move(fn);
 }
 
 }  // namespace tart::durability

@@ -22,6 +22,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -70,6 +72,19 @@ class CheckpointManager {
     return failures_.load();
   }
 
+  /// Per-wire covered seq of the NEWEST durable checkpoint — every input
+  /// wire's next expected seq as the checkpointed plans recorded it (not
+  /// just external wires; cross-node senders bound their retention with
+  /// it). Seeded from disk at construction, refreshed on every successful
+  /// checkpoint_now. Empty until a checkpoint exists.
+  [[nodiscard]] std::map<WireId, std::uint64_t> latest_cover() const;
+
+  /// Fires after every SUCCESSFUL durable checkpoint, with the fresh cover
+  /// map, on the checkpointing thread. The host broadcasts kCoverUpdate to
+  /// peers and prunes superseded migration slices from it.
+  void set_on_checkpoint(
+      std::function<void(const std::map<WireId, std::uint64_t>&)> fn);
+
  private:
   void trigger_loop();
 
@@ -82,6 +97,10 @@ class CheckpointManager {
   std::atomic<std::uint64_t> written_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> failures_{0};
+
+  mutable std::mutex cover_mu_;
+  std::map<WireId, std::uint64_t> latest_cover_;
+  std::function<void(const std::map<WireId, std::uint64_t>&)> on_checkpoint_;
 
   std::mutex trigger_mu_;
   std::condition_variable trigger_cv_;

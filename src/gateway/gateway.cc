@@ -123,13 +123,16 @@ std::string render_payload(const Payload& payload) {
 Gateway::Gateway(core::Runtime* runtime, Options options,
                  std::map<std::string, WireId> inputs,
                  std::map<std::string, WireId> outputs, MetricsFn metrics_fn,
-                 std::function<void()> on_shutdown)
+                 std::function<void()> on_shutdown, RedirectFn redirect_fn,
+                 MigrateFn migrate_fn)
     : runtime_(runtime),
       options_(std::move(options)),
       inputs_(std::move(inputs)),
       outputs_(std::move(outputs)),
       metrics_fn_(std::move(metrics_fn)),
       on_shutdown_(std::move(on_shutdown)),
+      redirect_fn_(std::move(redirect_fn)),
+      migrate_fn_(std::move(migrate_fn)),
       // Ack latencies: 50us buckets to 250ms, overflow above (fsync-bound
       // tails on loaded disks land in the overflow bucket, still counted).
       ack_latency_(runtime->registry().histogram(
@@ -200,6 +203,7 @@ GatewayCounters Gateway::counters() const {
   c.acked = acked_.load();
   c.rejected = rejected_.load();
   c.errors = errors_.load();
+  c.redirects = redirects_.load();
   c.commit_batches = commit_batches_.load();
   c.commit_records = commit_records_.load();
   c.commit_batch_max = commit_batch_max_.load();
@@ -212,6 +216,7 @@ void Gateway::fill(core::MetricsSnapshot& snapshot) const {
   snapshot.gw_acked = c.acked;
   snapshot.gw_rejected = c.rejected;
   snapshot.gw_errors = c.errors;
+  snapshot.gw_redirects = c.redirects;
   snapshot.gw_commit_batches = c.commit_batches;
   snapshot.gw_commit_records = c.commit_records;
   snapshot.gw_commit_batch_max = c.commit_batch_max;
@@ -329,12 +334,14 @@ void Gateway::handle_request(std::uint64_t id, HttpRequest req) {
       respond(id, 405, {{"Allow", "POST"}}, "POST only\n", req.keep_alive);
       return;
     }
-    const auto it = inputs_.find(std::string(strip("/close/")));
+    const std::string name(strip("/close/"));
+    const auto it = inputs_.find(name);
     if (it == inputs_.end()) {
       errors_.fetch_add(1);
       respond(id, 404, {}, "unknown input\n", req.keep_alive);
       return;
     }
+    if (maybe_redirect(id, req, name)) return;
     runtime_->close_input(it->second);
     respond(id, 200, {}, "closed\n", req.keep_alive);
     return;
@@ -428,6 +435,15 @@ void Gateway::handle_request(std::uint64_t id, HttpRequest req) {
     });
     return;
   }
+  if (path == "/migrate") {
+    if (req.method != "POST") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "POST"}}, "POST only\n", req.keep_alive);
+      return;
+    }
+    handle_migrate(id, req);
+    return;
+  }
   if (path == "/shutdown") {
     if (req.method != "POST") {
       errors_.fetch_add(1);
@@ -476,6 +492,7 @@ void Gateway::handle_inject(std::uint64_t id, const HttpRequest& req,
     respond(id, 404, {}, "unknown input\n", req.keep_alive);
     return;
   }
+  if (maybe_redirect(id, req, input->first)) return;
   const WireId wire = input->second;
 
   std::int64_t vt = -1;
@@ -537,6 +554,7 @@ void Gateway::handle_outputs(std::uint64_t id, const HttpRequest& req,
     respond(id, 404, {}, "unknown output\n", req.keep_alive);
     return;
   }
+  if (maybe_redirect(id, req, output->first)) return;
   const auto params = parse_query(req.query);
   std::size_t after = 0;
   std::size_t max = 100000;
@@ -570,6 +588,85 @@ void Gateway::handle_outputs(std::uint64_t id, const HttpRequest& req,
   }
   const auto deadline = Clock::now() + std::chrono::milliseconds(wait_ms);
   poll_outputs(id, output->second, after, max, deadline, req.keep_alive);
+}
+
+bool Gateway::maybe_redirect(std::uint64_t id, const HttpRequest& req,
+                             const std::string& name) {
+  if (!redirect_fn_) return false;
+  const auto owner = redirect_fn_(name);
+  if (!owner) return false;  // wire is served here
+  if (owner->empty()) {
+    // Owner is another partition with no advertised http address: nothing
+    // to redirect to, and the wire is not observable from this node.
+    errors_.fetch_add(1);
+    respond(id, 404, {}, "served by another partition\n", req.keep_alive);
+    return true;
+  }
+  // 307 preserves method and body, so a redirected POST /inject retries
+  // verbatim at the owner; clients that already sit at the right node
+  // never see one. The target address is the owner's ADVERTISED http
+  // address (deployment `http` directive), tracked live as migrations
+  // re-home the wire.
+  std::string target = "http://" + *owner + req.path;
+  if (!req.query.empty()) target += "?" + req.query;
+  redirects_.fetch_add(1);
+  respond(id, 307, {{"Location", std::move(target)}},
+          "moved: input is served by " + *owner + "\n", req.keep_alive);
+  return true;
+}
+
+void Gateway::handle_migrate(std::uint64_t id, const HttpRequest& req) {
+  if (!migrate_fn_) {
+    errors_.fetch_add(1);
+    respond(id, 503, {}, "placement control is not enabled on this node\n",
+            req.keep_alive);
+    return;
+  }
+  const auto params = parse_query(req.query);
+  const auto component = query_param(params, "component");
+  const auto to = query_param(params, "to");
+  if (!component || component->empty() || !to || to->empty()) {
+    errors_.fetch_add(1);
+    respond(id, 400, {}, "need component= and to= query parameters\n",
+            req.keep_alive);
+    return;
+  }
+
+  // migrate blocks through checkpoint + transfer + cutover — never on the
+  // loop thread (same pattern as /drain and /checkpoint).
+  const auto conn_it = conns_.find(id);
+  Conn* c = conn_it->second.get();
+  c->awaiting = true;
+  loop_.set_interest(c->fd.get(), false, c->out_off < c->outbuf.size());
+  const bool keep = req.keep_alive;
+  const std::string comp(*component);
+  const std::string node(*to);
+  const std::lock_guard<std::mutex> lk(workers_mu_);
+  workers_.emplace_back([this, id, comp, node, keep] {
+    MigrateOutcome r;
+    try {
+      r = migrate_fn_(comp, node);
+    } catch (const std::exception& e) {
+      r.ok = false;
+      r.error = e.what();
+    }
+    loop_.post([this, id, r = std::move(r), keep] {
+      if (!conns_.contains(id)) return;
+      std::ostringstream body;
+      body << "{\"ok\":" << (r.ok ? "true" : "false")
+           << ",\"epoch\":" << r.epoch << ",\"slice_bytes\":" << r.slice_bytes
+           << ",\"delta_bytes\":" << r.delta_bytes
+           << ",\"record_count\":" << r.record_count
+           << ",\"transfer_ms\":" << r.transfer_ms
+           << ",\"blackout_ms\":" << r.blackout_ms;
+      if (!r.ok) body << ",\"error\":\"" << r.error << "\"";
+      body << "}\n";
+      if (!r.ok) errors_.fetch_add(1);
+      respond(id, r.ok ? 200 : 409, {{"Content-Type", "application/json"}},
+              body.str(), keep);
+      serve_next(id);
+    });
+  });
 }
 
 void Gateway::poll_outputs(std::uint64_t id, WireId wire, std::size_t after,

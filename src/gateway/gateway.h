@@ -20,6 +20,7 @@
 //   POST /close/<input>           promise silence forever
 //   POST /drain[?timeout_ms=N]    quiesce the runtime
 //   POST /checkpoint              force a durable checkpoint (RECOVERY.md)
+//   POST /migrate?component=C&to=NODE   live-migrate C (docs/PLACEMENT.md)
 //   POST /shutdown                ask the host process to exit
 //   GET  /outputs/<output>[?after=N&wait_ms=M&max=K]   drain/long-poll
 //   GET  /metrics                 Prometheus text exposition (obs registry)
@@ -61,9 +62,24 @@ struct GatewayCounters {
   std::uint64_t acked = 0;
   std::uint64_t rejected = 0;  ///< 429 admission rejections
   std::uint64_t errors = 0;    ///< other 4xx/5xx
+  std::uint64_t redirects = 0;  ///< 307s to an input's post-migration owner
   std::uint64_t commit_batches = 0;
   std::uint64_t commit_records = 0;
   std::uint64_t commit_batch_max = 0;
+};
+
+/// Result of a gateway-driven live migration (POST /migrate); mirrors
+/// placement::MigrationResult without making the gateway depend on the
+/// placement subsystem.
+struct MigrateOutcome {
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  std::uint64_t slice_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  std::uint64_t record_count = 0;
+  double transfer_ms = 0;
+  double blackout_ms = 0;
+  std::string error;
 };
 
 class Gateway {
@@ -90,15 +106,31 @@ class Gateway {
   /// its transport-inclusive snapshot); defaults to runtime totals.
   using MetricsFn = std::function<core::MetricsSnapshot()>;
 
+  /// Where an external input/output named `name` is served RIGHT NOW, when
+  /// that is not here: the advertised http address ("host:port") of the
+  /// current owner node, or nullopt to serve locally. Consulted per
+  /// request, so the answer tracks live migration — the host backs it
+  /// with the placement table. Null fn = always local (single node).
+  using RedirectFn =
+      std::function<std::optional<std::string>(const std::string& name)>;
+
+  /// Executes a live migration (blocking; called off the loop thread).
+  /// Null = placement control is not enabled on this node.
+  using MigrateFn = std::function<MigrateOutcome(
+      const std::string& component, const std::string& to_node)>;
+
   /// Binds and serves immediately. `inputs`/`outputs` map external names
-  /// to wires (pass only locally-adaptable ones in partitioned
-  /// deployments). Throws ConfigError when the listen address is bad or
-  /// taken. `on_shutdown` runs when a client POSTs /shutdown.
+  /// to wires. In partitioned deployments pass EVERY external wire plus a
+  /// `redirect_fn`: requests for wires owned elsewhere answer 307 toward
+  /// the current owner (live migration moves ownership mid-run). Throws
+  /// ConfigError when the listen address is bad or taken. `on_shutdown`
+  /// runs when a client POSTs /shutdown.
   Gateway(core::Runtime* runtime, Options options,
           std::map<std::string, WireId> inputs,
           std::map<std::string, WireId> outputs,
           MetricsFn metrics_fn = nullptr,
-          std::function<void()> on_shutdown = nullptr);
+          std::function<void()> on_shutdown = nullptr,
+          RedirectFn redirect_fn = nullptr, MigrateFn migrate_fn = nullptr);
   ~Gateway();
 
   Gateway(const Gateway&) = delete;
@@ -144,6 +176,11 @@ class Gateway {
                      std::string_view name);
   void handle_outputs(std::uint64_t id, const HttpRequest& req,
                       std::string_view name);
+  void handle_migrate(std::uint64_t id, const HttpRequest& req);
+  /// Answers 307 toward the current owner when `name` is served elsewhere
+  /// (redirect_fn_ says so); returns true when a redirect was sent.
+  bool maybe_redirect(std::uint64_t id, const HttpRequest& req,
+                      const std::string& name);
   void poll_outputs(std::uint64_t id, WireId wire, std::size_t after,
                     std::size_t max,
                     std::chrono::steady_clock::time_point deadline,
@@ -166,6 +203,8 @@ class Gateway {
   std::map<std::string, WireId> outputs_;
   MetricsFn metrics_fn_;
   std::function<void()> on_shutdown_;
+  RedirectFn redirect_fn_;
+  MigrateFn migrate_fn_;
 
   net::Fd listener_;
   std::uint16_t port_ = 0;
@@ -195,6 +234,7 @@ class Gateway {
   std::atomic<std::uint64_t> acked_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> redirects_{0};
   std::atomic<std::uint64_t> commit_batches_{0};
   std::atomic<std::uint64_t> commit_records_{0};
   std::atomic<std::uint64_t> commit_batch_max_{0};

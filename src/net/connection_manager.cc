@@ -14,10 +14,16 @@ constexpr std::chrono::seconds kPendingHelloTimeout{5};
 }  // namespace
 
 ConnectionManager::ConnectionManager(Options options, FrameHandler on_frame,
-                                     LinkHandler on_link)
+                                     LinkHandler on_link,
+                                     MessageHandler on_message,
+                                     HelloInfoHandler on_hello,
+                                     HelloFn hello_fn)
     : options_(std::move(options)),
       on_frame_(std::move(on_frame)),
       on_link_(std::move(on_link)),
+      on_message_(std::move(on_message)),
+      on_hello_(std::move(on_hello)),
+      hello_fn_(std::move(hello_fn)),
       jitter_(options_.tuning.jitter_seed) {
   for (const auto& [name, addr_spec] : options_.peers) {
     if (name == options_.node) continue;
@@ -68,8 +74,9 @@ void ConnectionManager::shutdown() {
   listener_.reset();
 }
 
-bool ConnectionManager::send(const std::string& peer_name,
-                             const transport::Frame& frame) {
+bool ConnectionManager::queue_toward(const std::string& peer_name,
+                                     std::vector<std::byte> bytes,
+                                     Peer::OutKind kind) {
   if (shut_down_.load()) return false;
   const auto it = peers_.find(peer_name);
   if (it == peers_.end()) {
@@ -83,18 +90,29 @@ bool ConnectionManager::send(const std::string& peer_name,
     return false;
   }
   peer->queued_frames.fetch_add(1);
-  // Serialize on the caller's thread (cheap parallelism); the loop thread
-  // only moves bytes.
-  auto bytes = encode_frame_message(frame);
-  loop_.post([this, peer, bytes = std::move(bytes)]() mutable {
+  loop_.post([this, peer, kind, bytes = std::move(bytes)]() mutable {
     if (!peer->fd.valid() || !peer->up.load()) {
       peer->queued_frames.fetch_sub(1);
       counters_.frames_refused.fetch_add(1);
       return;
     }
-    enqueue_bytes(*peer, std::move(bytes), /*is_frame=*/true);
+    enqueue_bytes(*peer, std::move(bytes), kind);
   });
   return true;
+}
+
+bool ConnectionManager::send(const std::string& peer_name,
+                             const transport::Frame& frame) {
+  // Serialize on the caller's thread (cheap parallelism); the loop thread
+  // only moves bytes.
+  return queue_toward(peer_name, encode_frame_message(frame),
+                      Peer::OutKind::kFrame);
+}
+
+bool ConnectionManager::send_message(const std::string& peer_name,
+                                     const NetMessage& msg) {
+  return queue_toward(peer_name, encode_message(msg.type, msg.payload),
+                      Peer::OutKind::kMessage);
 }
 
 bool ConnectionManager::peer_up(const std::string& peer_name) const {
@@ -108,6 +126,8 @@ NetCounters ConnectionManager::counters() const {
   c.bytes_out = counters_.bytes_out.load();
   c.frames_in = counters_.frames_in.load();
   c.frames_out = counters_.frames_out.load();
+  c.msgs_in = counters_.msgs_in.load();
+  c.msgs_out = counters_.msgs_out.load();
   c.connects = counters_.connects.load();
   c.reconnects = counters_.reconnects.load();
   c.heartbeat_misses = counters_.heartbeat_misses.load();
@@ -198,12 +218,13 @@ void ConnectionManager::on_pending_ready(int fd, unsigned events) {
   StreamDecoder decoder = std::move(conn.decoder);
   close_pending();
   adopt_connection(*peer_it->second, std::move(adopted), std::move(decoder),
-                   EventLoop::Clock::now());
+                   EventLoop::Clock::now(), std::move(hello));
 }
 
 void ConnectionManager::adopt_connection(Peer& peer, Fd fd,
                                          StreamDecoder decoder,
-                                         EventLoop::Clock::time_point last_recv) {
+                                         EventLoop::Clock::time_point last_recv,
+                                         HelloBody peer_hello) {
   // A replacement from a restarted peer kicks the stale socket.
   if (peer.fd.valid()) drop_connection(peer, "replaced by new connection");
   if (peer.reconnect_timer != 0) {
@@ -219,11 +240,19 @@ void ConnectionManager::adopt_connection(Peer& peer, Fd fd,
   const int raw = peer.fd.get();
   loop_.set_fd(raw, /*want_read=*/true, /*want_write=*/false,
                [this, p = &peer](unsigned events) { on_peer_ready(*p, events); });
-  HelloBody hello{options_.node, options_.deployment_fp};
-  enqueue_bytes(peer, encode_message(NetMsgType::kHello, hello.encode()),
-                /*is_frame=*/false);
-  peer.hello_sent = true;
+  send_hello(peer);
   mark_up(peer);
+  if (on_hello_) on_hello_(peer.name, peer_hello);
+}
+
+void ConnectionManager::send_hello(Peer& peer) {
+  HelloBody hello;
+  hello.node = options_.node;
+  hello.deployment_fp = options_.deployment_fp;
+  if (hello_fn_) hello_fn_(hello);
+  enqueue_bytes(peer, encode_message(NetMsgType::kHello, hello.encode()),
+                Peer::OutKind::kControl);
+  peer.hello_sent = true;
 }
 
 void ConnectionManager::start_dial(Peer& peer) {
@@ -271,10 +300,7 @@ void ConnectionManager::finish_connect(Peer& peer) {
     drop_connection(peer, "connect failed");
     return;
   }
-  HelloBody hello{options_.node, options_.deployment_fp};
-  enqueue_bytes(peer, encode_message(NetMsgType::kHello, hello.encode()),
-                /*is_frame=*/false);
-  peer.hello_sent = true;
+  send_hello(peer);
   update_interest(peer);
 }
 
@@ -299,7 +325,8 @@ void ConnectionManager::drop_connection(Peer& peer, const char* reason) {
   peer.decoder = StreamDecoder();
   if (!peer.outq.empty()) {
     std::size_t frames = 0;
-    for (const auto& buf : peer.outq) frames += buf.is_frame ? 1 : 0;
+    for (const auto& buf : peer.outq)
+      frames += buf.kind != Peer::OutKind::kControl ? 1 : 0;
     peer.queued_frames.fetch_sub(frames);
     peer.outq.clear();
   }
@@ -384,6 +411,7 @@ void ConnectionManager::handle_message(Peer& peer, NetMessage msg) {
       }
       peer.hello_received = true;
       if (peer.hello_sent) mark_up(peer);
+      if (on_hello_) on_hello_(peer.name, hello);
       return;
     }
     case NetMsgType::kHeartbeat:
@@ -404,19 +432,26 @@ void ConnectionManager::handle_message(Peer& peer, NetMessage msg) {
       return;
     }
     default:
-      // Control-protocol types never belong on a peer connection.
+      // Placement, migration-stream and cover traffic rides the peer
+      // connection as opaque messages; without a handler installed the type
+      // is unexpected and connection-fatal (the pre-placement behavior).
+      if (on_message_) {
+        counters_.msgs_in.fetch_add(1);
+        on_message_(peer.name, std::move(msg));
+        return;
+      }
       counters_.decode_errors.fetch_add(1);
       drop_connection(peer, "unexpected message type");
   }
 }
 
 void ConnectionManager::enqueue_bytes(Peer& peer, std::vector<std::byte> bytes,
-                                      bool is_frame) {
+                                      Peer::OutKind kind) {
   Peer::OutBuf buf;
   buf.bytes = std::move(bytes);
-  buf.is_frame = is_frame;
+  buf.kind = kind;
   peer.outq.push_back(std::move(buf));
-  if (is_frame) {
+  if (kind != Peer::OutKind::kControl) {
     const std::uint64_t depth = peer.queued_frames.load();
     std::uint64_t hwm = counters_.queue_high_water.load();
     while (depth > hwm &&
@@ -440,8 +475,12 @@ void ConnectionManager::flush_writes(Peer& peer) {
     counters_.bytes_out.fetch_add(static_cast<std::uint64_t>(n));
     front.offset += static_cast<std::size_t>(n);
     if (front.offset < front.bytes.size()) break;  // kernel buffer full
-    if (front.is_frame) {
-      counters_.frames_out.fetch_add(1);
+    if (front.kind != Peer::OutKind::kControl) {
+      if (front.kind == Peer::OutKind::kFrame) {
+        counters_.frames_out.fetch_add(1);
+      } else {
+        counters_.msgs_out.fetch_add(1);
+      }
       peer.queued_frames.fetch_sub(1);
     }
     peer.outq.pop_front();
@@ -472,7 +511,7 @@ void ConnectionManager::heartbeat_tick() {
       continue;
     }
     enqueue_bytes(*peer, encode_message(NetMsgType::kHeartbeat),
-                  /*is_frame=*/false);
+                  Peer::OutKind::kControl);
   }
   // Inbound connections that never said HELLO eventually expire.
   std::vector<int> stale;

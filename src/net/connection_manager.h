@@ -61,6 +61,8 @@ struct NetCounters {
   std::uint64_t bytes_out = 0;
   std::uint64_t frames_in = 0;   ///< transport frames (not heartbeats/hellos)
   std::uint64_t frames_out = 0;
+  std::uint64_t msgs_in = 0;   ///< non-frame peer messages (placement/stream)
+  std::uint64_t msgs_out = 0;
   std::uint64_t connects = 0;    ///< link-up transitions, first included
   std::uint64_t reconnects = 0;  ///< link-up transitions after a down
   std::uint64_t heartbeat_misses = 0;
@@ -78,6 +80,18 @@ class ConnectionManager {
       std::function<void(const std::string& peer, transport::Frame)>;
   /// Link up/down transitions; net thread.
   using LinkHandler = std::function<void(const std::string& peer, bool up)>;
+  /// Non-frame peer messages (placement updates, migration streams, cover
+  /// bounds); net thread, same blocking rules as FrameHandler.
+  using MessageHandler =
+      std::function<void(const std::string& peer, NetMessage msg)>;
+  /// A peer's HELLO arrived (fires on every connection incarnation, right
+  /// after the link-up event): carries its placement epoch, overrides and
+  /// durable cover bounds. Net thread.
+  using HelloInfoHandler =
+      std::function<void(const std::string& peer, const HelloBody& hello)>;
+  /// Fills the placement/cover advertisement into our outgoing HELLO
+  /// (node + deployment_fp are already set). Net thread.
+  using HelloFn = std::function<void(HelloBody& hello)>;
 
   struct Options {
     std::string node;    ///< our name
@@ -90,7 +104,9 @@ class ConnectionManager {
   };
 
   ConnectionManager(Options options, FrameHandler on_frame,
-                    LinkHandler on_link);
+                    LinkHandler on_link, MessageHandler on_message = nullptr,
+                    HelloInfoHandler on_hello = nullptr,
+                    HelloFn hello_fn = nullptr);
   ~ConnectionManager();
 
   ConnectionManager(const ConnectionManager&) = delete;
@@ -100,6 +116,12 @@ class ConnectionManager {
   /// down, its queue is full, or the manager is shut down; the frame is
   /// then dropped (counted) and the protocol's replay path recovers it.
   bool send(const std::string& peer, const transport::Frame& frame);
+
+  /// Queues a non-frame peer message (placement/stream/cover). Same
+  /// contract and queue bound as send(): refused — never blocked — when the
+  /// peer is down or the queue is full. Stream senders treat a refusal as
+  /// link loss and resume after reconnect.
+  bool send_message(const std::string& peer, const NetMessage& msg);
 
   [[nodiscard]] bool peer_up(const std::string& peer) const;
   /// Actual bound listen port (for configs with port 0). 0 if not listening.
@@ -129,10 +151,13 @@ class ConnectionManager {
     StreamDecoder decoder;
     EventLoop::Clock::time_point last_recv{};
 
+    /// Control = hello/heartbeat (not queue-bounded); frames and messages
+    /// both count against the per-peer queue bound.
+    enum class OutKind : std::uint8_t { kControl, kFrame, kMessage };
     struct OutBuf {
       std::vector<std::byte> bytes;
       std::size_t offset = 0;
-      bool is_frame = false;
+      OutKind kind = OutKind::kControl;
     };
     std::deque<OutBuf> outq;  // loop thread only
 
@@ -154,19 +179,27 @@ class ConnectionManager {
   void on_pending_ready(int fd, unsigned events);
   void finish_connect(Peer& peer);
   void adopt_connection(Peer& peer, Fd fd, StreamDecoder decoder,
-                        EventLoop::Clock::time_point last_recv);
+                        EventLoop::Clock::time_point last_recv,
+                        HelloBody peer_hello);
   void mark_up(Peer& peer);
   void drop_connection(Peer& peer, const char* reason);
   void handle_readable(Peer& peer);
   void handle_message(Peer& peer, NetMessage msg);
   void flush_writes(Peer& peer);
-  void enqueue_bytes(Peer& peer, std::vector<std::byte> bytes, bool is_frame);
+  void enqueue_bytes(Peer& peer, std::vector<std::byte> bytes,
+                     Peer::OutKind kind);
   void update_interest(Peer& peer);
+  void send_hello(Peer& peer);
   void heartbeat_tick();
+  bool queue_toward(const std::string& peer_name, std::vector<std::byte> bytes,
+                    Peer::OutKind kind);
 
   const Options options_;
   const FrameHandler on_frame_;
   const LinkHandler on_link_;
+  const MessageHandler on_message_;
+  const HelloInfoHandler on_hello_;
+  const HelloFn hello_fn_;
 
   EventLoop loop_;
   std::map<std::string, std::unique_ptr<Peer>> peers_;
@@ -186,6 +219,7 @@ class ConnectionManager {
   struct Counters {
     std::atomic<std::uint64_t> bytes_in{0}, bytes_out{0};
     std::atomic<std::uint64_t> frames_in{0}, frames_out{0};
+    std::atomic<std::uint64_t> msgs_in{0}, msgs_out{0};
     std::atomic<std::uint64_t> connects{0}, reconnects{0};
     std::atomic<std::uint64_t> heartbeat_misses{0}, frames_refused{0};
     std::atomic<std::uint64_t> decode_errors{0}, queue_high_water{0};

@@ -150,6 +150,21 @@ std::vector<std::byte> encode_status_body(const core::StatusReport& report) {
       w.write_bool(ws.blocking);
     }
   }
+  w.write_varint(report.placement_epoch);
+  w.write_varint(report.placement.size());
+  for (const core::PlacementEntry& e : report.placement) {
+    w.write_varint(e.component);
+    w.write_varint(e.engine);
+    w.write_varint(e.epoch);
+  }
+  w.write_varint(report.migrations.size());
+  for (const core::MigrationStatus& m : report.migrations) {
+    w.write_varint(m.epoch);
+    w.write_varint(m.component);
+    w.write_varint(m.from_engine);
+    w.write_varint(m.to_engine);
+    w.write_string(m.stage);
+  }
   return w.take();
 }
 
@@ -181,6 +196,27 @@ core::StatusReport decode_status_body(const std::vector<std::byte>& p) {
       c.inputs.push_back(std::move(ws));
     }
     report.components.push_back(std::move(c));
+  }
+  report.placement_epoch = r.read_varint();
+  const std::uint64_t np = r.read_varint();
+  report.placement.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    core::PlacementEntry e;
+    e.component = static_cast<std::uint32_t>(r.read_varint());
+    e.engine = static_cast<std::uint32_t>(r.read_varint());
+    e.epoch = r.read_varint();
+    report.placement.push_back(e);
+  }
+  const std::uint64_t nm = r.read_varint();
+  report.migrations.reserve(nm);
+  for (std::uint64_t i = 0; i < nm; ++i) {
+    core::MigrationStatus m;
+    m.epoch = r.read_varint();
+    m.component = static_cast<std::uint32_t>(r.read_varint());
+    m.from_engine = static_cast<std::uint32_t>(r.read_varint());
+    m.to_engine = static_cast<std::uint32_t>(r.read_varint());
+    m.stage = r.read_string();
+    report.migrations.push_back(std::move(m));
   }
   if (!r.at_end()) throw NetError("status body: trailing bytes");
   return report;
@@ -222,6 +258,52 @@ ObsPushBody ObsPushBody::decode(const std::vector<std::byte>& p) {
 #undef TART_NET_READ_FIELD
   b.samples = obs::decode_samples(r);
   if (!r.at_end()) throw NetError("obs-push body: trailing bytes");
+  return b;
+}
+
+std::vector<std::byte> MigrateBody::encode() const {
+  serde::Writer w;
+  w.write_string(component);
+  w.write_string(to_node);
+  return w.take();
+}
+
+MigrateBody MigrateBody::decode(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  MigrateBody b;
+  b.component = r.read_string();
+  b.to_node = r.read_string();
+  if (!r.at_end()) throw NetError("migrate body: trailing bytes");
+  return b;
+}
+
+std::vector<std::byte> MigrateResultBody::encode() const {
+  serde::Writer w;
+  w.write_bool(ok);
+  w.write_varint(epoch);
+  w.write_varint(slice_bytes);
+  w.write_varint(delta_bytes);
+  w.write_varint(record_count);
+  // Millisecond durations travel as whole microseconds (serde has no
+  // float); sub-microsecond truncation is noise at migration scale.
+  w.write_varint(static_cast<std::uint64_t>(transfer_ms * 1000.0));
+  w.write_varint(static_cast<std::uint64_t>(blackout_ms * 1000.0));
+  w.write_string(error);
+  return w.take();
+}
+
+MigrateResultBody MigrateResultBody::decode(const std::vector<std::byte>& p) {
+  serde::Reader r(p);
+  MigrateResultBody b;
+  b.ok = r.read_bool();
+  b.epoch = r.read_varint();
+  b.slice_bytes = r.read_varint();
+  b.delta_bytes = r.read_varint();
+  b.record_count = r.read_varint();
+  b.transfer_ms = static_cast<double>(r.read_varint()) / 1000.0;
+  b.blackout_ms = static_cast<double>(r.read_varint()) / 1000.0;
+  b.error = r.read_string();
+  if (!r.at_end()) throw NetError("migrate result body: trailing bytes");
   return b;
 }
 
@@ -358,6 +440,14 @@ CheckpointResultBody ControlClient::checkpoint() {
   const auto resp = request(NetMsgType::kCheckpoint, {});
   expect(resp, NetMsgType::kCheckpointAck, "checkpoint");
   return CheckpointResultBody::decode(resp.payload);
+}
+
+MigrateResultBody ControlClient::migrate(const std::string& component,
+                                         const std::string& to_node) {
+  const auto resp = request(NetMsgType::kMigrate,
+                            MigrateBody{component, to_node}.encode());
+  expect(resp, NetMsgType::kMigrateAck, "migrate");
+  return MigrateResultBody::decode(resp.payload);
 }
 
 void ControlClient::shutdown_node() {

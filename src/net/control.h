@@ -87,6 +87,32 @@ struct ObsPushBody {
   [[nodiscard]] static ObsPushBody decode(const std::vector<std::byte>& p);
 };
 
+/// kMigrate request: move a component (by topology name) to another
+/// partition (by node name). Sent to the SOURCE node's control address.
+struct MigrateBody {
+  std::string component;
+  std::string to_node;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static MigrateBody decode(const std::vector<std::byte>& p);
+};
+
+/// kMigrateAck: mirrors placement::MigrationResult.
+struct MigrateResultBody {
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  std::uint64_t slice_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  std::uint64_t record_count = 0;
+  double transfer_ms = 0;
+  double blackout_ms = 0;
+  std::string error;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static MigrateResultBody decode(
+      const std::vector<std::byte>& p);
+};
+
 /// Result of an on-demand durable checkpoint (kCheckpointAck): mirrors
 /// durability::CheckpointStats.
 struct CheckpointResultBody {
@@ -133,6 +159,11 @@ class ControlClient {
   /// Forces a durable checkpoint on the node (throws when durability is
   /// off; a failed attempt is returned with ok=false).
   [[nodiscard]] CheckpointResultBody checkpoint();
+  /// Live-migrates `component` to `to_node`. Sent to the current owner;
+  /// blocks until cutover (or failure). Throws only on transport errors —
+  /// a refused migration comes back with ok=false.
+  [[nodiscard]] MigrateResultBody migrate(const std::string& component,
+                                          const std::string& to_node);
   void shutdown_node();
 
   /// One raw round-trip (used by the helpers above).

@@ -1,6 +1,7 @@
 #include "net/host.h"
 
 #include <poll.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -62,9 +63,11 @@ NetHost::NetHost(DeploymentConfig deploy, const std::string& partition,
     if (options_.log_dir.empty())
       throw ConfigError("durability requires --log-dir");
     config.durability = options_.durability;
-    // Refuse a checkpoint written under a different deployment file: its
-    // wire ids would alias unrelated wires here.
-    config.durability.deployment_fp = deploy_.fingerprint();
+    // Refuse a checkpoint written under a different TOPOLOGY: its wire ids
+    // would alias unrelated wires here. Placement is deliberately excluded
+    // from this fingerprint — live migration moves components without
+    // invalidating checkpoints (docs/PLACEMENT.md).
+    config.durability.deployment_fp = deploy_.topology_fingerprint();
   }
   if (!options_.trace_path.empty()) {
     config.trace.enabled = true;
@@ -76,6 +79,39 @@ NetHost::NetHost(DeploymentConfig deploy, const std::string& partition,
   }
   runtime_ = std::make_unique<core::Runtime>(built_.topology, placement_,
                                              std::move(config));
+
+  // Placement control plane. The journal lives beside the external log so
+  // a SIGKILL mid-migration resolves ownership from disk at restart; a
+  // volatile node (no log_dir) keeps an in-memory table only.
+  placement::MigrationCoordinator::Options pc_options;
+  if (!options_.log_dir.empty()) {
+    pc_options.journal_dir = options_.log_dir + "/placement";
+    ::mkdir(options_.log_dir.c_str(), 0755);
+    ::mkdir(pc_options.journal_dir.c_str(), 0755);
+  }
+  pc_options.crash_at = options_.migrate_crash_at;
+  placement::MigrationCoordinator::Callbacks pc_cb;
+  pc_cb.send = [this](EngineId to, net::NetMessage msg) {
+    const auto it = partition_by_engine_.find(to);
+    if (it == partition_by_engine_.end() || !conn_) return false;
+    return conn_->send_message(it->second, msg);
+  };
+  pc_cb.broadcast = [this](net::NetMessage msg) {
+    if (!conn_) return;
+    for (const auto& p : deploy_.partitions)
+      if (p.name != self_->name) (void)conn_->send_message(p.name, msg);
+  };
+  pc_cb.on_ownership_changed = [this](ComponentId c, bool now_local) {
+    // The gateway consults redirect_for() per request, so nothing to
+    // refresh — this is the audit trail operators grep for.
+    TART_INFO << "placement: component "
+              << built_.topology.component(c).name
+              << (now_local ? " adopted by " : " evicted from ")
+              << self_->name;
+  };
+  coordinator_ = std::make_unique<placement::MigrationCoordinator>(
+      *runtime_, self_->engine, placement_, std::move(pc_options),
+      std::move(pc_cb));
 }
 
 NetHost::~NetHost() {
@@ -91,7 +127,10 @@ void NetHost::start() {
   conn_options.listen = self_->data_addr;
   for (const auto& p : deploy_.partitions)
     if (p.name != self_->name) conn_options.peers[p.name] = p.data_addr;
-  conn_options.deployment_fp = deploy_.fingerprint();
+  // The HELLO gate is the TOPOLOGY fingerprint: mismatched wire ids are a
+  // determinism violation, but divergent *placement* is expected mid-
+  // migration and reconciled by the epoch rules instead of refused.
+  conn_options.deployment_fp = deploy_.topology_fingerprint();
   conn_options.tuning = options_.tuning;
   // A peer that is already dialing can complete its handshake the moment
   // our listener binds — i.e. while this constructor call is still on the
@@ -106,7 +145,16 @@ void NetHost::start() {
       [this](const std::string& peer, bool up) {
         conn_ready_.wait(false);
         on_link(peer, up);
-      });
+      },
+      [this](const std::string& peer, NetMessage msg) {
+        conn_ready_.wait(false);
+        on_peer_message(peer, std::move(msg));
+      },
+      [this](const std::string& peer, const HelloBody& hello) {
+        conn_ready_.wait(false);
+        on_peer_hello(peer, hello);
+      },
+      [this](HelloBody& hello) { fill_hello(hello); });
 
   runtime_->set_remote_router(
       [this](EngineId dst, const transport::Frame& frame) {
@@ -130,6 +178,25 @@ void NetHost::start() {
 
   runtime_->start();
 
+  // Boot recovery order (docs/PLACEMENT.md): the migration journal decides
+  // ownership FIRST — re-adopting migrated-in components and discarding
+  // stale staged slices — so the catch-up replay below feeds exactly the
+  // components this node actually owns, and no peer ever sees a
+  // pre-recovery HELLO (placement callbacks park on the latch).
+  coordinator_->recover_from_journal();
+  placement_ready_.store(true);
+  placement_ready_.notify_all();
+
+  // Checkpoint-bounded retention: every durable checkpoint broadcasts its
+  // fresh per-wire cover so remote senders trim retention promptly (the
+  // HELLO carries the same bounds for peers that were down).
+  if (durability::CheckpointManager* mgr = runtime_->checkpoint_manager()) {
+    mgr->set_on_checkpoint(
+        [this](const std::map<WireId, std::uint64_t>& cover) {
+          if (!stopping_.load()) broadcast_cover(cover);
+        });
+  }
+
   // Tiered fast restart: consume the recovered log suffix (outputs
   // suppressed) before the gateway opens — new external traffic then lands
   // on a caught-up node (docs/RECOVERY.md).
@@ -146,29 +213,33 @@ void NetHost::start() {
   }
 
   if (!options_.http_addr.empty()) {
-    // Serve only what this partition can adapt: the input's receiver (or
-    // output's sender) must live on a local engine, because that is where
-    // the external-input adapter timestamps + logs (§II.E).
-    std::map<std::string, WireId> local_inputs;
-    for (const auto& [name, wire] : built_.inputs) {
-      const auto& spec = built_.topology.wire(wire);
-      if (runtime_->engine_is_local(placement_.at(spec.to)))
-        local_inputs[name] = wire;
-    }
-    std::map<std::string, WireId> local_outputs;
-    for (const auto& [name, wire] : built_.outputs) {
-      const auto& spec = built_.topology.wire(wire);
-      if (runtime_->engine_is_local(placement_.at(spec.from)))
-        local_outputs[name] = wire;
-    }
+    // Register EVERY external wire; per-request ownership is decided by
+    // redirect_for() against the LIVE placement table, because migration
+    // moves an input's adapter mid-run. A request for a wire served
+    // elsewhere answers 307 toward its current owner's advertised http
+    // address (deployment `http` directive).
     gateway::Gateway::Options gw_options;
     gw_options.listen = options_.http_addr;
     gw_options.group_commit = options_.http_group_commit;
     gw_options.exemplars = options_.http_exemplars;
     gateway_ = std::make_unique<gateway::Gateway>(
-        runtime_.get(), std::move(gw_options), std::move(local_inputs),
-        std::move(local_outputs), [this] { return metrics(); },
-        [this] { request_shutdown(); });
+        runtime_.get(), std::move(gw_options), built_.inputs, built_.outputs,
+        [this] { return metrics(); }, [this] { request_shutdown(); },
+        [this](const std::string& name) { return redirect_for(name); },
+        [this](const std::string& component, const std::string& to_node) {
+          const placement::MigrationResult r =
+              run_migration(component, to_node);
+          gateway::MigrateOutcome out;
+          out.ok = r.ok;
+          out.epoch = r.epoch;
+          out.slice_bytes = r.slice_bytes;
+          out.delta_bytes = r.delta_bytes;
+          out.record_count = r.record_count;
+          out.transfer_ms = r.transfer_ms;
+          out.blackout_ms = r.blackout_ms;
+          out.error = r.error;
+          return out;
+        });
   }
 
   if (!options_.sample_path.empty()) {
@@ -241,7 +312,21 @@ core::MetricsSnapshot NetHost::metrics() const {
     total.net_heartbeat_misses = c.heartbeat_misses;
     total.net_frames_refused = c.frames_refused;
     total.net_queue_high_water = c.queue_high_water;
+    total.net_msgs_in = c.msgs_in;
+    total.net_msgs_out = c.msgs_out;
   }
+  if (coordinator_) {
+    const placement::MigrationCounters m = coordinator_->counters();
+    total.mig_started = m.started;
+    total.mig_completed = m.completed;
+    total.mig_failed = m.failed;
+    total.mig_adopted = m.adopted;
+    total.mig_evicted = m.evicted;
+    total.mig_bytes_sent = m.bytes_sent;
+    total.mig_bytes_received = m.bytes_received;
+    total.mig_updates_applied = m.updates_applied;
+  }
+  total.retention_trimmed_records = runtime_->retention_trimmed();
   if (gateway_) gateway_->fill(total);
   return total;
 }
@@ -270,7 +355,8 @@ void NetHost::gauge_sweep() {
   const log::ExternalMessageLog& elog = runtime_->external_log();
   for (const auto& [name, wire] : built_.inputs) {
     const auto& spec = built_.topology.wire(wire);
-    if (!runtime_->engine_is_local(placement_.at(spec.to))) continue;
+    // Live placement, not the static config: migration re-homes inputs.
+    if (!runtime_->component_is_local(spec.to)) continue;
     reg.gauge("tart_external_log_messages",
               "External input messages retained in the replay log.",
               {{"input", name}})
@@ -361,6 +447,8 @@ void NetHost::on_link(const std::string& peer, bool up) {
                    VirtualTime(0), WireId::invalid(),
                    spec != nullptr ? spec->engine.value() : 0);
   }
+  if (spec != nullptr && !up && coordinator_)
+    coordinator_->on_peer_disconnected(spec->engine);
   if (up && spec != nullptr) probe_wires_behind(spec->engine);
 }
 
@@ -370,18 +458,126 @@ void NetHost::probe_wires_behind(EngineId peer_engine) {
   // peer makes the sender announce a fresh silence interval carrying its
   // data-tick count (§II.F.1); our receivers compare that count with what
   // they hold and request replay for the difference — the net layer never
-  // has to know *what* was lost.
+  // has to know *what* was lost. Routed by the LIVE placement (migration
+  // re-homes senders mid-run), not the static config map.
   for (const auto& spec : runtime_->topology().wires()) {
     if (!spec.from.is_valid() || !spec.to.is_valid()) continue;
-    const auto from_it = placement_.find(spec.from);
-    const auto to_it = placement_.find(spec.to);
-    if (from_it == placement_.end() || to_it == placement_.end()) continue;
-    if (from_it->second != peer_engine) continue;
-    if (!runtime_->engine_is_local(to_it->second)) continue;
+    if (runtime_->engine_of(spec.from) != peer_engine) continue;
+    if (!runtime_->component_is_local(spec.to)) continue;
     const auto peer_it = partition_by_engine_.find(peer_engine);
     if (peer_it == partition_by_engine_.end()) continue;
     (void)conn_->send(peer_it->second, transport::ProbeFrame{spec.id});
   }
+}
+
+// --- Placement control plane ------------------------------------------------
+
+void NetHost::on_peer_message(const std::string& peer, NetMessage msg) {
+  placement_ready_.wait(false);
+  const auto* spec = deploy_.find_partition(peer);
+  if (spec == nullptr) return;
+  if (msg.type == NetMsgType::kCoverUpdate) {
+    // The peer's durable checkpoint covers these positions: local senders
+    // can drop retention below them — no failover can request them again.
+    const CoverUpdateBody body = CoverUpdateBody::decode(msg.payload);
+    for (const WireCoverBound& b : body.covered)
+      runtime_->trim_retention_below(WireId(b.wire), b.covered_seq);
+    return;
+  }
+  (void)coordinator_->on_peer_message(spec->engine, msg);
+}
+
+void NetHost::on_peer_hello(const std::string& peer, const HelloBody& hello) {
+  placement_ready_.wait(false);
+  const auto* spec = deploy_.find_partition(peer);
+  if (spec == nullptr) return;
+  // Placement reconciliation: the higher epoch wins (docs/PLACEMENT.md);
+  // a node that missed a migration learns about it here. Then the cover
+  // bounds — a HELLO after a long partition carries the checkpoint cover
+  // kCoverUpdate broadcasts could not deliver.
+  coordinator_->on_peer_connected(spec->engine, hello.placement_epoch,
+                                  hello.moves);
+  for (const WireCoverBound& b : hello.covered)
+    runtime_->trim_retention_below(WireId(b.wire), b.covered_seq);
+}
+
+void NetHost::fill_hello(HelloBody& hello) {
+  placement_ready_.wait(false);
+  hello.placement_epoch = coordinator_->epoch();
+  hello.moves = coordinator_->overrides();
+  if (durability::CheckpointManager* mgr = runtime_->checkpoint_manager()) {
+    for (const auto& [wire, seq] : mgr->latest_cover())
+      if (seq > 0) hello.covered.push_back(WireCoverBound{wire.value(), seq});
+  }
+}
+
+void NetHost::broadcast_cover(const std::map<WireId, std::uint64_t>& cover) {
+  CoverUpdateBody body;
+  for (const auto& [wire, seq] : cover)
+    if (seq > 0) body.covered.push_back(WireCoverBound{wire.value(), seq});
+  if (!body.covered.empty() && conn_) {
+    const NetMessage msg{NetMsgType::kCoverUpdate, body.encode()};
+    for (const auto& p : deploy_.partitions)
+      if (p.name != self_->name) (void)conn_->send_message(p.name, msg);
+  }
+  // Staged migration slices at or below this checkpoint are superseded.
+  coordinator_->on_durable_checkpoint();
+}
+
+placement::MigrationResult NetHost::run_migration(
+    const std::string& component, const std::string& to_node) {
+  placement::MigrationResult r;
+  const auto comp = built_.components.find(component);
+  if (comp == built_.components.end()) {
+    r.error = "unknown component '" + component + "'";
+    return r;
+  }
+  const auto* part = deploy_.find_partition(to_node);
+  if (part == nullptr) {
+    r.error = "unknown partition '" + to_node + "'";
+    return r;
+  }
+  return coordinator_->migrate(comp->second, part->engine);
+}
+
+std::optional<std::string> NetHost::redirect_for(const std::string& name) {
+  ComponentId owner_component = ComponentId::invalid();
+  if (const auto in = built_.inputs.find(name); in != built_.inputs.end())
+    owner_component = built_.topology.wire(in->second).to;
+  else if (const auto out = built_.outputs.find(name);
+           out != built_.outputs.end())
+    owner_component = built_.topology.wire(out->second).from;
+  if (!owner_component.is_valid()) return std::nullopt;
+  const EngineId owner = runtime_->engine_of(owner_component);
+  if (runtime_->engine_is_local(owner)) return std::nullopt;
+  const auto peer_it = partition_by_engine_.find(owner);
+  // Remote owner with no advertised http address: empty string, which the
+  // gateway answers 404 ("served by another partition") — serving the wire
+  // locally would hand back misleading empty output streams.
+  if (peer_it == partition_by_engine_.end()) return std::string();
+  const auto* spec = deploy_.find_partition(peer_it->second);
+  if (spec == nullptr || spec->http_addr.empty()) return std::string();
+  return spec->http_addr;
+}
+
+core::StatusReport NetHost::status_with_placement() {
+  core::StatusReport report = runtime_->status();
+  report.placement_epoch = coordinator_->epoch();
+  std::map<std::uint32_t, std::uint64_t> epoch_of;
+  for (const PlacementMove& m : coordinator_->overrides())
+    epoch_of[m.component] = m.epoch;
+  for (const auto& [c, e] : coordinator_->placement_snapshot()) {
+    core::PlacementEntry entry;
+    entry.component = c.value();
+    entry.engine = e.value();
+    if (const auto it = epoch_of.find(c.value()); it != epoch_of.end())
+      entry.epoch = it->second;
+    report.placement.push_back(entry);
+  }
+  for (const placement::MigrationInfo& m : coordinator_->inflight())
+    report.migrations.push_back(core::MigrationStatus{
+        m.epoch, m.component.value(), m.from.value(), m.to.value(), m.stage});
+  return report;
 }
 
 // --- Control plane ----------------------------------------------------------
@@ -491,7 +687,22 @@ NetMessage NetHost::handle_control(const NetMessage& request) {
         return NetMessage{NetMsgType::kMetrics, encode_metrics_body(metrics())};
       case NetMsgType::kGetStatus:
         return NetMessage{NetMsgType::kStatus,
-                          encode_status_body(runtime_->status())};
+                          encode_status_body(status_with_placement())};
+      case NetMsgType::kMigrate: {
+        const MigrateBody body = MigrateBody::decode(request.payload);
+        const placement::MigrationResult r =
+            run_migration(body.component, body.to_node);
+        MigrateResultBody out;
+        out.ok = r.ok;
+        out.epoch = r.epoch;
+        out.slice_bytes = r.slice_bytes;
+        out.delta_bytes = r.delta_bytes;
+        out.record_count = r.record_count;
+        out.transfer_ms = r.transfer_ms;
+        out.blackout_ms = r.blackout_ms;
+        out.error = r.error;
+        return NetMessage{NetMsgType::kMigrateAck, out.encode()};
+      }
       case NetMsgType::kGetObs:
         return NetMessage{NetMsgType::kObs,
                           encode_obs_body(runtime_->registry().samples())};

@@ -37,6 +37,7 @@
 #include "net/control.h"
 #include "net/partition_config.h"
 #include "net/topologies.h"
+#include "placement/coordinator.h"
 
 namespace tart::net {
 
@@ -70,6 +71,10 @@ struct HostOptions {
   durability::DurabilityConfig durability;
   /// Upper bound on the start()-time catch-up replay.
   int catch_up_timeout_ms = 30000;
+  /// Live-migration fault injection: _exit(137) at this stage boundary
+  /// (prepare|transfer|delta|cutover-commit source-side, staged|adopt
+  /// target-side). Empty = no injection. Tests only.
+  std::string migrate_crash_at;
   NetTuning tuning;
 };
 
@@ -97,6 +102,10 @@ class NetHost {
 
   [[nodiscard]] core::Runtime& runtime() { return *runtime_; }
   [[nodiscard]] const BuiltTopology& built() const { return built_; }
+  /// Placement control plane (live migration). Always present.
+  [[nodiscard]] placement::MigrationCoordinator& coordinator() {
+    return *coordinator_;
+  }
   /// Runtime totals merged with the socket-transport counters.
   [[nodiscard]] core::MetricsSnapshot metrics() const;
   [[nodiscard]] std::uint16_t control_port() const { return control_port_; }
@@ -112,6 +121,20 @@ class NetHost {
   void on_peer_frame(const std::string& peer, transport::Frame frame);
   void on_link(const std::string& peer, bool up);
   void probe_wires_behind(EngineId peer_engine);
+
+  // Placement control plane (live migration; docs/PLACEMENT.md).
+  void on_peer_message(const std::string& peer, NetMessage msg);
+  void on_peer_hello(const std::string& peer, const HelloBody& hello);
+  void fill_hello(HelloBody& hello);
+  void broadcast_cover(const std::map<WireId, std::uint64_t>& cover);
+  [[nodiscard]] placement::MigrationResult run_migration(
+      const std::string& component, const std::string& to_node);
+  /// Advertised http address of the node serving external `name` right
+  /// now, or nullopt when that is this node (gateway 307 redirects).
+  [[nodiscard]] std::optional<std::string> redirect_for(
+      const std::string& name);
+  /// Status report with the placement-plane fields filled in.
+  [[nodiscard]] core::StatusReport status_with_placement();
 
   void control_accept_loop();
   void control_serve(Fd fd);
@@ -135,6 +158,11 @@ class NetHost {
   std::map<EngineId, std::string> partition_by_engine_;
 
   std::unique_ptr<core::Runtime> runtime_;
+  std::unique_ptr<placement::MigrationCoordinator> coordinator_;
+  /// Placement callbacks park on this until recover_from_journal() ran:
+  /// a peer's HELLO must never observe (or be answered with) pre-recovery
+  /// placement state.
+  std::atomic<bool> placement_ready_{false};
   std::unique_ptr<ConnectionManager> conn_;
   /// The manager's net thread can deliver frames / link-up callbacks the
   /// instant its listener binds — before make_unique even returns and

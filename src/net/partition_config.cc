@@ -38,6 +38,12 @@ const PartitionSpec* DeploymentConfig::partition_of_engine(EngineId id) const {
 }
 
 std::uint64_t DeploymentConfig::fingerprint() const {
+  // Combined form kept for operator-facing diagnostics; protocol checks use
+  // the topology/placement split below.
+  return topology_fingerprint() ^ (placement_fingerprint() * 0x9E3779B97F4A7C15ull);
+}
+
+std::uint64_t DeploymentConfig::topology_fingerprint() const {
   serde::Writer w;
   w.write_string(topology);
   w.write_varint(params.size());
@@ -49,9 +55,15 @@ std::uint64_t DeploymentConfig::fingerprint() const {
   for (const auto& p : partitions) {
     w.write_string(p.name);
     w.write_string(p.data_addr);
-    // control_addr deliberately excluded: it is node-operator plumbing, not
-    // part of the distributed protocol two peers must agree on.
+    // control_addr / http_addr deliberately excluded: node-operator
+    // plumbing, not part of the distributed protocol two peers must agree
+    // on. Placement is excluded too — it drifts under live migration.
   }
+  return serde::fingerprint(w.bytes());
+}
+
+std::uint64_t DeploymentConfig::placement_fingerprint() const {
+  serde::Writer w;
   w.write_varint(placement.size());
   for (const auto& [c, p] : placement) {
     w.write_string(c);
@@ -63,6 +75,7 @@ std::uint64_t DeploymentConfig::fingerprint() const {
 DeploymentConfig DeploymentConfig::parse(const std::string& text) {
   DeploymentConfig cfg;
   std::map<std::string, std::string> controls;  // partition -> control addr
+  std::map<std::string, std::string> https;     // partition -> http addr
   std::istringstream in(text);
   std::string raw;
   int lineno = 0;
@@ -96,13 +109,19 @@ DeploymentConfig DeploymentConfig::parse(const std::string& text) {
       if (!SockAddr::parse(value))
         fail(lineno, "bad address '" + value + "' (want host:port)");
       cfg.partitions.push_back(
-          PartitionSpec{name, value, "", EngineId::invalid()});
+          PartitionSpec{name, value, "", "", EngineId::invalid()});
     } else if (directive == "control") {
       if (name.empty()) fail(lineno, "'control' needs a partition name");
       if (!SockAddr::parse(value))
         fail(lineno, "bad address '" + value + "' (want host:port)");
       if (!controls.emplace(name, value).second)
         fail(lineno, "duplicate control for '" + name + "'");
+    } else if (directive == "http") {
+      if (name.empty()) fail(lineno, "'http' needs a partition name");
+      if (!SockAddr::parse(value))
+        fail(lineno, "bad address '" + value + "' (want host:port)");
+      if (!https.emplace(name, value).second)
+        fail(lineno, "duplicate http for '" + name + "'");
     } else if (directive == "place") {
       if (name.empty()) fail(lineno, "'place' needs a component name");
       if (!cfg.placement.emplace(name, value).second)
@@ -126,10 +145,18 @@ DeploymentConfig DeploymentConfig::parse(const std::string& text) {
       cfg.partitions[i].control_addr = it->second;
       controls.erase(it);
     }
+    if (const auto it = https.find(cfg.partitions[i].name);
+        it != https.end()) {
+      cfg.partitions[i].http_addr = it->second;
+      https.erase(it);
+    }
   }
   if (!controls.empty())
     throw ConfigError("control declared for unknown partition '" +
                       controls.begin()->first + "'");
+  if (!https.empty())
+    throw ConfigError("http declared for unknown partition '" +
+                      https.begin()->first + "'");
   for (const auto& [component, partition] : cfg.placement)
     if (cfg.find_partition(partition) == nullptr)
       throw ConfigError("component '" + component +

@@ -12,6 +12,7 @@
 //   control  left   = 127.0.0.1:7201
 //   partition right = 127.0.0.1:7102
 //   control  right  = 127.0.0.1:7202
+//   http     right  = 127.0.0.1:7302   # optional: advertised gateway addr
 //   place sender1 = left
 //   place sender2 = left
 //   place merger  = right
@@ -49,6 +50,7 @@ struct PartitionSpec {
   std::string name;
   std::string data_addr;     ///< host:port the ConnectionManager listens on
   std::string control_addr;  ///< host:port the control server listens on
+  std::string http_addr;     ///< advertised HTTP gateway (for 307 redirects)
   EngineId engine;           ///< index in sorted-name order
 };
 
@@ -65,6 +67,20 @@ struct DeploymentConfig {
   /// FNV-1a over the canonical serialization (sorted, whitespace-free);
   /// identical files — and only identical deployments — agree.
   [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Topology-only fingerprint: topology + params + partition names/data
+  /// addresses, with placement EXCLUDED. Wire and engine ids are a pure
+  /// function of this subset, so two nodes that agree on it can exchange
+  /// frames safely even when their placement views have drifted apart
+  /// (live migration moves components without touching the config file).
+  /// This is the fingerprint the HELLO handshake enforces and the one
+  /// durable checkpoints are stamped with.
+  [[nodiscard]] std::uint64_t topology_fingerprint() const;
+
+  /// Placement-only fingerprint (component -> partition map). Informational:
+  /// carried for diagnostics, never a connection gate — see
+  /// docs/PLACEMENT.md for the epoch rules that reconcile drift.
+  [[nodiscard]] std::uint64_t placement_fingerprint() const;
 
   /// Parses the format above. Throws ConfigError with a line number on any
   /// malformed or inconsistent input (unknown directive, duplicate

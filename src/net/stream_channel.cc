@@ -1,0 +1,264 @@
+#include "net/stream_channel.h"
+
+#include <algorithm>
+
+namespace tart::net {
+
+// --- Bodies -----------------------------------------------------------------
+
+std::vector<std::byte> StreamOpenBody::encode() const {
+  serde::Writer w;
+  w.write_varint(stream_id);
+  w.write_varint(kind);
+  w.write_varint(total_bytes);
+  w.write_u32(blob_crc);
+  w.write_string(sender);
+  return w.take();
+}
+
+StreamOpenBody StreamOpenBody::decode(const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  StreamOpenBody b;
+  b.stream_id = r.read_varint();
+  b.kind = static_cast<std::uint32_t>(r.read_varint());
+  b.total_bytes = r.read_varint();
+  b.blob_crc = r.read_u32();
+  b.sender = r.read_string();
+  if (!r.at_end()) throw serde::DecodeError("trailing bytes after stream open");
+  return b;
+}
+
+std::vector<std::byte> StreamChunkBody::encode() const {
+  serde::Writer w;
+  w.write_varint(stream_id);
+  w.write_varint(offset);
+  w.write_bytes(bytes);
+  return w.take();
+}
+
+StreamChunkBody StreamChunkBody::decode(const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  StreamChunkBody b;
+  b.stream_id = r.read_varint();
+  b.offset = r.read_varint();
+  b.bytes = r.read_bytes();
+  if (!r.at_end())
+    throw serde::DecodeError("trailing bytes after stream chunk");
+  return b;
+}
+
+std::vector<std::byte> StreamAckBody::encode() const {
+  serde::Writer w;
+  w.write_varint(stream_id);
+  w.write_varint(received);
+  w.write_bool(accept);
+  w.write_string(error);
+  return w.take();
+}
+
+StreamAckBody StreamAckBody::decode(const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  StreamAckBody b;
+  b.stream_id = r.read_varint();
+  b.received = r.read_varint();
+  b.accept = r.read_bool();
+  b.error = r.read_string();
+  if (!r.at_end()) throw serde::DecodeError("trailing bytes after stream ack");
+  return b;
+}
+
+std::vector<std::byte> StreamCloseBody::encode() const {
+  serde::Writer w;
+  w.write_varint(stream_id);
+  w.write_bool(ok);
+  return w.take();
+}
+
+StreamCloseBody StreamCloseBody::decode(const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  StreamCloseBody b;
+  b.stream_id = r.read_varint();
+  b.ok = r.read_bool();
+  if (!r.at_end())
+    throw serde::DecodeError("trailing bytes after stream close");
+  return b;
+}
+
+// --- Sender -----------------------------------------------------------------
+
+StreamSender::StreamSender(std::uint64_t stream_id, std::uint32_t kind,
+                           std::string sender_node, std::vector<std::byte> blob,
+                           Options options)
+    : stream_id_(stream_id),
+      kind_(kind),
+      sender_node_(std::move(sender_node)),
+      blob_(std::move(blob)),
+      options_(options),
+      crc_(crc32(blob_)) {
+  if (options_.chunk_bytes == 0 || options_.chunk_bytes > kMaxNetPayload / 2)
+    options_.chunk_bytes = 256 * 1024;
+  if (options_.window <= 0) options_.window = 1;
+}
+
+std::optional<NetMessage> StreamSender::next_message() {
+  switch (state_) {
+    case State::kDone:
+    case State::kFailed:
+      return std::nullopt;
+    case State::kOpening: {
+      if (open_sent_) return std::nullopt;  // waiting for the open ack
+      open_sent_ = true;
+      StreamOpenBody open;
+      open.stream_id = stream_id_;
+      open.kind = kind_;
+      open.total_bytes = blob_.size();
+      open.blob_crc = crc_;
+      open.sender = sender_node_;
+      return NetMessage{NetMsgType::kStreamOpen, open.encode()};
+    }
+    case State::kStreaming: {
+      if (next_offset_ >= blob_.size()) {
+        // All bytes transmitted; wait for acks or move to close.
+        if (acked_ >= blob_.size()) {
+          state_ = State::kClosing;
+          return next_message();
+        }
+        return std::nullopt;
+      }
+      const std::uint64_t in_flight_chunks =
+          (next_offset_ - acked_ + options_.chunk_bytes - 1) /
+          options_.chunk_bytes;
+      if (in_flight_chunks >= static_cast<std::uint64_t>(options_.window))
+        return std::nullopt;
+      StreamChunkBody chunk;
+      chunk.stream_id = stream_id_;
+      chunk.offset = next_offset_;
+      const std::size_t n = std::min<std::size_t>(
+          options_.chunk_bytes, blob_.size() - next_offset_);
+      chunk.bytes.assign(blob_.begin() + static_cast<std::ptrdiff_t>(next_offset_),
+                         blob_.begin() +
+                             static_cast<std::ptrdiff_t>(next_offset_ + n));
+      next_offset_ += n;
+      return NetMessage{NetMsgType::kStreamChunk, chunk.encode()};
+    }
+    case State::kClosing: {
+      if (close_sent_) return std::nullopt;
+      close_sent_ = true;
+      state_ = State::kDone;
+      StreamCloseBody close;
+      close.stream_id = stream_id_;
+      close.ok = true;
+      return NetMessage{NetMsgType::kStreamClose, close.encode()};
+    }
+  }
+  return std::nullopt;
+}
+
+void StreamSender::on_ack(const StreamAckBody& ack) {
+  if (ack.stream_id != stream_id_) return;
+  if (state_ == State::kDone || state_ == State::kFailed) return;
+  if (!ack.accept) {
+    state_ = State::kFailed;
+    error_ = ack.error.empty() ? "stream refused by receiver" : ack.error;
+    return;
+  }
+  acked_ = std::max(acked_, ack.received);
+  if (state_ == State::kOpening) {
+    // The receiver's contiguous prefix is authoritative — on resume it may
+    // be ahead of 0, on a fresh open it is 0. Continue from there.
+    next_offset_ = std::min<std::uint64_t>(acked_, blob_.size());
+    state_ = State::kStreaming;
+  }
+  if (state_ == State::kStreaming && acked_ >= blob_.size())
+    state_ = State::kClosing;
+}
+
+void StreamSender::reopen() {
+  if (state_ == State::kDone || state_ == State::kFailed) return;
+  state_ = State::kOpening;
+  open_sent_ = false;
+  close_sent_ = false;
+  next_offset_ = acked_;
+}
+
+// --- Receiver ---------------------------------------------------------------
+
+std::optional<NetMessage> StreamReceiver::on_open(const StreamOpenBody& open) {
+  StreamAckBody ack;
+  ack.stream_id = open.stream_id;
+  if (admit_) {
+    if (std::string err = admit_(open); !err.empty()) {
+      ack.accept = false;
+      ack.error = std::move(err);
+      return NetMessage{NetMsgType::kStreamAck, ack.encode()};
+    }
+  }
+  auto it = streams_.find(open.stream_id);
+  if (it != streams_.end()) {
+    // Resume: same manifest continues; a changed manifest restarts.
+    Partial& p = it->second;
+    if (p.open.total_bytes != open.total_bytes ||
+        p.open.blob_crc != open.blob_crc || p.open.kind != open.kind) {
+      p = Partial{};
+      p.open = open;
+      p.blob.assign(open.total_bytes, std::byte{0});
+    }
+    ack.received = p.received;
+  } else {
+    Partial p;
+    p.open = open;
+    p.blob.assign(open.total_bytes, std::byte{0});
+    streams_.emplace(open.stream_id, std::move(p));
+    ack.received = 0;
+  }
+  return NetMessage{NetMsgType::kStreamAck, ack.encode()};
+}
+
+std::optional<NetMessage> StreamReceiver::on_chunk(
+    const StreamChunkBody& chunk) {
+  const auto it = streams_.find(chunk.stream_id);
+  if (it == streams_.end()) return std::nullopt;
+  Partial& p = it->second;
+  if (chunk.offset + chunk.bytes.size() > p.blob.size()) {
+    StreamAckBody ack;
+    ack.stream_id = chunk.stream_id;
+    ack.accept = false;
+    ack.error = "chunk overruns manifest size";
+    streams_.erase(it);
+    return NetMessage{NetMsgType::kStreamAck, ack.encode()};
+  }
+  std::copy(chunk.bytes.begin(), chunk.bytes.end(),
+            p.blob.begin() + static_cast<std::ptrdiff_t>(chunk.offset));
+  bytes_in_ += chunk.bytes.size();
+  // Only a chunk that extends the contiguous prefix advances `received`;
+  // out-of-order arrivals (possible only after a resume raced a stale
+  // chunk) are stored but not acknowledged past the gap.
+  if (chunk.offset <= p.received)
+    p.received = std::max(p.received, chunk.offset + chunk.bytes.size());
+  StreamAckBody ack;
+  ack.stream_id = chunk.stream_id;
+  ack.received = p.received;
+  return NetMessage{NetMsgType::kStreamAck, ack.encode()};
+}
+
+void StreamReceiver::on_close(const StreamCloseBody& close) {
+  const auto it = streams_.find(close.stream_id);
+  if (it == streams_.end()) return;
+  Partial p = std::move(it->second);
+  streams_.erase(it);
+  if (!close.ok) return;  // sender aborted; discard
+  if (p.received != p.open.total_bytes) return;  // truncated; discard
+  if (crc32(p.blob) != p.open.blob_crc) return;  // corrupt; discard
+  if (on_complete_) on_complete_(p.open, std::move(p.blob));
+}
+
+void StreamReceiver::abandon_from(const std::string& sender) {
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->second.open.sender == sender)
+      it = streams_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace tart::net

@@ -1,0 +1,175 @@
+// Chunked, CRC-protected, resumable blob transfer over the peer envelope.
+//
+// Migration ships checkpoint slices that can dwarf kMaxNetPayload, and the
+// per-peer send queues in net::ConnectionManager are deliberately bounded —
+// so large blobs travel as a *stream*: an open (manifest: kind, total size,
+// whole-blob CRC-32), a windowed run of chunks, cumulative acks, and a
+// close. The sender never has more than `window` unacked chunks in flight,
+// which keeps the transfer inside the existing queue bounds instead of
+// bypassing them.
+//
+// Resume: if the connection drops mid-transfer, the sender re-opens the
+// SAME stream id after reconnect; a receiver that kept partial state
+// answers the open with its current contiguous offset and the sender
+// continues from there — re-streaming only what was lost. The final close
+// verifies the whole-blob CRC, so a resume that spliced wrong bytes is
+// detected before delivery.
+//
+// Both ends are pure state machines (no sockets, no threads): callers feed
+// decoded bodies in and get bodies-to-send out, which is what makes the
+// protocol unit-testable byte-for-byte (tests/placement_test.cc) and lets
+// NetHost glue them to ConnectionManager::send_message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire_format.h"
+
+namespace tart::net {
+
+/// kStreamOpen: transfer manifest. `offset_hint` is 0 on a first open and
+/// the sender's believed resume point on a re-open (the receiver's ack
+/// overrides it either way).
+struct StreamOpenBody {
+  std::uint64_t stream_id = 0;
+  std::uint32_t kind = 0;  ///< application tag (placement::StreamKind)
+  std::uint64_t total_bytes = 0;
+  std::uint32_t blob_crc = 0;
+  std::string sender;  ///< node name, for logging/ownership checks
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static StreamOpenBody decode(
+      const std::vector<std::byte>& payload);
+};
+
+/// kStreamChunk: one contiguous run of bytes at `offset`.
+struct StreamChunkBody {
+  std::uint64_t stream_id = 0;
+  std::uint64_t offset = 0;
+  std::vector<std::byte> bytes;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static StreamChunkBody decode(
+      const std::vector<std::byte>& payload);
+};
+
+/// kStreamAck: cumulative. `received` is the receiver's contiguous prefix;
+/// `accept=false` aborts the stream (unknown kind, no space, ...).
+struct StreamAckBody {
+  std::uint64_t stream_id = 0;
+  std::uint64_t received = 0;
+  bool accept = true;
+  std::string error;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static StreamAckBody decode(
+      const std::vector<std::byte>& payload);
+};
+
+/// kStreamClose: sender's end-of-stream. `ok=false` means the sender
+/// aborted; the receiver discards partial state.
+struct StreamCloseBody {
+  std::uint64_t stream_id = 0;
+  bool ok = true;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static StreamCloseBody decode(
+      const std::vector<std::byte>& payload);
+};
+
+/// Sender half. Drive with next_message() until it returns nullopt, feeding
+/// every StreamAck back via on_ack(). `done()`/`failed()` report the
+/// terminal state; after a disconnect call reopen() and keep driving.
+class StreamSender {
+ public:
+  struct Options {
+    std::size_t chunk_bytes = 256 * 1024;
+    int window = 4;  ///< max unacked chunks in flight
+  };
+
+  StreamSender(std::uint64_t stream_id, std::uint32_t kind,
+               std::string sender_node, std::vector<std::byte> blob,
+               Options options);
+
+  /// Next envelope to transmit (open, chunk, or close), or nullopt when the
+  /// window is full / waiting for the final ack / terminal.
+  [[nodiscard]] std::optional<NetMessage> next_message();
+
+  /// Feed a decoded kStreamAck for this stream id.
+  void on_ack(const StreamAckBody& ack);
+
+  /// Reset in-flight accounting after a reconnect: the next next_message()
+  /// re-sends the open (with the acked offset as the resume hint).
+  void reopen();
+
+  [[nodiscard]] bool done() const { return state_ == State::kDone; }
+  [[nodiscard]] bool failed() const { return state_ == State::kFailed; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::uint64_t stream_id() const { return stream_id_; }
+  [[nodiscard]] std::uint64_t acked_bytes() const { return acked_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return blob_.size(); }
+
+ private:
+  enum class State { kOpening, kStreaming, kClosing, kDone, kFailed };
+
+  std::uint64_t stream_id_;
+  std::uint32_t kind_;
+  std::string sender_node_;
+  std::vector<std::byte> blob_;
+  Options options_;
+  std::uint32_t crc_;
+  State state_ = State::kOpening;
+  bool open_sent_ = false;
+  bool close_sent_ = false;
+  std::uint64_t next_offset_ = 0;  ///< next byte to transmit
+  std::uint64_t acked_ = 0;        ///< receiver's contiguous prefix
+  std::string error_;
+};
+
+/// Receiver half: reassembles streams by id, verifies the whole-blob CRC on
+/// close, and hands complete blobs to the completion callback. Keeps
+/// partial state across reconnects so a re-open resumes.
+class StreamReceiver {
+ public:
+  /// Called with (open manifest, blob) once a stream closes clean.
+  using CompletionFn =
+      std::function<void(const StreamOpenBody&, std::vector<std::byte>)>;
+  /// Admission check on open; return an error string to refuse.
+  using AdmitFn = std::function<std::string(const StreamOpenBody&)>;
+
+  explicit StreamReceiver(CompletionFn on_complete, AdmitFn admit = nullptr)
+      : on_complete_(std::move(on_complete)), admit_(std::move(admit)) {}
+
+  /// Feed a decoded stream envelope; returns the ack (or nullopt for
+  /// close-without-response). Unknown stream ids on chunk/close are
+  /// ignored — the peer's reopen will resynchronize.
+  std::optional<NetMessage> on_open(const StreamOpenBody& open);
+  std::optional<NetMessage> on_chunk(const StreamChunkBody& chunk);
+  void on_close(const StreamCloseBody& close);
+
+  /// Drops partial state for streams from `sender` (peer declared dead).
+  void abandon_from(const std::string& sender);
+
+  [[nodiscard]] std::size_t partial_streams() const { return streams_.size(); }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_in_; }
+
+ private:
+  struct Partial {
+    StreamOpenBody open;
+    std::vector<std::byte> blob;
+    std::uint64_t received = 0;  ///< contiguous prefix length
+  };
+
+  CompletionFn on_complete_;
+  AdmitFn admit_;
+  std::map<std::uint64_t, Partial> streams_;
+  std::uint64_t bytes_in_ = 0;
+};
+
+}  // namespace tart::net

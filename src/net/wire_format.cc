@@ -115,10 +115,61 @@ std::optional<NetMessage> StreamDecoder::next() {
   return msg;
 }
 
+namespace {
+
+void encode_moves(serde::Writer& w, const std::vector<PlacementMove>& moves) {
+  w.write_varint(moves.size());
+  for (const PlacementMove& m : moves) {
+    w.write_varint(m.component);
+    w.write_varint(m.engine);
+    w.write_varint(m.epoch);
+  }
+}
+
+std::vector<PlacementMove> decode_moves(serde::Reader& r) {
+  const auto n = r.read_varint();
+  std::vector<PlacementMove> moves;
+  moves.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PlacementMove m;
+    m.component = static_cast<std::uint32_t>(r.read_varint());
+    m.engine = static_cast<std::uint32_t>(r.read_varint());
+    m.epoch = r.read_varint();
+    moves.push_back(m);
+  }
+  return moves;
+}
+
+void encode_covers(serde::Writer& w, const std::vector<WireCoverBound>& covs) {
+  w.write_varint(covs.size());
+  for (const WireCoverBound& c : covs) {
+    w.write_varint(c.wire);
+    w.write_varint(c.covered_seq);
+  }
+}
+
+std::vector<WireCoverBound> decode_covers(serde::Reader& r) {
+  const auto n = r.read_varint();
+  std::vector<WireCoverBound> covs;
+  covs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WireCoverBound c;
+    c.wire = static_cast<std::uint32_t>(r.read_varint());
+    c.covered_seq = r.read_varint();
+    covs.push_back(c);
+  }
+  return covs;
+}
+
+}  // namespace
+
 std::vector<std::byte> HelloBody::encode() const {
   serde::Writer w;
   w.write_string(node);
   w.write_u64(deployment_fp);
+  w.write_varint(placement_epoch);
+  encode_moves(w, moves);
+  encode_covers(w, covered);
   return w.take();
 }
 
@@ -127,8 +178,45 @@ HelloBody HelloBody::decode(const std::vector<std::byte>& payload) {
   HelloBody h;
   h.node = r.read_string();
   h.deployment_fp = r.read_u64();
+  h.placement_epoch = r.read_varint();
+  h.moves = decode_moves(r);
+  h.covered = decode_covers(r);
   if (!r.at_end()) throw serde::DecodeError("trailing bytes after hello");
   return h;
+}
+
+std::vector<std::byte> PlacementUpdateBody::encode() const {
+  serde::Writer w;
+  w.write_varint(placement_epoch);
+  encode_moves(w, moves);
+  return w.take();
+}
+
+PlacementUpdateBody PlacementUpdateBody::decode(
+    const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  PlacementUpdateBody b;
+  b.placement_epoch = r.read_varint();
+  b.moves = decode_moves(r);
+  if (!r.at_end())
+    throw serde::DecodeError("trailing bytes after placement update");
+  return b;
+}
+
+std::vector<std::byte> CoverUpdateBody::encode() const {
+  serde::Writer w;
+  encode_covers(w, covered);
+  return w.take();
+}
+
+CoverUpdateBody CoverUpdateBody::decode(
+    const std::vector<std::byte>& payload) {
+  serde::Reader r(payload);
+  CoverUpdateBody b;
+  b.covered = decode_covers(r);
+  if (!r.at_end())
+    throw serde::DecodeError("trailing bytes after cover update");
+  return b;
 }
 
 }  // namespace tart::net

@@ -80,6 +80,27 @@ enum class NetMsgType : std::uint8_t {
   /// (CheckpointResultBody), or kError when durability is off.
   kCheckpoint = 34,
   kCheckpointAck = 35,
+
+  // Placement / live migration (peer protocol unless noted).
+  /// Epoch-stamped placement override broadcast (PlacementUpdateBody).
+  /// Stale epochs are ignored by the receiver.
+  kPlacementUpdate = 36,
+  /// Durable-checkpoint covered-seq bounds per external wire
+  /// (CoverUpdateBody); senders trim output retention below the bound.
+  kCoverUpdate = 37,
+  // Chunked, CRC-protected, resumable blob channel (net/stream_channel.h).
+  kStreamOpen = 38,
+  kStreamChunk = 39,
+  kStreamAck = 40,
+  kStreamClose = 41,
+  /// Migration cutover commit from source to target (MigrateCommitBody)
+  /// -> kMigrateCommitAck once the target has journaled adoption.
+  kMigrateCommit = 42,
+  kMigrateCommitAck = 43,
+  /// Control verb: move a component to another partition (MigrateBody)
+  /// -> kMigrateAck (MigrateResultBody) or kError.
+  kMigrate = 44,
+  kMigrateAck = 45,
 };
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the classic table-driven form.
@@ -128,13 +149,60 @@ class StreamDecoder {
   bool poisoned_ = false;
 };
 
+/// One placement override: a component that no longer lives where the
+/// deployment config says it does, stamped with the epoch that moved it.
+struct PlacementMove {
+  std::uint32_t component = 0;  ///< ComponentId::value()
+  std::uint32_t engine = 0;     ///< EngineId::value() of the new owner
+  std::uint64_t epoch = 0;      ///< placement epoch that applied this move
+};
+
+/// Durable-checkpoint coverage of one external wire at the sending node's
+/// consumer: retention below covered_seq can never be replayed again.
+struct WireCoverBound {
+  std::uint32_t wire = 0;  ///< WireId::value()
+  std::uint64_t covered_seq = 0;
+};
+
 /// Peer handshake body.
+///
+/// The fingerprint check is split (see docs/PLACEMENT.md): `deployment_fp`
+/// hashes only topology + params + partition data addresses and must match
+/// exactly — mismatched wire ids would alias unrelated wires. Placement is
+/// carried as an epoch plus explicit overrides and merely *synchronized*:
+/// a node that missed a migration learns about it here instead of being
+/// refused the connection.
 struct HelloBody {
   std::string node;
-  std::uint64_t deployment_fp = 0;  ///< config fingerprint; must match
+  std::uint64_t deployment_fp = 0;    ///< topology fingerprint; must match
+  std::uint64_t placement_epoch = 0;  ///< highest placement epoch applied
+  std::vector<PlacementMove> moves;   ///< overrides vs the config placement
+  std::vector<WireCoverBound> covered;  ///< durable coverage of local inputs
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   [[nodiscard]] static HelloBody decode(const std::vector<std::byte>& payload);
+};
+
+/// kPlacementUpdate broadcast: the same override list as HELLO carries,
+/// pushed eagerly when a migration commits.
+struct PlacementUpdateBody {
+  std::uint64_t placement_epoch = 0;
+  std::vector<PlacementMove> moves;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static PlacementUpdateBody decode(
+      const std::vector<std::byte>& payload);
+};
+
+/// kCoverUpdate: fresh durable-checkpoint coverage after a checkpoint
+/// completes, so remote senders can trim retention without waiting for the
+/// next reconnect.
+struct CoverUpdateBody {
+  std::vector<WireCoverBound> covered;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static CoverUpdateBody decode(
+      const std::vector<std::byte>& payload);
 };
 
 }  // namespace tart::net

@@ -1,0 +1,111 @@
+// Migration intent journal: crash-safe ownership records.
+//
+// Live migration is a distributed handoff; a SIGKILL can land between any
+// two of its stages. The journal is the local source of truth each node
+// consults at boot to answer ONE question: "which components do I own right
+// now, and is any handoff unresolved?" Records are appended with an fsync
+// before the corresponding protocol action takes effect, so the action is
+// never visible to peers without its record being durable:
+//
+//   source:  kIntent(E,c,from,to)  before anything is shipped
+//            kRelease(E,...)       after the target acknowledged adoption
+//            kAbort(E,...)         when the migration failed or was
+//                                  abandoned (restart with no adopted peer)
+//   target:  kStaged(E,...)        once the first slice landed complete
+//            kAdopt(E,...)         before activating the component
+//   anyone:  kApplied(E,c,->to)    a placement override learned from a peer
+//                                  (kPlacementUpdate / HELLO), journaled so
+//                                  routing survives a restart without peers
+//
+// Recovery rules (docs/PLACEMENT.md failure matrix):
+//   - kAdopt / kRelease / kApplied records are placement overrides; the
+//     highest epoch per component wins.
+//   - a kIntent without kRelease/kAbort is an *in-doubt* handoff: the
+//     source keeps ownership (deterministic re-execution makes a transient
+//     dual owner harmless) until a peer proves adoption at epoch >= E via
+//     HELLO/kPlacementUpdate, at which point kRelease is journaled; if the
+//     target instead denies adoption, kAbort is journaled.
+//   - a kStaged without kAdopt is discarded: the slice file is deleted and
+//     the target never owned the component.
+//
+// File format: length-prefixed serde records, each CRC-32-guarded, fsynced
+// per append. A torn tail (crash mid-append) is detected and dropped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tart::placement {
+
+enum class JournalRecordKind : std::uint8_t {
+  kIntent = 1,
+  kStaged = 2,
+  kAdopt = 3,
+  kRelease = 4,
+  kAbort = 5,
+  kApplied = 6,
+};
+
+struct JournalRecord {
+  JournalRecordKind kind = JournalRecordKind::kIntent;
+  std::uint64_t epoch = 0;
+  ComponentId component;
+  EngineId from;
+  EngineId to;
+};
+
+[[nodiscard]] const char* journal_kind_name(JournalRecordKind kind);
+
+/// What a journal scan recovers at boot.
+struct JournalRecovery {
+  std::vector<JournalRecord> records;  ///< valid prefix, in append order
+  std::uint64_t max_epoch = 0;
+  /// Placement overrides: adopt/release/applied records, highest epoch per
+  /// component. `to` is the owning engine.
+  std::vector<JournalRecord> overrides;
+  /// Source-side intents with no release/abort — ownership in doubt.
+  std::vector<JournalRecord> pending_intents;
+  /// Target-side staged records with no adopt — staged state to discard.
+  std::vector<JournalRecord> pending_staged;
+  /// Adopt records (the migration slice may still be needed at boot if no
+  /// later durable checkpoint covers the component).
+  std::vector<JournalRecord> adopted;
+};
+
+class MigrationJournal {
+ public:
+  /// `dir` empty -> records are accepted and dropped (volatile node).
+  explicit MigrationJournal(std::string dir);
+
+  /// Appends + fsyncs. Returns false when the write failed (callers must
+  /// treat this as a fatal migration error — never act without the record).
+  bool append(const JournalRecord& record);
+
+  [[nodiscard]] bool durable() const { return !dir_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Scans `dir`'s journal (missing file -> empty recovery).
+  [[nodiscard]] static JournalRecovery recover(const std::string& dir);
+
+  /// Path of the staged-slice blob for an epoch (written by the target
+  /// between kStaged and kAdopt so adoption survives a restart).
+  [[nodiscard]] static std::string slice_path(const std::string& dir,
+                                              std::uint64_t epoch);
+  /// Atomic write (tmp + fsync + rename). Returns false on failure.
+  [[nodiscard]] static bool write_slice_file(const std::string& path,
+                                             const std::vector<std::byte>& b);
+  [[nodiscard]] static std::optional<std::vector<std::byte>> read_slice_file(
+      const std::string& path);
+  static void remove_slice_files(const std::string& dir,
+                                 std::uint64_t below_epoch);
+
+ private:
+  std::string dir_;
+  std::string path_;
+};
+
+}  // namespace tart::placement

@@ -1,0 +1,64 @@
+// The unit of migration transfer: everything the target needs to adopt a
+// component, in one CRC-verified blob.
+//
+// A slice is self-describing recovery input, not live state: it carries the
+// component's RestorePlan (durable base checkpoint + deltas, exactly what a
+// failover replica would restore from) plus, for each external input wire
+// feeding the component, the log suffix the plan does NOT cover. Restoring
+// the plan and replaying the suffix deterministically reproduces the
+// component at the source's seal point — migration IS recovery, aimed at a
+// different node (docs/PLACEMENT.md).
+//
+// Two slices travel per migration: the bulk slice (full plan + suffix at
+// prepare time, streamed while the source keeps serving) and the delta
+// slice (fresh deltas + records accrued during the transfer, shipped after
+// the source seals). Both use this codec; `is_delta` flags the second.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "checkpoint/replica.h"
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "wire/message.h"
+
+namespace tart::placement {
+
+/// StreamOpenBody.kind tags for migration streams.
+enum StreamKind : std::uint32_t {
+  kSliceBulk = 1,
+  kSliceDelta = 2,
+};
+
+/// One external input wire's log suffix: records with seq >= base_seq that
+/// the slice's plan does not cover, plus the base accounting the target
+/// needs for ExternalMessageLog::set_base.
+struct WireLogSlice {
+  WireId wire;
+  std::uint64_t base_seq = 0;  ///< first seq carried (plan covers below)
+  VirtualTime base_vt{-1};     ///< vt of the record below base_seq
+  bool closed = false;  ///< external source already closed at the site
+  std::vector<Message> records;
+};
+
+struct MigrationSlice {
+  std::uint64_t epoch = 0;
+  ComponentId component;
+  EngineId from;
+  EngineId to;
+  bool is_delta = false;
+  checkpoint::RestorePlan plan;
+  std::vector<WireLogSlice> inputs;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  /// nullopt on any framing/CRC-free decode error (the stream layer already
+  /// CRC-checked the blob; this guards version/shape mismatches).
+  [[nodiscard]] static std::optional<MigrationSlice> decode(
+      const std::vector<std::byte>& blob);
+
+  [[nodiscard]] std::uint64_t record_count() const;
+};
+
+}  // namespace tart::placement

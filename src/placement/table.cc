@@ -1,0 +1,52 @@
+#include "placement/table.h"
+
+#include <algorithm>
+
+namespace tart::placement {
+
+bool PlacementTable::apply(const net::PlacementMove& move) {
+  epoch_ = std::max(epoch_, move.epoch);
+  const ComponentId c(move.component);
+  const auto it = overrides_.find(c);
+  if (it != overrides_.end() && it->second.epoch >= move.epoch) return false;
+  // An override that restates the static placement still matters: its epoch
+  // outranks any earlier override (a component migrated away and back).
+  const EngineId current = engine_of(c);
+  overrides_[c] = move;
+  return EngineId(move.engine) != current;
+}
+
+std::vector<net::PlacementMove> PlacementTable::apply_all(
+    const std::vector<net::PlacementMove>& moves) {
+  std::vector<net::PlacementMove> changed;
+  for (const auto& m : moves)
+    if (apply(m)) changed.push_back(m);
+  return changed;
+}
+
+EngineId PlacementTable::engine_of(ComponentId c) const {
+  if (const auto it = overrides_.find(c); it != overrides_.end())
+    return EngineId(it->second.engine);
+  if (const auto it = static_.find(c); it != static_.end()) return it->second;
+  return EngineId::invalid();
+}
+
+std::uint64_t PlacementTable::epoch_of(ComponentId c) const {
+  const auto it = overrides_.find(c);
+  return it == overrides_.end() ? 0 : it->second.epoch;
+}
+
+std::vector<net::PlacementMove> PlacementTable::overrides() const {
+  std::vector<net::PlacementMove> out;
+  out.reserve(overrides_.size());
+  for (const auto& [c, m] : overrides_) out.push_back(m);
+  return out;
+}
+
+std::map<ComponentId, EngineId> PlacementTable::snapshot() const {
+  std::map<ComponentId, EngineId> out = static_;
+  for (const auto& [c, m] : overrides_) out[c] = EngineId(m.engine);
+  return out;
+}
+
+}  // namespace tart::placement

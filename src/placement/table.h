@@ -1,0 +1,61 @@
+// Epoch-guarded placement overrides on top of the static deployment map.
+//
+// The deployment file gives every node the SAME initial component->engine
+// map (epoch 0). Live migration moves components at runtime; each completed
+// move stamps the component with the move's epoch — a cluster-wide
+// monotonically increasing counter allocated by the migration source as
+// max(seen)+1. The table holds only the *overrides*; resolution order is
+// "override if present, else static placement".
+//
+// Convergence rule (the whole consistency story): for a given component,
+// the override with the HIGHEST epoch wins, everywhere. Overrides travel in
+// the HELLO handshake and in kPlacementUpdate broadcasts, and are journaled
+// (placement::MigrationJournal kApplied) so a restarted node routes
+// correctly before any peer reconnects. A node applying an override for a
+// component it currently runs knows it lost ownership; one applying an
+// override naming itself knows it must adopt. Stale frames routed by a
+// lagging peer are harmless — the receiving node drops non-local frames and
+// counts them, and the sender's own seq-gap replay machinery re-delivers
+// once routing converges (docs/PLACEMENT.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/wire_format.h"
+
+namespace tart::placement {
+
+class PlacementTable {
+ public:
+  /// `initial`: the static (epoch-0) placement from the deployment config.
+  explicit PlacementTable(std::map<ComponentId, EngineId> initial)
+      : static_(std::move(initial)) {}
+
+  /// Applies one override; returns true when it changed the table (epoch
+  /// higher than any existing override for the component).
+  bool apply(const net::PlacementMove& move);
+
+  /// Applies a batch; returns the moves that actually changed the table.
+  std::vector<net::PlacementMove> apply_all(
+      const std::vector<net::PlacementMove>& moves);
+
+  [[nodiscard]] EngineId engine_of(ComponentId c) const;
+  /// Epoch of the override governing `c` (0 when static placement rules).
+  [[nodiscard]] std::uint64_t epoch_of(ComponentId c) const;
+  /// Highest epoch applied so far (0 = pristine static placement).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// All overrides, for HELLO / kPlacementUpdate bodies.
+  [[nodiscard]] std::vector<net::PlacementMove> overrides() const;
+  /// Full resolved map (static + overrides), for status reporting.
+  [[nodiscard]] std::map<ComponentId, EngineId> snapshot() const;
+
+ private:
+  std::map<ComponentId, EngineId> static_;
+  std::map<ComponentId, net::PlacementMove> overrides_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace tart::placement

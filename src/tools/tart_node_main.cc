@@ -5,7 +5,8 @@
 //             [--sample=FILE] [--sample-interval-ms=N]
 //             [--gauge-interval-ms=N] [--push=ADDR[,INTERVALMS]]
 //             [--durable] [--checkpoint-interval-ms=N] [--checkpoint-bytes=N]
-//             [--checkpoint-keep=K] [--segment-bytes=N] [--verbose]
+//             [--checkpoint-keep=K] [--segment-bytes=N]
+//             [--migrate-crash-at=STAGE] [--verbose]
 //
 // Every node of a deployment runs this binary with the SAME config file and
 // its own partition name. The node builds the global topology, constructs
@@ -37,6 +38,14 @@
 // with outputs suppressed instead of a full cold replay. Checkpoints fire
 // on demand (control kCheckpoint / gateway POST /checkpoint) and, with
 // --checkpoint-interval-ms / --checkpoint-bytes, automatically.
+//
+// Live migration (docs/PLACEMENT.md): `tart-ctl migrate` / POST /migrate
+// moves a component to another node with the staged VT-barrier protocol.
+// --migrate-crash-at=STAGE is test-only fault injection: the process
+// _exit(137)s at that stage boundary (prepare|transfer|delta|
+// cutover-commit on the source, staged|adopt on the target) so the
+// SIGKILL matrix in tests/migration_process_test can prove the journal
+// leaves exactly one owner after restart.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -62,7 +71,8 @@ int usage() {
                "[--sample-interval-ms=N] [--gauge-interval-ms=N] "
                "[--push=ADDR[,INTERVALMS]] [--durable] "
                "[--checkpoint-interval-ms=N] [--checkpoint-bytes=N] "
-               "[--checkpoint-keep=K] [--segment-bytes=N] [--verbose]\n");
+               "[--checkpoint-keep=K] [--segment-bytes=N] "
+               "[--migrate-crash-at=STAGE] [--verbose]\n");
   return 2;
 }
 
@@ -153,6 +163,13 @@ int main(int argc, char** argv) {
           std::atoll(arg.c_str() + std::strlen("--segment-bytes=")));
       if (options.durability.segment_bytes == 0) {
         std::fprintf(stderr, "tart-node: bad --segment-bytes\n");
+        return usage();
+      }
+    } else if (arg.rfind("--migrate-crash-at=", 0) == 0) {
+      options.migrate_crash_at =
+          arg.substr(std::strlen("--migrate-crash-at="));
+      if (options.migrate_crash_at.empty()) {
+        std::fprintf(stderr, "tart-node: bad --migrate-crash-at\n");
         return usage();
       }
     } else if (arg == "--verbose") {

@@ -11,7 +11,10 @@
 // percentiles (all input wires of the component merged), curiosity probes,
 // and the estimator-error median. Components currently *held* by the
 // pessimistic merge are listed below the table with the wires blocking
-// them — the operator's answer to "why is nothing happening?".
+// them — the operator's answer to "why is nothing happening?". A
+// `placement:` section follows when the nodes run a placement plane:
+// component -> owning node, the placement epoch, and any live migration
+// in flight (docs/PLACEMENT.md).
 //
 // Counters SUM across nodes, gauges take the max (high-water semantics),
 // and histograms merge bucketwise (obs::merge_samples), so the table reads
@@ -51,6 +54,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "gateway/http_client.h"
@@ -282,9 +286,11 @@ std::string horizon_str(std::int64_t ticks) {
   return std::to_string(ticks);
 }
 
-void print_wavefront(const std::vector<StatusReport>& reports) {
+void print_wavefront(
+    const std::vector<std::pair<std::string, StatusReport>>& reports) {
   bool any = false;
-  for (const auto& report : reports) {
+  for (const auto& [addr, report] : reports) {
+    (void)addr;
     for (const ComponentStatus& c : report.components) {
       if (c.crashed) {
         std::printf("  %-16s CRASHED\n", c.name.c_str());
@@ -306,6 +312,65 @@ void print_wavefront(const std::vector<StatusReport>& reports) {
     }
   }
   if (!any) std::printf("  (no component is held; no node crashed)\n");
+}
+
+/// Live placement: where every component runs right now and any migration
+/// in flight. The table comes from the freshest node view (highest
+/// placement epoch — per-component epochs are synchronized, so any
+/// up-to-date node can speak for the deployment); the serving node of a
+/// component is inferred from which report lists it as local. Prints
+/// nothing for single-process runs where no placement plane exists.
+void print_placement(
+    const std::vector<std::pair<std::string, StatusReport>>& reports) {
+  const StatusReport* best = nullptr;
+  const std::string* best_addr = nullptr;
+  for (const auto& [addr, r] : reports) {
+    if (r.placement.empty() && r.migrations.empty()) continue;
+    if (best == nullptr || r.placement_epoch > best->placement_epoch) {
+      best = &r;
+      best_addr = &addr;
+    }
+  }
+  if (best == nullptr) return;
+
+  std::map<std::uint32_t, std::string> names;    // component id -> name
+  std::map<std::uint32_t, std::string> node_of;  // component id -> addr
+  for (const auto& [addr, r] : reports)
+    for (const ComponentStatus& c : r.components) {
+      names.emplace(c.id.value(), c.name);
+      node_of.emplace(c.id.value(), addr);
+    }
+
+  std::printf("placement: epoch=%llu (view of %s)\n",
+              static_cast<unsigned long long>(best->placement_epoch),
+              best_addr->c_str());
+  for (const auto& e : best->placement) {
+    const auto name_it = names.find(e.component);
+    const std::string name = name_it != names.end()
+                                 ? name_it->second
+                                 : "c" + std::to_string(e.component);
+    const auto node_it = node_of.find(e.component);
+    const std::string node =
+        node_it != node_of.end() ? node_it->second : "(not polled)";
+    std::string suffix;
+    if (e.epoch != 0)
+      suffix = "  moved @epoch " + std::to_string(e.epoch);
+    std::printf("  %-16s engine=%u  node=%s%s\n", name.c_str(), e.engine,
+                node.c_str(), suffix.c_str());
+  }
+  for (const auto& [addr, r] : reports)
+    for (const auto& m : r.migrations) {
+      const auto name_it = names.find(m.component);
+      const std::string name = name_it != names.end()
+                                   ? name_it->second
+                                   : "c" + std::to_string(m.component);
+      std::printf(
+          "  migrating %-16s engine %u -> %u  @epoch %llu  stage=%s "
+          "(seen by %s)\n",
+          name.c_str(), m.from_engine, m.to_engine,
+          static_cast<unsigned long long>(m.epoch), m.stage.c_str(),
+          addr.c_str());
+    }
 }
 
 /// One fleet-wide durability line: checkpoints taken, checkpoint-gated
@@ -352,7 +417,7 @@ int run_control_mode(const std::vector<std::string>& addrs, bool once,
 
     MetricsSnapshot total;
     std::vector<std::vector<tart::obs::Sample>> per_node;
-    std::vector<StatusReport> reports;
+    std::vector<std::pair<std::string, StatusReport>> reports;
     std::vector<std::string> down;
     std::size_t reachable = 0;
     for (const std::string& addr : addrs) {
@@ -365,7 +430,7 @@ int run_control_mode(const std::vector<std::string>& addrs, bool once,
       try {
         total += client->metrics();
         per_node.push_back(client->obs_samples());
-        reports.push_back(client->status());
+        reports.emplace_back(addr, client->status());
         ++reachable;
       } catch (const std::exception& e) {
         std::fprintf(stderr, "tart-obs: %s: %s\n", addr.c_str(), e.what());
@@ -409,6 +474,7 @@ int run_control_mode(const std::vector<std::string>& addrs, bool once,
     print_durability(total);
     std::printf("wavefront:\n");
     print_wavefront(reports);
+    print_placement(reports);
 
     if (series != nullptr) {
       const auto ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(

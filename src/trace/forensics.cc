@@ -84,46 +84,51 @@ struct WireSenderIndex {
 ForensicsReport analyze(const std::vector<Trace>& traces) {
   ForensicsReport report;
 
-  // Component streams across all nodes; a component lives in exactly one
-  // node's trace, so first-wins dedup is only defensive.
-  std::map<ComponentId, const ComponentTrace*> streams;
+  // Component streams across all nodes. A component can appear in more
+  // than one node's trace: every node registers a (usually silent) stream
+  // for each component it could adopt, and a migrated component records on
+  // both its old and its new home. Concatenate instead of deduping — each
+  // home's substream stays contiguous, so the positional begin/resolved/
+  // blame pairing below still matches within the home that recorded it.
+  std::map<ComponentId, std::vector<const TraceEvent*>> streams;
   for (const Trace& t : traces)
     for (const ComponentTrace& ct : t.components)
-      streams.emplace(ct.component, &ct);
+      for (const TraceEvent& e : ct.events)
+        streams[ct.component].push_back(&e);
 
   // Sender-side index per wire. Wire ids are deployment-global, so this is
   // exactly the cross-node (wire, seq) correlation: a cut wire's emits
   // live in the remote node's trace and land in the same index.
   std::map<WireId, WireSenderIndex> by_wire;
-  for (const auto& [cid, ct] : streams) {
-    for (const TraceEvent& e : ct->events) {
-      if (e.kind == TraceEventKind::kEmit) {
-        auto& idx = by_wire[e.wire];
+  for (const auto& [cid, events] : streams) {
+    for (const TraceEvent* e : events) {
+      if (e->kind == TraceEventKind::kEmit) {
+        auto& idx = by_wire[e->wire];
         idx.sender = cid;
-        idx.emits.emplace_back(e.vt.ticks(), e.aux);
-      } else if (e.kind == TraceEventKind::kSilencePromise) {
-        auto& idx = by_wire[e.wire];
+        idx.emits.emplace_back(e->vt.ticks(), e->aux);
+      } else if (e->kind == TraceEventKind::kSilencePromise) {
+        auto& idx = by_wire[e->wire];
         idx.sender = cid;
-        idx.promises.emplace_back(e.vt.ticks(),
-                                  static_cast<std::int64_t>(e.aux));
+        idx.promises.emplace_back(e->vt.ticks(),
+                                  static_cast<std::int64_t>(e->aux));
       }
     }
   }
 
   // Receiver-side reconstruction.
-  for (const auto& [cid, ct] : streams) {
+  for (const auto& [cid, events] : streams) {
     // Episode ids can repeat within one stream after crash/recover (the
     // runner's counter restarts while the trace stream continues), so
     // blame records are matched positionally: the first kStallBlame with
     // the episode's id *after* its kStallResolved.
     std::map<std::uint64_t, std::vector<std::size_t>> blame_at;
-    for (std::size_t i = 0; i < ct->events.size(); ++i)
-      if (ct->events[i].kind == TraceEventKind::kStallBlame)
-        blame_at[ct->events[i].aux].push_back(i);
+    for (std::size_t i = 0; i < events.size(); ++i)
+      if (events[i]->kind == TraceEventKind::kStallBlame)
+        blame_at[events[i]->aux].push_back(i);
 
     WireId held_wire;  // from the most recent kStallBegin
-    for (std::size_t i = 0; i < ct->events.size(); ++i) {
-      const TraceEvent& e = ct->events[i];
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& e = *events[i];
       if (e.kind == TraceEventKind::kStallBegin) {
         held_wire = e.wire;
         continue;
@@ -142,7 +147,7 @@ ForensicsReport analyze(const std::vector<Trace>& traces) {
       if (const auto bit = blame_at.find(ep.id); bit != blame_at.end())
         for (const std::size_t bi : bit->second)
           if (bi > i) {
-            blame = &ct->events[bi];
+            blame = events[bi];
             break;
           }
       if (blame != nullptr) {

@@ -15,6 +15,15 @@ void RetentionBuffer::acknowledge_through(VirtualTime through) {
   while (!buf_.empty() && buf_.front().vt <= through) buf_.pop_front();
 }
 
+std::size_t RetentionBuffer::trim_below_seq(std::uint64_t below_seq) {
+  std::size_t dropped = 0;
+  while (!buf_.empty() && buf_.front().seq < below_seq) {
+    buf_.pop_front();
+    ++dropped;
+  }
+  return dropped;
+}
+
 std::vector<Message> RetentionBuffer::replay_after(VirtualTime after) const {
   std::vector<Message> out;
   for (const Message& m : buf_)

@@ -5,7 +5,8 @@
 // write+fsync per request). Reports acked req/s and client-observed p50/p99
 // ack latency, plus the committer's realized batch shape.
 //
-//   bench_gateway [--smoke]   (--smoke: tiny load, CI sanity check)
+//   bench_gateway [--smoke] [--json[=FILE]]
+//   (--smoke: tiny load, CI sanity check; --json: machine-readable results)
 #include <sys/stat.h>
 
 #include <algorithm>
@@ -134,7 +135,18 @@ Result run_config(int clients, bool group_commit,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  bool json = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (!tart::bench::parse_json_flag(arg, &json, &json_path)) {
+      std::fprintf(stderr, "usage: bench_gateway [--smoke] [--json[=FILE]]\n");
+      return 2;
+    }
+  }
   tart::set_log_level(tart::LogLevel::kError);
 
   tart::bench::banner(
@@ -148,6 +160,7 @@ int main(int argc, char** argv) {
 
   tart::bench::Table table({"clients", "group commit", "acked req/s",
                             "ack p50 us", "ack p99 us", "avg batch"});
+  tart::bench::JsonResult results("gateway");
   double best_ratio = 0;
   for (const int clients : client_counts) {
     double grouped_rate = 0;
@@ -163,6 +176,12 @@ int main(int argc, char** argv) {
                  tart::bench::fmt("%.1f", r.p50_us),
                  tart::bench::fmt("%.1f", r.p99_us),
                  tart::bench::fmt("%.1f", avg_batch)});
+      const std::string key = tart::bench::fmt(
+          "c%d_gc_%s", clients, group_commit ? "on" : "off");
+      results.metric(key + "_req_s", r.acked_per_sec);
+      results.metric(key + "_ack_p50_us", r.p50_us);
+      results.metric(key + "_ack_p99_us", r.p99_us);
+      results.metric(key + "_avg_batch", avg_batch);
       if (group_commit)
         grouped_rate = r.acked_per_sec;
       else if (r.acked_per_sec > 0)
@@ -171,6 +190,8 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\nbest group-commit speedup: %.2fx\n", best_ratio);
+  results.metric("best_group_commit_speedup", best_ratio);
+  if (json && !results.write(json_path)) return 1;
   if (smoke) std::printf("smoke ok\n");
   return 0;
 }

@@ -3,6 +3,9 @@
 // use? Reports frames/sec (streaming) and p50/p99 round-trip latency
 // (ping-pong) for both transports at several payload sizes, so the
 // distributed figures can be read against the transport's own floor.
+//
+//   bench_net [--smoke] [--json[=FILE]]
+//   (--smoke: 10x fewer frames, CI sanity; --json: machine-readable results)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -28,8 +31,9 @@ using tart::VirtualTime;
 using tart::WireId;
 using Clock = std::chrono::steady_clock;
 
-constexpr int kStreamFrames = 20000;
-constexpr int kPingPongs = 2000;
+// Load knobs; --smoke divides both by 10 for CI.
+int g_stream_frames = 20000;
+int g_ping_pongs = 2000;
 
 tart::transport::Frame data_frame(std::size_t payload_bytes,
                                   std::uint64_t seq) {
@@ -97,15 +101,15 @@ Result bench_tcp(std::size_t payload_bytes) {
                    received.fetch_add(1);
                  });
     const auto t0 = Clock::now();
-    for (int i = 0; i < kStreamFrames; ++i) {
+    for (int i = 0; i < g_stream_frames; ++i) {
       const auto f = data_frame(payload_bytes, static_cast<std::uint64_t>(i));
       while (!pair.a->send("b", f))  // bounded queue: wait out backpressure
         std::this_thread::sleep_for(100us);
     }
-    while (received.load() < kStreamFrames) std::this_thread::sleep_for(1ms);
+    while (received.load() < g_stream_frames) std::this_thread::sleep_for(1ms);
     const double secs =
         std::chrono::duration<double>(Clock::now() - t0).count();
-    r.frames_per_sec = kStreamFrames / secs;
+    r.frames_per_sec = g_stream_frames / secs;
     r.mib_per_sec = static_cast<double>(pair.a->counters().bytes_out) /
                     (1024.0 * 1024.0) / secs;
   }
@@ -126,8 +130,8 @@ Result bench_tcp(std::size_t payload_bytes) {
         });
     b_raw = pair.b.get();
     std::vector<double> rtts_us;
-    rtts_us.reserve(kPingPongs);
-    for (int i = 0; i < kPingPongs; ++i) {
+    rtts_us.reserve(g_ping_pongs);
+    for (int i = 0; i < g_ping_pongs; ++i) {
       const auto t0 = Clock::now();
       pair.a->send("b", data_frame(payload_bytes,
                                    static_cast<std::uint64_t>(i)));
@@ -156,16 +160,16 @@ Result bench_link(std::size_t payload_bytes) {
       received.fetch_add(1);
     });
     const auto t0 = Clock::now();
-    for (int i = 0; i < kStreamFrames; ++i) {
+    for (int i = 0; i < g_stream_frames; ++i) {
       auto bytes_out = tart::transport::frame_to_bytes(
           data_frame(payload_bytes, static_cast<std::uint64_t>(i)));
       bytes += bytes_out.size();
       link.send(std::move(bytes_out));
     }
-    while (received.load() < kStreamFrames) std::this_thread::sleep_for(1ms);
+    while (received.load() < g_stream_frames) std::this_thread::sleep_for(1ms);
     const double secs =
         std::chrono::duration<double>(Clock::now() - t0).count();
-    r.frames_per_sec = kStreamFrames / secs;
+    r.frames_per_sec = g_stream_frames / secs;
     r.mib_per_sec = static_cast<double>(bytes) / (1024.0 * 1024.0) / secs;
     link.shutdown();
   }
@@ -186,8 +190,8 @@ Result bench_link(std::size_t payload_bytes) {
           cv.notify_one();
         });
     std::vector<double> rtts_us;
-    rtts_us.reserve(kPingPongs);
-    for (int i = 0; i < kPingPongs; ++i) {
+    rtts_us.reserve(g_ping_pongs);
+    for (int i = 0; i < g_ping_pongs; ++i) {
       const auto t0 = Clock::now();
       forth.send(tart::transport::frame_to_bytes(
           data_frame(payload_bytes, static_cast<std::uint64_t>(i))));
@@ -207,7 +211,24 @@ Result bench_link(std::size_t payload_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool json = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (!tart::bench::parse_json_flag(arg, &json, &json_path)) {
+      std::fprintf(stderr, "usage: bench_net [--smoke] [--json[=FILE]]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    g_stream_frames /= 10;
+    g_ping_pongs /= 10;
+  }
+
   tart::bench::banner(
       "Socket transport vs in-process link (loopback floor)",
       "supports §III.A distributed runs: transport cost isolated from "
@@ -215,7 +236,11 @@ int main() {
 
   tart::bench::Table table({"transport", "payload B", "frames/s", "MiB/s",
                             "rtt p50 us", "rtt p99 us"});
-  for (const std::size_t payload : {16u, 256u, 4096u}) {
+  tart::bench::JsonResult results("net");
+  const std::vector<std::size_t> payloads =
+      smoke ? std::vector<std::size_t>{16, 4096}
+            : std::vector<std::size_t>{16, 256, 4096};
+  for (const std::size_t payload : payloads) {
     const Result tcp = bench_tcp(payload);
     table.row({"tcp-loopback", tart::bench::fmt("%zu", payload),
                tart::bench::fmt("%.0f", tcp.frames_per_sec),
@@ -228,7 +253,18 @@ int main() {
                tart::bench::fmt("%.1f", link.mib_per_sec),
                tart::bench::fmt("%.1f", link.rtt_p50_us),
                tart::bench::fmt("%.1f", link.rtt_p99_us)});
+    for (const auto& [name, r] :
+         {std::pair<const char*, const Result&>{"tcp", tcp},
+          std::pair<const char*, const Result&>{"link", link}}) {
+      const std::string key = tart::bench::fmt("%s_%zuB", name, payload);
+      results.metric(key + "_frames_s", r.frames_per_sec);
+      results.metric(key + "_mib_s", r.mib_per_sec);
+      results.metric(key + "_rtt_p50_us", r.rtt_p50_us);
+      results.metric(key + "_rtt_p99_us", r.rtt_p99_us);
+    }
   }
   table.print();
+  if (json && !results.write(json_path)) return 1;
+  if (smoke) std::printf("smoke ok\n");
   return 0;
 }

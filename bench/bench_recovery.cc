@@ -17,6 +17,7 @@
 //
 // --smoke: one small checkpointed run asserting the restart actually came
 // from a checkpoint and replayed only a suffix (scripts/check.sh).
+// --json[=FILE]: machine-readable results (BENCH_recovery.json in CI).
 #include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -202,7 +203,7 @@ Measurement run_cycle(int per_sender, int tail, bool durable) {
   return m;
 }
 
-int smoke() {
+int smoke(bool json, const std::string& json_path) {
   const Measurement m = run_cycle(/*per_sender=*/150, /*tail=*/50,
                                   /*durable=*/true);
   if (!m.ok) {
@@ -226,15 +227,34 @@ int smoke() {
               m.rto_ms, static_cast<unsigned long long>(m.covered),
               static_cast<unsigned long long>(m.suffix),
               static_cast<unsigned long long>(m.log_bytes));
+  if (json) {
+    tart::bench::JsonResult results("recovery");
+    results.metric("ckpt_rto_ms", m.rto_ms);
+    results.metric("covered", m.covered);
+    results.metric("suffix", m.suffix);
+    results.metric("log_bytes", m.log_bytes);
+    if (!results.write(json_path)) return 1;
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke_mode = false;
+  bool json = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) return smoke();
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_mode = true;
+    } else if (!tart::bench::parse_json_flag(arg, &json, &json_path)) {
+      std::fprintf(stderr,
+                   "usage: bench_recovery [--smoke] [--json[=FILE]]\n");
+      return 2;
+    }
   }
+  if (smoke_mode) return smoke(json, json_path);
 
   tart::bench::banner("Recovery time vs log length (tiered fast restart)",
                       "S II.F (checkpoint restore + suffix-only replay; "
@@ -243,6 +263,7 @@ int main(int argc, char** argv) {
   tart::bench::Table table({"msgs/sender", "cold RTO (ms)", "cold log KB",
                             "ckpt RTO (ms)", "ckpt log KB", "covered",
                             "suffix"});
+  tart::bench::JsonResult results("recovery");
   for (const int n : {250, 500, 1000, 2000}) {
     const Measurement cold = run_cycle(n, /*tail=*/0, /*durable=*/false);
     const Measurement ckpt = run_cycle(n, /*tail=*/100, /*durable=*/true);
@@ -250,6 +271,13 @@ int main(int argc, char** argv) {
       std::printf("ERROR: restart failed to catch up at n=%d\n", n);
       return 1;
     }
+    const std::string key = tart::bench::fmt("n%d", n);
+    results.metric(key + "_cold_rto_ms", cold.rto_ms);
+    results.metric(key + "_ckpt_rto_ms", ckpt.rto_ms);
+    results.metric(key + "_cold_log_bytes", cold.log_bytes);
+    results.metric(key + "_ckpt_log_bytes", ckpt.log_bytes);
+    results.metric(key + "_covered", ckpt.covered);
+    results.metric(key + "_suffix", ckpt.suffix);
     table.row({
         tart::bench::fmt("%d", n),
         tart::bench::fmt("%.1f", cold.rto_ms),
@@ -265,5 +293,6 @@ int main(int argc, char** argv) {
       "\nExpected shape: cold RTO and cold log bytes grow with the log;\n"
       "checkpointed RTO tracks the (fixed-size) suffix and the gated log\n"
       "stays bounded because compaction deletes covered segments.\n");
+  if (json && !results.write(json_path)) return 1;
   return 0;
 }

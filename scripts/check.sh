@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 gate: plain build + full ctest, then the same suite under
-# AddressSanitizer. Usage: scripts/check.sh [--no-asan]
+# AddressSanitizer. Usage: scripts/check.sh [--no-asan] [--smoke]
+#
+# --smoke additionally runs the bench smokes with --json and collects the
+# machine-readable results as BENCH_<name>.json in the repo root, so CI
+# runs leave comparable throughput/latency/RTO artifacts behind.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_asan=1
-[[ "${1:-}" == "--no-asan" ]] && run_asan=0
+smoke_json=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) run_asan=0 ;;
+    --smoke) smoke_json=1 ;;
+    *) echo "usage: scripts/check.sh [--no-asan] [--smoke]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
@@ -13,13 +24,29 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 echo "== gateway bench smoke =="
-./build/bench/bench_gateway --smoke
+if [[ "$smoke_json" == 1 ]]; then
+  ./build/bench/bench_gateway --smoke --json=BENCH_gateway.json
+else
+  ./build/bench/bench_gateway --smoke
+fi
 
 # Recovery smoke: SIGKILL a checkpointed ingester, restart it, and assert
 # the restart actually boots from the checkpoint and replays only the log
 # suffix (docs/RECOVERY.md).
 echo "== recovery bench smoke =="
-./build/bench/bench_recovery --smoke
+if [[ "$smoke_json" == 1 ]]; then
+  ./build/bench/bench_recovery --smoke --json=BENCH_recovery.json
+else
+  ./build/bench/bench_recovery --smoke
+fi
+
+# Transport smoke (only when collecting artifacts: it is the slowest of
+# the smokes and adds no assertion coverage beyond running clean).
+if [[ "$smoke_json" == 1 ]]; then
+  echo "== net bench smoke =="
+  ./build/bench/bench_net --smoke --json=BENCH_net.json
+  echo "collected: BENCH_gateway.json BENCH_recovery.json BENCH_net.json"
+fi
 
 # Migration smoke: one live round trip of a stateful component between
 # engines over loopback, asserting completion, a bounded blackout, and an

@@ -11,7 +11,9 @@
 # present, parsable wavefront JSON) and aggregates both control ports
 # once with `tart-obs --once`. Both nodes record flight-recorder traces;
 # after shutdown, `tart-trace explain --json` over the pair must find
-# >=1 stall episode with >=90% of stall time attributed.
+# >=1 stall episode with >=90% of stall time attributed, and
+# `tart-trace lineage --json` must reconstruct complete causal DAGs for
+# >=95% of the acked inputs (request-lineage gate, docs/TRACING.md).
 # Usage: scripts/net_soak.sh [iterations]   (default 20)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -119,6 +121,29 @@ EOF
   }
   awk -v f="$frac" 'BEGIN { exit (f >= 0.9) ? 0 : 1 }' || {
     echo "ERROR: attributed_fraction $frac < 0.9" >&2
+    return 1
+  }
+
+  # Request-lineage gate (docs/TRACING.md "Request lineage"): joining the
+  # two nodes' traces must reconstruct a complete causal DAG for >=95% of
+  # the inputs the gateway acked — the edge stamps, the per-hop records,
+  # and the cross-node (wire, seq) joins all have to line up.
+  echo "== request lineage gate =="
+  local lineage_json acked resolved_frac
+  lineage_json="$(./build/src/tools/tart-trace lineage --json \
+    "$dir/left.trc" "$dir/right.trc")"
+  # At least one digit required: per-input "acked":true/false booleans in
+  # the inputs array must not shadow the top-level count.
+  acked="$(sed -n 's/.*"acked":\([0-9][0-9]*\),.*/\1/p' <<<"$lineage_json")"
+  resolved_frac="$(sed -n 's/.*"resolved_fraction":\([0-9.]*\).*/\1/p' \
+    <<<"$lineage_json")"
+  echo "lineage: acked=$acked resolved_fraction=$resolved_frac"
+  [[ -n "$acked" && "$acked" -ge 1 ]] || {
+    echo "ERROR: lineage found no acked inputs in the soak traces" >&2
+    return 1
+  }
+  awk -v f="$resolved_frac" 'BEGIN { exit (f >= 0.95) ? 0 : 1 }' || {
+    echo "ERROR: resolved_fraction $resolved_frac < 0.95" >&2
     return 1
   }
 

@@ -220,6 +220,11 @@ ComponentRunner::ComponentRunner(const Topology& topology, ComponentId id,
       "Absolute error between the estimator's virtual-time charge and the "
       "measured handler time",
       obs::Labels{{"component", name_}}, 1e-6, 256);
+  ingress_queue_hist_ = &registry.histogram(
+      "tart_lineage_ingress_queue_seconds",
+      "Edge arrival to first handler dispatch of an external input "
+      "(the ingress-queueing stage of the lineage decomposition)",
+      obs::Labels{{"component", name_}}, 50e-6, 256);
 }
 
 ComponentRunner::~ComponentRunner() { stop(); }
@@ -504,9 +509,14 @@ void ComponentRunner::run() {
           stall_last_lagging_.clear();
           for (const WireId w : input_wires_)
             stall_h_begin_[w] = inbox_.wire_horizon(w).ticks();
+          // aux/payload carry the episode id and begin wall stamp (same
+          // clock as kStallBlame): if the stream ends before the resolve,
+          // forensics can still report the episode as open instead of
+          // silently dropping its accumulated stall time.
           if (tracer_ != nullptr)
             tracer_->record(id_, trace::TraceEventKind::kStallBegin,
-                            head->vt, head->wire);
+                            head->vt, head->wire, stall_episode_id_,
+                            static_cast<std::uint64_t>(stall_begin_wall_ns_));
         }
         const auto lagging = inbox_.lagging_wires();
         stall_blockers.insert(lagging.begin(), lagging.end());
@@ -658,6 +668,36 @@ void ComponentRunner::process(const Message& m) {
     tracer_->record(id_, trace::TraceEventKind::kDispatch, m.vt, m.wire,
                     m.seq, trace::hash_of(m.payload));
 
+  // Request lineage: descendants emitted during this dispatch inherit the
+  // message's origin input; the wall-stamped hop events bracket the
+  // handler so the offline decomposition can charge queueing vs
+  // processing (lineage category — absent from the scheduling stream).
+  current_origin_wire_ = m.origin_wire;
+  current_origin_seq_ = m.origin_seq;
+  current_origin_wall_ns_ = m.origin_wall_ns;
+  const bool record_hops =
+      tracer_ != nullptr &&
+      tracer_->wants(trace::TraceEventKind::kHopDispatch);
+  if (record_hops)
+    tracer_->record(id_, trace::TraceEventKind::kHopDispatch, m.vt, m.wire,
+                    m.seq,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now().time_since_epoch())
+                            .count()));
+  // Ingress queueing (live view): edge arrival to this first dispatch,
+  // only when this IS the origin input's own hop.
+  if (m.origin_wall_ns > 0 && m.wire == m.origin_wire &&
+      m.seq == m.origin_seq && ingress_queue_hist_ != nullptr) {
+    const std::int64_t q_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count() -
+        m.origin_wall_ns;
+    if (q_ns >= 0)
+      ingress_queue_hist_->record(static_cast<double>(q_ns) * 1e-9);
+  }
+
   TickDuration prescient_charge(0);
   if (config_.mode == SchedulingMode::kDeterministic) {
     if (const auto pc =
@@ -705,6 +745,17 @@ void ComponentRunner::process(const Message& m) {
              std::move(reply));
     (void)reply_vt;
   }
+
+  if (record_hops)
+    tracer_->record(id_, trace::TraceEventKind::kHopDone, m.vt, m.wire,
+                    m.seq,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now().time_since_epoch())
+                            .count()));
+  current_origin_wire_ = WireId::invalid();
+  current_origin_seq_ = 0;
+  current_origin_wall_ns_ = 0;
 
   current_vt_ = cursor;
   input_pos_[m.wire] = InputPos{m.vt, m.seq + 1};
@@ -754,6 +805,12 @@ VirtualTime ComponentRunner::emit(OutputState& out, VirtualTime cursor,
   msg.seq = out.next_seq.load(std::memory_order_relaxed);
   msg.kind = kind;
   msg.call_id = call_id;
+  // Causal inheritance: whatever input triggered the dispatch we are
+  // inside (invalid outside a dispatch, e.g. probe machinery) stamps its
+  // identity onto the descendant.
+  msg.origin_wire = current_origin_wire_;
+  msg.origin_seq = current_origin_seq_;
+  msg.origin_wall_ns = current_origin_wall_ns_;
   msg.payload = std::move(payload);
 
   if (tracer_ != nullptr)

@@ -307,7 +307,17 @@ class ComponentRunner {
   std::map<WireId, obs::Histogram*> stall_hist_;
   std::map<WireId, obs::Histogram*> probe_rtt_hist_;
   obs::Histogram* est_err_hist_ = nullptr;
+  /// Ingress queueing: durable-commit to first dispatch of an external
+  /// input (recorded on the input's own first hop only).
+  obs::Histogram* ingress_queue_hist_ = nullptr;
   std::map<WireId, std::int64_t> probe_sent_ns_;
+
+  // Request-lineage origin of the message currently being processed
+  // (runner thread only): every emit() during the dispatch copies it onto
+  // the outgoing message, so descendants inherit the input's identity.
+  WireId current_origin_wire_ = WireId::invalid();
+  std::uint64_t current_origin_seq_ = 0;
+  std::int64_t current_origin_wall_ns_ = 0;
 
   // Stall-forensics state (runner thread only). Each pessimism episode is
   // minted a per-component id that rides in kStallResolved/kStallBlame

@@ -27,10 +27,24 @@ Runtime::Runtime(Topology topology, std::map<ComponentId, EngineId> placement,
     for (const auto& [component, engine] : placement_)
       traced.push_back(component);
     if (!config_.local_engines.empty()) traced.push_back(kNetTraceComponent);
+    // The edge pseudo-component exists only when lineage events can be
+    // recorded: keeping the component set unchanged otherwise preserves
+    // trace-diff compatibility with lineage-off runs.
+    if ((config_.trace.categories &
+         static_cast<std::uint32_t>(trace::TraceCategory::kLineage)) != 0)
+      traced.push_back(kEdgeTraceComponent);
     tracer_ =
         std::make_unique<trace::TraceRecorder>(config_.trace, traced);
     replica_.set_trace(tracer_.get());
   }
+  e2e_hist_ = &registry_.histogram(
+      "tart_lineage_e2e_seconds",
+      "End-to-end request latency: origin-input arrival at the edge to "
+      "causally descendant external-output visibility",
+      {}, 250e-6, 256);
+  // Exemplars tag fat buckets with the (wire, seq) lineage id: episode =
+  // origin seq, wire = origin wire (`tart-trace lineage --input WIRE:SEQ`).
+  e2e_hist_->enable_exemplars(4);
   // Engines named by the placement; non-local engines live in peer
   // processes and are reached through the remote router.
   for (const auto& [component, engine] : placement_) {
@@ -196,11 +210,37 @@ VirtualTime Runtime::real_now() const {
                          .count());
 }
 
+namespace {
+/// Absolute steady-clock ns — the same clock every other wall stamp in the
+/// trace uses (runner stalls, silence promises), comparable across
+/// processes on one machine.
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void Runtime::record_ingest(const Message& m, std::int64_t arrive_ns,
+                            std::int64_t durable_ns) {
+  if (tracer_ == nullptr ||
+      !tracer_->wants(trace::TraceEventKind::kIngestArrive))
+    return;
+  tracer_->record(kEdgeTraceComponent, trace::TraceEventKind::kIngestArrive,
+                  m.vt, m.wire, m.seq,
+                  static_cast<std::uint64_t>(arrive_ns));
+  if (durable_ns >= 0)
+    tracer_->record(kEdgeTraceComponent,
+                    trace::TraceEventKind::kIngestDurable, m.vt, m.wire,
+                    m.seq, static_cast<std::uint64_t>(durable_ns));
+}
+
 VirtualTime Runtime::inject(WireId input_wire, Payload payload) {
   const auto pinned = input_adapter(input_wire);
   if (pinned == nullptr)
     throw std::out_of_range("inject: wire has no local input adapter");
   InputAdapter& in = *pinned;
+  const std::int64_t arrive_ns = wall_now_ns();
   Message m;
   {
     const std::lock_guard<std::mutex> lk(in.mu);
@@ -216,11 +256,15 @@ VirtualTime Runtime::inject(WireId input_wire, Payload payload) {
     m.seq = in.next_seq++;
     m.kind = MessageKind::kData;
     m.payload = std::move(payload);
+    m.origin_wire = input_wire;
+    m.origin_seq = m.seq;
+    m.origin_wall_ns = arrive_ns;
     in.last_vt = m.vt;
     // Logged synchronously *before* delivery: the message must be durable
     // while its effects are not (§II.E).
     message_log_.append(m);
   }
+  record_ingest(m, arrive_ns, wall_now_ns());
   to_receiver(input_wire, transport::DataFrame{m});
   return m.vt;
 }
@@ -231,6 +275,7 @@ VirtualTime Runtime::inject_at(WireId input_wire, VirtualTime vt,
   if (pinned == nullptr)
     throw std::out_of_range("inject_at: wire has no local input adapter");
   InputAdapter& in = *pinned;
+  const std::int64_t arrive_ns = wall_now_ns();
   Message m;
   {
     const std::lock_guard<std::mutex> lk(in.mu);
@@ -244,9 +289,13 @@ VirtualTime Runtime::inject_at(WireId input_wire, VirtualTime vt,
     m.seq = in.next_seq++;
     m.kind = MessageKind::kData;
     m.payload = std::move(payload);
+    m.origin_wire = input_wire;
+    m.origin_seq = m.seq;
+    m.origin_wall_ns = arrive_ns;
     in.last_vt = m.vt;
     message_log_.append(m);
   }
+  record_ingest(m, arrive_ns, wall_now_ns());
   to_receiver(input_wire, transport::DataFrame{m});
   return m.vt;
 }
@@ -317,19 +366,26 @@ std::vector<InjectResult> Runtime::try_inject_batch(
     m.seq = in.next_seq++;
     m.kind = MessageKind::kData;
     m.payload = req.payload;
+    m.origin_wire = req.wire;
+    m.origin_seq = m.seq;
+    m.origin_wall_ns =
+        req.arrival_wall_ns > 0 ? req.arrival_wall_ns : wall_now_ns();
     in.last_vt = m.vt;
     results[i].vt = m.vt;
+    results[i].seq = m.seq;
     batch.push_back(std::move(m));
     batch_to_request.push_back(i);
   }
   // One framed append + one flush for the whole batch: the group commit.
   const bool durable = message_log_.append_batch(batch);
   guards.clear();
+  const std::int64_t durable_ns = durable ? wall_now_ns() : -1;
 
   // Logged (durably or not) — now, and only now, let the messages affect
   // the system (§II.E: log before delivery).
   for (std::size_t b = 0; b < batch.size(); ++b) {
     if (!durable) results[batch_to_request[b]].status = InjectStatus::kStoreFailed;
+    record_ingest(batch[b], batch[b].origin_wall_ns, durable_ns);
     to_receiver(batch[b].wire, transport::DataFrame{batch[b]});
   }
   return results;
@@ -385,6 +441,8 @@ void Runtime::deliver_external_output(WireId wire,
     const std::lock_guard<std::mutex> lk(sink.mu);
     record.vt = data->msg.vt;
     record.payload = data->msg.payload;
+    record.origin_wire = data->msg.origin_wire;
+    record.origin_seq = data->msg.origin_seq;
     // Output stutter (§II.A): after a rollback the system may re-deliver
     // already-delivered external messages; they carry duplicate timestamps
     // so the consumer can compensate.
@@ -394,6 +452,26 @@ void Runtime::deliver_external_output(WireId wire,
     // Catch-up replay must be invisible to the outside world (§II.A): the
     // record is kept, the subscriber is not called.
     if (!outputs_suppressed_.load()) callback = sink.callback;
+  }
+  const std::int64_t deliver_ns = wall_now_ns();
+  if (tracer_ != nullptr &&
+      tracer_->wants(trace::TraceEventKind::kOutputDeliver))
+    tracer_->record(kEdgeTraceComponent,
+                    trace::TraceEventKind::kOutputDeliver, data->msg.vt,
+                    wire, data->msg.seq,
+                    static_cast<std::uint64_t>(deliver_ns));
+  // Live end-to-end latency: origin-input arrival to output visibility.
+  // Replay catch-up re-deliveries are excluded — their origin stamps are
+  // from a previous incarnation and would poison the distribution.
+  if (data->msg.origin_wall_ns > 0 && !outputs_suppressed_.load()) {
+    const double secs =
+        static_cast<double>(deliver_ns - data->msg.origin_wall_ns) * 1e-9;
+    obs::Exemplar ex;
+    ex.value = secs;
+    ex.episode = data->msg.origin_seq;
+    ex.component = kEdgeTraceComponent.value();
+    ex.wire = data->msg.origin_wire.value();
+    e2e_hist_->record(secs, ex);
   }
   if (callback) callback(record.vt, record.payload, record.stutter);
 }

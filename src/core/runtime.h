@@ -52,11 +52,22 @@ namespace tart::core {
 /// in partitioned deployments; real component ids never reach this range.
 inline constexpr ComponentId kNetTraceComponent{0xFFFFFF00};
 
+/// Pseudo-component the edge records request-lineage trace events against
+/// (kIngestArrive/kIngestDurable/kIngestAck/kOutputDeliver). Registered
+/// with the flight recorder only when the lineage category is enabled —
+/// conditional registration keeps component sets (and hence trace diffs)
+/// identical for lineage-off runs.
+inline constexpr ComponentId kEdgeTraceComponent{0xFFFFFF01};
+
 /// One record delivered to an external consumer.
 struct OutputRecord {
   VirtualTime vt;
   Payload payload;
   bool stutter = false;  ///< re-delivery of an already-delivered tick
+  /// Lineage tag: the external input this output causally descends from
+  /// (invalid wire = unknown, e.g. pre-lineage logs).
+  WireId origin_wire = WireId::invalid();
+  std::uint64_t origin_seq = 0;
 };
 
 /// Typed outcome of a non-throwing injection (try_inject*): production
@@ -76,11 +87,18 @@ struct InjectRequest {
   WireId wire;
   std::int64_t vt = -1;
   Payload payload;
+  /// Steady-clock ns when the request reached the edge (0 = stamp at
+  /// injection time). The gateway passes its HTTP-arrival stamp so the
+  /// lineage ingress events measure queueing in front of the commit.
+  std::int64_t arrival_wall_ns = 0;
 };
 
 struct InjectResult {
   InjectStatus status = InjectStatus::kOk;
   VirtualTime vt{-1};  ///< assigned virtual time when status != error
+  std::uint64_t seq = 0;  ///< assigned per-wire sequence when status == kOk:
+                          ///< with the wire it forms the request's globally
+                          ///< unique lineage id (wire, seq)
 };
 
 /// What this incarnation booted from (durable mode; see docs/RECOVERY.md).
@@ -384,6 +402,10 @@ class Runtime final : public FrameRouter {
   /// through the pair's link when one is configured.
   void route(EngineId src, EngineId dst, WireId wire, transport::Frame frame);
   [[nodiscard]] VirtualTime real_now() const;
+  /// Records kIngestArrive (+ kIngestDurable when durable_ns >= 0) for one
+  /// stamped-and-logged injection against the edge pseudo-component.
+  void record_ingest(const Message& m, std::int64_t arrive_ns,
+                     std::int64_t durable_ns);
   /// Pins the adapter/sink for a wire (nullptr when not locally owned);
   /// shared_ptr so a concurrent eviction cannot free it mid-call.
   [[nodiscard]] std::shared_ptr<InputAdapter> input_adapter(WireId wire) const;
@@ -426,6 +448,10 @@ class Runtime final : public FrameRouter {
   /// engines_ — runners hold handles into it, and a recovered runner
   /// re-attaches to the same cells (counts survive crash/recover).
   obs::Registry registry_;
+  /// Live end-to-end latency (origin arrival -> output visibility), with
+  /// (wire, seq) exemplars; registered in the ctor, recorded in
+  /// deliver_external_output.
+  obs::Histogram* e2e_hist_ = nullptr;
 
   std::map<EngineId, std::unique_ptr<Engine>> engines_;
   /// Guards the MAP STRUCTURE of inputs_/outputs_ (adoption inserts,

@@ -539,6 +539,14 @@ void Gateway::handle_inject(std::uint64_t id, const HttpRequest& req,
   pending.request = core::InjectRequest{wire, vt, std::move(payload)};
   pending.keep_alive = req.keep_alive;
   pending.enqueued = Clock::now();
+  // Lineage arrival stamp: the kIngestArrive event (and the ingress-queue
+  // stage of the decomposition) measures from HTTP arrival, so the time a
+  // request waits for its group-commit slot is charged to the edge, not
+  // hidden inside the commit.
+  pending.request.arrival_wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          pending.enqueued.time_since_epoch())
+          .count();
   {
     const std::lock_guard<std::mutex> lk(commit_mu_);
     pending_.push_back(std::move(pending));
@@ -699,6 +707,17 @@ void Gateway::poll_outputs(std::uint64_t id, WireId wire, std::size_t after,
     body += '\t';
     body += records[i].stutter ? '1' : '0';
     body += '\t';
+    // Lineage tag: the originating input as WIRE:SEQ ("-" when unknown),
+    // so external clients can correlate acked injections to outputs
+    // without reading trace files (`tart-trace lineage --input WIRE:SEQ`).
+    if (records[i].origin_wire.is_valid()) {
+      body += std::to_string(records[i].origin_wire.value());
+      body += ':';
+      body += std::to_string(records[i].origin_seq);
+    } else {
+      body += '-';
+    }
+    body += '\t';
     body += render_payload(records[i].payload);
     body += '\n';
   }
@@ -834,6 +853,20 @@ void Gateway::complete_commits(std::vector<PendingInject> batch,
     if (r.status == core::InjectStatus::kOk) {
       acked_.fetch_add(1);
       ack_latency_.record(latency_s);
+      // Close the ingest triple: arrive -> durable -> ACK. Recorded here,
+      // not in the committer, because the ack is released to the client
+      // from this (loop-thread) completion.
+      if (auto* tracer = runtime_->trace_recorder();
+          tracer != nullptr &&
+          tracer->wants(trace::TraceEventKind::kIngestAck))
+        tracer->record(core::kEdgeTraceComponent,
+                       trace::TraceEventKind::kIngestAck, r.vt, p.wire,
+                       r.seq,
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(
+                               now.time_since_epoch())
+                               .count()));
     } else {
       errors_.fetch_add(1);
     }

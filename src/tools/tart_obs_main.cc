@@ -45,6 +45,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -397,6 +398,57 @@ void print_durability(const MetricsSnapshot& m) {
       static_cast<unsigned long long>(m.restart_suffix_records));
 }
 
+/// Ingest-to-output latency rollup (docs/TRACING.md "Request lineage"):
+/// the edge-measured e2e histogram, the gateway's durability-ack latency,
+/// and per-component ingress queueing, all merged across nodes. Exemplars
+/// on the e2e family carry the originating (wire, seq) — the id to feed
+/// `tart-trace lineage --input` for the full causal breakdown. Prints
+/// nothing when no lineage-instrumented traffic has flowed.
+void print_latency(const std::vector<tart::obs::Sample>& samples) {
+  const tart::obs::Sample* e2e = nullptr;
+  const tart::obs::Sample* ack = nullptr;
+  std::map<std::string, const tart::obs::Sample*> ingress;
+  for (const auto& s : samples) {
+    if (!s.hist || s.hist->count() == 0) continue;
+    if (s.name == "tart_lineage_e2e_seconds") {
+      e2e = &s;
+    } else if (s.name == "tart_gw_ack_latency_seconds") {
+      ack = &s;
+    } else if (s.name == "tart_lineage_ingress_queue_seconds") {
+      if (const std::string* c = label_of(s, "component")) ingress[*c] = &s;
+    }
+  }
+  if (e2e == nullptr && ack == nullptr && ingress.empty()) return;
+
+  std::printf("latency:\n");
+  const auto line = [](const char* what, const tart::stats::Histogram& h) {
+    std::printf("  %-22s p50=%8.3f p99=%8.3f max=%8.3f ms  n=%llu\n", what,
+                h.percentile(50) * 1e3, h.percentile(99) * 1e3,
+                h.max_seen() * 1e3,
+                static_cast<unsigned long long>(h.count()));
+  };
+  if (ack != nullptr) line("ingest->ack", *ack->hist);
+  if (e2e != nullptr) line("ingest->output (e2e)", *e2e->hist);
+  for (const auto& [name, s] : ingress)
+    line(("ingress queue " + name).c_str(), *s->hist);
+  if (e2e != nullptr && !e2e->exemplars.empty()) {
+    // Newest exemplars last; show the slowest few so a fat tail bucket
+    // points at concrete request ids.
+    std::vector<tart::obs::BucketExemplar> exs = e2e->exemplars;
+    std::sort(exs.begin(), exs.end(),
+              [](const tart::obs::BucketExemplar& a,
+                 const tart::obs::BucketExemplar& b) {
+                return a.ex.value > b.ex.value;
+              });
+    if (exs.size() > 4) exs.resize(4);
+    std::printf("  slow exemplars:");
+    for (const auto& bex : exs)
+      std::printf("  %.3fms input=%u:%llu", bex.ex.value * 1e3, bex.ex.wire,
+                  static_cast<unsigned long long>(bex.ex.episode));
+    std::printf("   (tart-trace lineage --input WIRE:SEQ)\n");
+  }
+}
+
 int run_control_mode(const std::vector<std::string>& addrs, bool once,
                      int interval_ms, const std::string& series_path,
                      bool strict, PushServer* push) {
@@ -472,6 +524,7 @@ int run_control_mode(const std::vector<std::string>& addrs, bool once,
       std::printf("  %-24s down\n", addr.c_str());
     print_rows(build_rows(merged));
     print_durability(total);
+    print_latency(merged);
     std::printf("wavefront:\n");
     print_wavefront(reports);
     print_placement(reports);

@@ -1,15 +1,20 @@
 // tart-trace: inspect and compare flight-recorder trace files.
 //
-//   tart-trace dump <file> [--merged] [--category=sched|diag|all]
+//   tart-trace dump <file> [--merged] [--category=sched|diag|lineage|all]
 //   tart-trace diff <a> <b> [--recovery]
 //   tart-trace stats <file>
 //   tart-trace explain <trace...> [--episode N | --top K | --json]
+//   tart-trace lineage <trace...> [--input WIRE:SEQ] [--top K] [--json]
 //
 // `explain` loads one or more traces (one per node of a deployment) and
 // reconstructs every pessimism-stall episode's causal chain — held message
 // -> blocking wire -> upstream sender -> the promise that released it —
 // with the estimator-error / propagation-lag split (see
 // src/trace/forensics.h).
+//
+// `lineage` reconstructs, for every input acked at the edge (or one named
+// by --input), its causal descendant DAG across components/nodes and the
+// exclusive-exhaustive wall-latency decomposition (see src/trace/lineage.h).
 //
 // Exit codes: 0 success (diff: traces match), 1 diff found a divergence,
 // 2 usage or I/O error.
@@ -27,6 +32,7 @@
 #include "stats/histogram.h"
 #include "trace/diff.h"
 #include "trace/forensics.h"
+#include "trace/lineage.h"
 #include "trace/trace_event.h"
 #include "trace/trace_file.h"
 
@@ -44,10 +50,13 @@ constexpr int kExitError = 2;
 int usage() {
   std::cerr
       << "usage:\n"
-         "  tart-trace dump <file> [--merged] [--category=sched|diag|all]\n"
+         "  tart-trace dump <file> [--merged] "
+         "[--category=sched|diag|lineage|all]\n"
          "  tart-trace diff <a> <b> [--recovery]\n"
          "  tart-trace stats <file>\n"
-         "  tart-trace explain <trace...> [--episode N | --top K | --json]\n";
+         "  tart-trace explain <trace...> [--episode N | --top K | --json]\n"
+         "  tart-trace lineage <trace...> [--input WIRE:SEQ] [--top K] "
+         "[--json]\n";
   return kExitError;
 }
 
@@ -57,6 +66,8 @@ std::string category_names(std::uint32_t mask) {
     out += "scheduling";
   if (mask & static_cast<std::uint32_t>(TraceCategory::kDiagnostic))
     out += out.empty() ? "diagnostic" : "+diagnostic";
+  if (mask & static_cast<std::uint32_t>(TraceCategory::kLineage))
+    out += out.empty() ? "lineage" : "+lineage";
   return out.empty() ? "none" : out;
 }
 
@@ -156,6 +167,18 @@ std::string us(std::int64_t ns) {
 }
 
 void print_episode(const tart::trace::Episode& e) {
+  if (e.open) {
+    // The stream ended (crash or truncation) before kStallResolved: the
+    // episode is OPEN — duration is a lower bound, no blocking wire known.
+    std::cout << "  " << comp_name(e.component) << " ep#" << e.id
+              << ": held vt=" << tart::to_string(e.held_vt) << " on wire "
+              << (e.held_wire.is_valid()
+                      ? std::to_string(e.held_wire.value())
+                      : std::string("?"))
+              << ", OPEN (stream ended mid-episode), stall>=" << us(e.stall_ns)
+              << "\n";
+    return;
+  }
   std::cout << "  " << comp_name(e.component) << " ep#" << e.id << ": held vt="
             << tart::to_string(e.held_vt) << " on wire "
             << (e.held_wire.is_valid() ? std::to_string(e.held_wire.value())
@@ -191,6 +214,8 @@ void print_episode_json(std::string& out, const tart::trace::Episode& e) {
          std::to_string(e.split.estimator_error_ticks);
   out += ",\"attributed\":";
   out += e.attributed ? "true" : "false";
+  out += ",\"open\":";
+  out += e.open ? "true" : "false";
   if (e.resolving_emit_seq)
     out += ",\"resolving_emit_seq\":" + std::to_string(*e.resolving_emit_seq);
   out += '}';
@@ -247,6 +272,8 @@ int cmd_explain(const std::vector<Trace>& traces,
 
   if (json) {
     std::string out = "{\"episodes\":" + std::to_string(report.episodes.size());
+    out += ",\"open_episodes\":" + std::to_string(report.open_episodes);
+    out += ",\"open_stall_ns\":" + std::to_string(report.open_stall_ns);
     out += ",\"total_stall_ns\":" + std::to_string(report.total_stall_ns);
     out += ",\"attributed_stall_ns\":" +
            std::to_string(report.attributed_stall_ns);
@@ -286,7 +313,12 @@ int cmd_explain(const std::vector<Trace>& traces,
   std::snprintf(frac, sizeof(frac), "%.1f",
                 report.attributed_fraction() * 100.0);
   std::cout << "episodes=" << report.episodes.size() << " total_stall="
-            << us(report.total_stall_ns) << " attributed=" << frac << "%\n";
+            << us(report.total_stall_ns) << " attributed=" << frac << "%";
+  if (report.open_episodes > 0)
+    std::cout << " open=" << report.open_episodes
+              << " (stall>=" << us(report.open_stall_ns)
+              << " accumulated when the stream ended)";
+  std::cout << "\n";
   if (!report.blame.empty()) {
     std::cout << "blame (worst first):\n";
     for (const tart::trace::BlameTotal& b : report.blame)
@@ -304,6 +336,179 @@ int cmd_explain(const std::vector<Trace>& traces,
   return kExitOk;
 }
 
+// --- lineage ----------------------------------------------------------------
+
+void print_breakdown_json(std::string& out,
+                          const tart::trace::LatencyBreakdown& b) {
+  out += "{\"durability_wait_ns\":" + std::to_string(b.durability_wait_ns);
+  out += ",\"ingress_queue_ns\":" + std::to_string(b.ingress_queue_ns);
+  out += ",\"stall_wait_ns\":" + std::to_string(b.stall_wait_ns);
+  out += ",\"processing_ns\":" + std::to_string(b.processing_ns);
+  out += ",\"network_ns\":" + std::to_string(b.network_ns);
+  out += ",\"output_lag_ns\":" + std::to_string(b.output_lag_ns);
+  out += ",\"ack_to_end_ns\":" + std::to_string(b.ack_to_end_ns);
+  out += ",\"total_ns\":" + std::to_string(b.total_ns);
+  out += '}';
+}
+
+void print_input_json(std::string& out, const tart::trace::InputLineage& in) {
+  out += "{\"wire\":" + std::to_string(in.wire.value());
+  out += ",\"seq\":" + std::to_string(in.seq);
+  out += ",\"vt\":" + std::to_string(in.vt.ticks());
+  out += ",\"acked\":";
+  out += in.acked ? "true" : "false";
+  out += ",\"complete\":";
+  out += in.complete ? "true" : "false";
+  out += ",\"arrive_ns\":" + std::to_string(in.arrive_wall_ns);
+  out += ",\"durable_ns\":" + std::to_string(in.durable_wall_ns);
+  out += ",\"ack_ns\":" + std::to_string(in.ack_wall_ns);
+  out += ",\"hops\":[";
+  bool first = true;
+  for (const tart::trace::LineageHop& h : in.hops) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"component\":" + std::to_string(h.component.value());
+    out += ",\"wire\":" + std::to_string(h.wire.value());
+    out += ",\"seq\":" + std::to_string(h.seq);
+    out += ",\"vt\":" + std::to_string(h.vt.ticks());
+    out += ",\"depth\":" + std::to_string(h.depth);
+    out += ",\"dispatch_ns\":" + std::to_string(h.dispatch_wall_ns);
+    out += ",\"done_ns\":" + std::to_string(h.done_wall_ns);
+    out += ",\"stall_ns\":" + std::to_string(h.stall_ns);
+    out += '}';
+  }
+  out += "],\"outputs\":[";
+  first = true;
+  for (const tart::trace::LineageOutput& o : in.outputs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"wire\":" + std::to_string(o.wire.value());
+    out += ",\"seq\":" + std::to_string(o.seq);
+    out += ",\"vt\":" + std::to_string(o.vt.ticks());
+    out += ",\"deliver_ns\":" + std::to_string(o.deliver_wall_ns);
+    out += '}';
+  }
+  out += "],\"stalls\":[";
+  first = true;
+  for (const tart::trace::StallLink& s : in.stalls) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"component\":" + std::to_string(s.component.value());
+    out += ",\"episode\":" + std::to_string(s.episode_id);
+    out += ",\"wire\":" + std::to_string(s.wire.value());
+    out += ",\"stall_ns\":" + std::to_string(s.stall_ns);
+    out += '}';
+  }
+  out += "],\"breakdown\":";
+  print_breakdown_json(out, in.breakdown);
+  out += '}';
+}
+
+void print_input_text(const tart::trace::InputLineage& in) {
+  std::cout << "input " << in.wire.value() << ":" << in.seq
+            << " vt=" << tart::to_string(in.vt)
+            << (in.acked ? " acked" : " (no ack event)")
+            << (in.complete ? " complete" : " INCOMPLETE") << "\n";
+  std::cout << "  causal DAG (" << in.hops.size() << " hops, "
+            << in.outputs.size() << " outputs):\n";
+  for (const tart::trace::LineageHop& h : in.hops) {
+    std::cout << "    ";
+    for (std::uint32_t d = 0; d < h.depth; ++d) std::cout << "  ";
+    std::cout << comp_name(h.component) << " <- wire " << h.wire.value()
+              << " seq " << h.seq << " vt=" << tart::to_string(h.vt);
+    if (h.stall_ns > 0) std::cout << " [stalled " << us(h.stall_ns) << "]";
+    std::cout << "\n";
+  }
+  for (const tart::trace::LineageOutput& o : in.outputs)
+    std::cout << "    -> output wire " << o.wire.value() << " seq " << o.seq
+              << " vt=" << tart::to_string(o.vt) << "\n";
+  for (const tart::trace::StallLink& s : in.stalls)
+    std::cout << "  stall episode: " << comp_name(s.component) << " ep#"
+              << s.episode_id << " (" << us(s.stall_ns)
+              << ") -- `tart-trace explain --episode " << s.episode_id
+              << "`\n";
+  const tart::trace::LatencyBreakdown& b = in.breakdown;
+  std::cout << "  latency " << us(b.total_ns) << " = durability+ack "
+            << us(b.durability_wait_ns) << " | then " << us(b.ack_to_end_ns)
+            << " = ingress " << us(b.ingress_queue_ns) << " + stall "
+            << us(b.stall_wait_ns) << " + processing " << us(b.processing_ns)
+            << " + network " << us(b.network_ns) << " + output-lag "
+            << us(b.output_lag_ns) << "\n";
+}
+
+int cmd_lineage(const std::vector<Trace>& traces,
+                std::optional<std::pair<std::uint32_t, std::uint64_t>> input,
+                std::size_t top_k, bool json) {
+  if (input) {
+    // Force-walk one id: works even when the ingest events are missing
+    // (e.g. the acking incarnation was SIGKILLed before trace finalize).
+    const tart::trace::InputLineage in = tart::trace::trace_input(
+        traces, tart::WireId(input->first), input->second);
+    if (in.hops.empty() && in.arrive_wall_ns < 0) {
+      std::cerr << "no trace evidence for input " << input->first << ":"
+                << input->second << "\n";
+      return kExitError;
+    }
+    if (json) {
+      std::string out;
+      print_input_json(out, in);
+      std::cout << out << "\n";
+    } else {
+      print_input_text(in);
+    }
+    return kExitOk;
+  }
+
+  const tart::trace::LineageReport report =
+      tart::trace::analyze_lineage(traces);
+
+  // Worst inputs by end-to-end latency.
+  std::vector<const tart::trace::InputLineage*> worst;
+  worst.reserve(report.inputs.size());
+  for (const tart::trace::InputLineage& in : report.inputs)
+    worst.push_back(&in);
+  std::sort(worst.begin(), worst.end(),
+            [](const tart::trace::InputLineage* a,
+               const tart::trace::InputLineage* b) {
+              if (a->breakdown.total_ns != b->breakdown.total_ns)
+                return a->breakdown.total_ns > b->breakdown.total_ns;
+              if (a->wire != b->wire) return a->wire < b->wire;
+              return a->seq < b->seq;
+            });
+  if (worst.size() > top_k) worst.resize(top_k);
+
+  if (json) {
+    std::string out = "{\"inputs\":" + std::to_string(report.inputs.size());
+    out += ",\"acked\":" + std::to_string(report.acked);
+    out += ",\"resolved\":" + std::to_string(report.resolved);
+    char frac[32];
+    std::snprintf(frac, sizeof(frac), "%.6f", report.resolved_fraction());
+    out += ",\"resolved_fraction\":";
+    out += frac;
+    out += ",\"top\":[";
+    bool first = true;
+    for (const tart::trace::InputLineage* in : worst) {
+      if (!first) out += ',';
+      first = false;
+      print_input_json(out, *in);
+    }
+    out += "]}";
+    std::cout << out << "\n";
+    return kExitOk;
+  }
+
+  char frac[32];
+  std::snprintf(frac, sizeof(frac), "%.1f",
+                report.resolved_fraction() * 100.0);
+  std::cout << "inputs=" << report.inputs.size() << " acked=" << report.acked
+            << " resolved=" << report.resolved << " (" << frac << "%)\n";
+  if (!worst.empty()) {
+    std::cout << "slowest " << worst.size() << " inputs:\n";
+    for (const tart::trace::InputLineage* in : worst) print_input_text(*in);
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -316,6 +521,7 @@ int main(int argc, char** argv) {
   bool recovery = false;
   bool json = false;
   std::optional<std::uint64_t> episode;
+  std::optional<std::pair<std::uint32_t, std::uint64_t>> input;
   std::size_t top_k = 5;
   std::uint32_t mask = static_cast<std::uint32_t>(TraceCategory::kAll);
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -334,10 +540,21 @@ int main(int argc, char** argv) {
       top_k = std::stoull(args[++i]);
     } else if (a.rfind("--top=", 0) == 0) {
       top_k = std::stoull(a.substr(6));
+    } else if (a == "--input" && i + 1 < args.size()) {
+      const std::string spec = args[++i];
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--input expects WIRE:SEQ\n";
+        return usage();
+      }
+      input = {static_cast<std::uint32_t>(std::stoul(spec.substr(0, colon))),
+               std::stoull(spec.substr(colon + 1))};
     } else if (a == "--category=sched") {
       mask = static_cast<std::uint32_t>(TraceCategory::kScheduling);
     } else if (a == "--category=diag") {
       mask = static_cast<std::uint32_t>(TraceCategory::kDiagnostic);
+    } else if (a == "--category=lineage") {
+      mask = static_cast<std::uint32_t>(TraceCategory::kLineage);
     } else if (a == "--category=all") {
       mask = static_cast<std::uint32_t>(TraceCategory::kAll);
     } else if (!a.empty() && a[0] == '-') {
@@ -366,6 +583,13 @@ int main(int argc, char** argv) {
       for (const std::string& f : files)
         traces.push_back(tart::trace::TraceReader::read_file(f));
       return cmd_explain(traces, episode, top_k, json);
+    }
+    if (cmd == "lineage" && !files.empty()) {
+      std::vector<Trace> traces;
+      traces.reserve(files.size());
+      for (const std::string& f : files)
+        traces.push_back(tart::trace::TraceReader::read_file(f));
+      return cmd_lineage(traces, input, top_k, json);
     }
   } catch (const tart::trace::TraceError& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -96,6 +96,32 @@ ForensicsReport analyze(const std::vector<Trace>& traces) {
       for (const TraceEvent& e : ct.events)
         streams[ct.component].push_back(&e);
 
+  // Latest wall stamp observed anywhere: the "end of recording" bound used
+  // to lower-bound the duration of episodes still open when a stream ends.
+  std::int64_t max_wall = 0;
+  for (const auto& [cid, events] : streams) {
+    for (const TraceEvent* e : events) {
+      switch (e->kind) {
+        case TraceEventKind::kSilencePromise:
+          max_wall = std::max(max_wall, static_cast<std::int64_t>(e->aux));
+          break;
+        case TraceEventKind::kStallBegin:
+        case TraceEventKind::kStallBlame:
+        case TraceEventKind::kIngestArrive:
+        case TraceEventKind::kIngestDurable:
+        case TraceEventKind::kIngestAck:
+        case TraceEventKind::kHopDispatch:
+        case TraceEventKind::kHopDone:
+        case TraceEventKind::kOutputDeliver:
+          max_wall = std::max(max_wall,
+                              static_cast<std::int64_t>(e->payload_hash));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
   // Sender-side index per wire. Wire ids are deployment-global, so this is
   // exactly the cross-node (wire, seq) correlation: a cut wire's emits
   // live in the remote node's trace and land in the same index.
@@ -126,14 +152,47 @@ ForensicsReport analyze(const std::vector<Trace>& traces) {
       if (events[i]->kind == TraceEventKind::kStallBlame)
         blame_at[events[i]->aux].push_back(i);
 
+    // A begin with no later resolve in its stream is an *open* episode:
+    // the recording ended (crash, truncation) mid-stall. Its accumulated
+    // wait must not silently vanish from the totals, so synthesize a
+    // lower-bound episode from the begin record — possible only when the
+    // begin carries a wall stamp (format v2; v1 begins have payload 0).
+    const auto flush_open = [&](const TraceEvent& begin) {
+      if (begin.payload_hash == 0) return;
+      Episode ep;
+      ep.component = cid;
+      ep.id = begin.aux;
+      ep.held_vt = begin.vt;
+      ep.held_wire = begin.wire;
+      ep.begin_wall_ns = static_cast<std::int64_t>(begin.payload_hash);
+      ep.stall_ns = std::max<std::int64_t>(max_wall - ep.begin_wall_ns, 0);
+      ep.open = true;
+      report.total_stall_ns += ep.stall_ns;
+      report.open_episodes += 1;
+      report.open_stall_ns += ep.stall_ns;
+      report.episodes.push_back(std::move(ep));
+    };
+
+    const TraceEvent* pending_begin = nullptr;  // most recent unresolved
     WireId held_wire;  // from the most recent kStallBegin
     for (std::size_t i = 0; i < events.size(); ++i) {
       const TraceEvent& e = *events[i];
       if (e.kind == TraceEventKind::kStallBegin) {
+        // A begin directly superseding another (the held head changed
+        // mid-wait) is NOT open — the wait continues under the new id, as
+        // it always has. Only a crash marker or the end of the stream
+        // orphans an episode.
+        pending_begin = &e;
         held_wire = e.wire;
         continue;
       }
+      if (e.kind == TraceEventKind::kCrash) {
+        if (pending_begin != nullptr) flush_open(*pending_begin);
+        pending_begin = nullptr;
+        continue;
+      }
       if (e.kind != TraceEventKind::kStallResolved) continue;
+      pending_begin = nullptr;
 
       Episode ep;
       ep.component = cid;
@@ -191,6 +250,7 @@ ForensicsReport analyze(const std::vector<Trace>& traces) {
       if (ep.attributed) report.attributed_stall_ns += ep.stall_ns;
       report.episodes.push_back(std::move(ep));
     }
+    if (pending_begin != nullptr) flush_open(*pending_begin);
   }
 
   // Blame rollup, worst (component, wire, sender) first.

@@ -92,6 +92,12 @@ struct Episode {
   Decomposition split;
   /// Blocking wire identified and blame facts present (kStallBlame found).
   bool attributed = false;
+  /// The stream ended (crash, truncation) before this episode's
+  /// kStallResolved: stall_ns is a lower bound (latest wall stamp seen
+  /// anywhere in the traces minus the episode's begin stamp) and no
+  /// blocking wire is known. Synthesized only from v2 kStallBegin records,
+  /// which carry the begin wall stamp.
+  bool open = false;
 };
 
 /// Per-(receiver, blocking wire, sender) blame rollup.
@@ -110,6 +116,8 @@ struct ForensicsReport {
   std::vector<BlameTotal> blame;  ///< Sorted by stall_ns, worst first.
   std::int64_t total_stall_ns = 0;
   std::int64_t attributed_stall_ns = 0;
+  std::uint64_t open_episodes = 0;   ///< Episodes with .open set.
+  std::int64_t open_stall_ns = 0;    ///< Their (lower-bound) stall time.
 
   /// Fraction of recorded stall wall-time attributed to a (blocking wire,
   /// sender) pair; 1.0 when there were no episodes at all.

@@ -1,0 +1,328 @@
+#include "trace/lineage.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace tart::trace {
+
+double LineageReport::resolved_fraction() const {
+  if (acked == 0) return 1.0;
+  return static_cast<double>(resolved) / static_cast<double>(acked);
+}
+
+const InputLineage* LineageReport::find(WireId wire,
+                                        std::uint64_t seq) const {
+  for (const InputLineage& in : inputs)
+    if (in.wire == wire && in.seq == seq) return &in;
+  return nullptr;
+}
+
+namespace {
+
+using Key = std::pair<std::uint32_t, std::uint64_t>;  // (wire, seq)
+
+/// Merged evidence for one dispatched (wire, seq). A message can be
+/// dispatched more than once across the concatenated streams (multi-home
+/// migration, recovery replay): the first occurrence fixes identity, the
+/// first *stamped* occurrence fixes the wall times, and children are the
+/// deduplicated union (deterministic replay re-emits the same ones).
+struct HopFacts {
+  ComponentId component;
+  VirtualTime vt;
+  std::int64_t dispatch_wall_ns = -1;
+  std::int64_t done_wall_ns = -1;
+  std::vector<std::pair<WireId, std::uint64_t>> children;
+};
+
+struct IngestFacts {
+  VirtualTime vt;
+  std::int64_t arrive_ns = -1;
+  std::int64_t durable_ns = -1;
+  std::int64_t ack_ns = -1;
+};
+
+struct LineageIndex {
+  std::map<Key, HopFacts> hops;
+  std::map<Key, IngestFacts> ingests;
+  std::map<Key, LineageOutput> outputs;
+  std::set<std::uint32_t> dispatch_wires;  ///< Wires with >=1 dispatch.
+  /// Stall episodes by the head they held: (component, wire, held vt).
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::int64_t>,
+           std::vector<const Episode*>>
+      stalls_by_head;
+  ForensicsReport forensics;  ///< Owns the episodes stalls_by_head points at.
+};
+
+LineageIndex build_index(const std::vector<Trace>& traces) {
+  LineageIndex idx;
+  for (const Trace& t : traces) {
+    for (const ComponentTrace& ct : t.components) {
+      // Positional dispatch->emit association: every kEmit belongs to the
+      // most recent kDispatch in the same stream (the runner records emits
+      // from inside the dispatched handler).
+      bool have_current = false;
+      Key current{};
+      for (const TraceEvent& e : ct.events) {
+        const Key key{e.wire.value(), e.aux};
+        switch (e.kind) {
+          case TraceEventKind::kDispatch: {
+            idx.dispatch_wires.insert(e.wire.value());
+            auto [it, inserted] = idx.hops.try_emplace(key);
+            if (inserted) {
+              it->second.component = ct.component;
+              it->second.vt = e.vt;
+            }
+            current = key;
+            have_current = true;
+            break;
+          }
+          case TraceEventKind::kEmit: {
+            if (!have_current) break;
+            auto& children = idx.hops[current].children;
+            const std::pair<WireId, std::uint64_t> child{e.wire, e.aux};
+            if (std::find(children.begin(), children.end(), child) ==
+                children.end())
+              children.push_back(child);
+            break;
+          }
+          case TraceEventKind::kHopDispatch: {
+            auto it = idx.hops.find(key);
+            if (it != idx.hops.end() && it->second.dispatch_wall_ns < 0)
+              it->second.dispatch_wall_ns =
+                  static_cast<std::int64_t>(e.payload_hash);
+            break;
+          }
+          case TraceEventKind::kHopDone: {
+            auto it = idx.hops.find(key);
+            if (it != idx.hops.end() && it->second.done_wall_ns < 0)
+              it->second.done_wall_ns =
+                  static_cast<std::int64_t>(e.payload_hash);
+            break;
+          }
+          case TraceEventKind::kIngestArrive: {
+            IngestFacts& ig = idx.ingests[key];
+            ig.vt = e.vt;
+            if (ig.arrive_ns < 0)
+              ig.arrive_ns = static_cast<std::int64_t>(e.payload_hash);
+            break;
+          }
+          case TraceEventKind::kIngestDurable: {
+            IngestFacts& ig = idx.ingests[key];
+            ig.vt = e.vt;
+            if (ig.durable_ns < 0)
+              ig.durable_ns = static_cast<std::int64_t>(e.payload_hash);
+            break;
+          }
+          case TraceEventKind::kIngestAck: {
+            IngestFacts& ig = idx.ingests[key];
+            ig.vt = e.vt;
+            if (ig.ack_ns < 0)
+              ig.ack_ns = static_cast<std::int64_t>(e.payload_hash);
+            break;
+          }
+          case TraceEventKind::kOutputDeliver: {
+            auto [it, inserted] = idx.outputs.try_emplace(key);
+            if (inserted) {
+              it->second.wire = e.wire;
+              it->second.seq = e.aux;
+              it->second.vt = e.vt;
+              it->second.deliver_wall_ns =
+                  static_cast<std::int64_t>(e.payload_hash);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  idx.forensics = analyze(traces);
+  for (const Episode& ep : idx.forensics.episodes) {
+    if (!ep.held_wire.is_valid()) continue;
+    idx.stalls_by_head[{ep.component.value(), ep.held_wire.value(),
+                        ep.held_vt.ticks()}]
+        .push_back(&ep);
+  }
+  return idx;
+}
+
+/// The monotone clamped walk described in lineage.h.
+void decompose_input(InputLineage& in) {
+  LatencyBreakdown& b = in.breakdown;
+
+  std::int64_t first_dispatch = -1;
+  for (const LineageHop& h : in.hops)
+    if (h.dispatch_wall_ns >= 0 &&
+        (first_dispatch < 0 || h.dispatch_wall_ns < first_dispatch))
+      first_dispatch = h.dispatch_wall_ns;
+
+  // Anchor: the ack stamp, degrading to durable/arrive/first-dispatch for
+  // traces recorded without a gateway in front.
+  std::int64_t t_ack = in.ack_wall_ns >= 0      ? in.ack_wall_ns
+                       : in.durable_wall_ns >= 0 ? in.durable_wall_ns
+                       : in.arrive_wall_ns >= 0  ? in.arrive_wall_ns
+                                                 : first_dispatch;
+  if (t_ack < 0) return;  // No wall evidence at all: leave zeros.
+
+  std::int64_t t_end = t_ack;
+  for (const LineageOutput& o : in.outputs)
+    t_end = std::max(t_end, o.deliver_wall_ns);
+  if (in.outputs.empty())
+    for (const LineageHop& h : in.hops)
+      t_end = std::max({t_end, h.dispatch_wall_ns, h.done_wall_ns});
+
+  b.durability_wait_ns =
+      in.arrive_wall_ns >= 0 ? std::max<std::int64_t>(t_ack -
+                                                      in.arrive_wall_ns, 0)
+                             : 0;
+
+  // Hops in dispatch-stamp order; unstamped hops carry no wall evidence
+  // and contribute nothing.
+  std::vector<const LineageHop*> timed;
+  for (const LineageHop& h : in.hops)
+    if (h.dispatch_wall_ns >= 0) timed.push_back(&h);
+  std::sort(timed.begin(), timed.end(),
+            [](const LineageHop* a, const LineageHop* b) {
+              if (a->dispatch_wall_ns != b->dispatch_wall_ns)
+                return a->dispatch_wall_ns < b->dispatch_wall_ns;
+              if (a->wire != b->wire) return a->wire < b->wire;
+              return a->seq < b->seq;
+            });
+
+  std::int64_t m = t_ack;  // The monotone frontier: everything before m
+                           // is already charged to some bucket.
+  for (const LineageHop* h : timed) {
+    const std::int64_t td = std::min(h->dispatch_wall_ns, t_end);
+    const std::int64_t gap = std::max<std::int64_t>(td - m, 0);
+    if (gap > 0) {
+      const std::int64_t stall = std::min(gap, std::max<std::int64_t>(
+                                                   h->stall_ns, 0));
+      b.stall_wait_ns += stall;
+      const bool is_input_hop = h->wire == in.wire && h->seq == in.seq;
+      (is_input_hop ? b.ingress_queue_ns : b.network_ns) += gap - stall;
+      m = td;
+    }
+    if (h->done_wall_ns >= 0) {
+      const std::int64_t tdone =
+          std::max(td, std::min(h->done_wall_ns, t_end));
+      b.processing_ns += std::max<std::int64_t>(tdone - m, 0);
+      m = std::max(m, tdone);
+    } else {
+      m = std::max(m, td);
+    }
+  }
+  b.output_lag_ns = std::max<std::int64_t>(t_end - m, 0);
+  b.ack_to_end_ns = t_end - t_ack;
+  b.total_ns = b.durability_wait_ns + b.ack_to_end_ns;
+}
+
+InputLineage walk_input(const LineageIndex& idx, WireId wire,
+                        std::uint64_t seq) {
+  InputLineage in;
+  in.wire = wire;
+  in.seq = seq;
+  if (const auto it = idx.ingests.find({wire.value(), seq});
+      it != idx.ingests.end()) {
+    in.vt = it->second.vt;
+    in.arrive_wall_ns = it->second.arrive_ns;
+    in.durable_wall_ns = it->second.durable_ns;
+    in.ack_wall_ns = it->second.ack_ns;
+    in.acked = it->second.ack_ns >= 0;
+  }
+
+  bool complete = true;
+  std::set<Key> visited;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> linked_episodes;
+  std::deque<std::pair<Key, std::uint32_t>> queue;  // (key, depth)
+  const Key root{wire.value(), seq};
+  if (idx.hops.count(root) != 0) {
+    queue.emplace_back(root, 0);
+    visited.insert(root);
+  } else {
+    complete = false;  // The input never reached a handler in the traces.
+  }
+
+  while (!queue.empty()) {
+    const auto [key, depth] = queue.front();
+    queue.pop_front();
+    const HopFacts& f = idx.hops.at(key);
+
+    LineageHop hop;
+    hop.component = f.component;
+    hop.wire = WireId(key.first);
+    hop.seq = key.second;
+    hop.vt = f.vt;
+    hop.depth = depth;
+    hop.dispatch_wall_ns = f.dispatch_wall_ns;
+    hop.done_wall_ns = f.done_wall_ns;
+    hop.children = f.children;
+
+    if (const auto sit = idx.stalls_by_head.find(
+            {f.component.value(), key.first, f.vt.ticks()});
+        sit != idx.stalls_by_head.end()) {
+      for (const Episode* ep : sit->second) {
+        hop.stall_ns += ep->stall_ns;
+        if (linked_episodes.insert({ep->component.value(), ep->id}).second)
+          in.stalls.push_back(StallLink{ep->component, ep->id,
+                                        ep->held_wire, ep->stall_ns});
+      }
+    }
+
+    for (const auto& [cw, cs] : f.children) {
+      const Key child{cw.value(), cs};
+      if (idx.hops.count(child) != 0) {
+        if (visited.insert(child).second) queue.emplace_back(child, depth + 1);
+      } else if (const auto oit = idx.outputs.find(child);
+                 oit != idx.outputs.end()) {
+        in.outputs.push_back(oit->second);
+      } else if (idx.dispatch_wires.count(cw.value()) == 0) {
+        // No component anywhere in the loaded traces consumes this wire:
+        // it leaves the deployment (reply wire, suppressed replay output).
+        // The edge terminates cleanly.
+      } else {
+        complete = false;  // A consumer exists but this seq never landed.
+      }
+    }
+
+    in.hops.push_back(std::move(hop));
+  }
+
+  std::sort(in.outputs.begin(), in.outputs.end(),
+            [](const LineageOutput& a, const LineageOutput& b) {
+              if (a.deliver_wall_ns != b.deliver_wall_ns)
+                return a.deliver_wall_ns < b.deliver_wall_ns;
+              if (a.wire != b.wire) return a.wire < b.wire;
+              return a.seq < b.seq;
+            });
+  in.complete = complete && !in.hops.empty();
+  decompose_input(in);
+  return in;
+}
+
+}  // namespace
+
+LineageReport analyze_lineage(const std::vector<Trace>& traces) {
+  const LineageIndex idx = build_index(traces);
+  LineageReport report;
+  report.inputs.reserve(idx.ingests.size());
+  for (const auto& [key, ig] : idx.ingests) {
+    InputLineage in = walk_input(idx, WireId(key.first), key.second);
+    if (in.acked) {
+      report.acked += 1;
+      if (in.complete) report.resolved += 1;
+    }
+    report.inputs.push_back(std::move(in));
+  }
+  return report;
+}
+
+InputLineage trace_input(const std::vector<Trace>& traces, WireId wire,
+                         std::uint64_t seq) {
+  return walk_input(build_index(traces), wire, seq);
+}
+
+}  // namespace tart::trace

@@ -1,0 +1,143 @@
+// Request lineage: reconstruct, for any input acked at the edge, its full
+// causal descendant DAG and an exclusive-and-exhaustive decomposition of
+// where its wall-clock latency went.
+//
+// The deterministic causal order makes this a pure offline join over the
+// flight-recorder streams (format v2 adds the lineage event class,
+// trace_event.h kinds 16..21):
+//
+//   kIngestArrive/kIngestDurable/kIngestAck   edge pseudo-component stream
+//   kHopDispatch/kHopDone                      each component's own stream
+//   kOutputDeliver                             edge pseudo-component stream
+//
+// Identity is the deployment-global (wire, seq) stamped at injection. The
+// walk starts at the input's dispatch, follows the positional
+// dispatch→emit association in each component stream (every kEmit between
+// two kDispatch records is a child of the earlier dispatch), and joins
+// emits to downstream dispatches by (wire, seq) — across node traces,
+// across migration (a moved component's streams concatenate, PR 7), and
+// across recovery (replayed dispatches land in the same streams).
+//
+// Latency decomposition. All stamps come from std::chrono::steady_clock,
+// comparable across processes on one machine (same caveat as
+// forensics.h). With t_ack the ack stamp and t_end the last output
+// delivery (or the last hop stamp when nothing external was emitted), a
+// monotone clamped walk over the hops in dispatch-stamp order charges
+// every nanosecond of [t_ack, t_end] to exactly one bucket:
+//
+//   ingress_queue  gap before the input's own first dispatch
+//   stall_wait     portion of any pre-hop gap covered by pessimism-stall
+//                  episodes holding that hop's head (cross-linked to the
+//                  forensics episode ids, PR 5)
+//   network        remaining gap before a downstream hop (transit +
+//                  scheduler queueing)
+//   processing     time inside handlers (overlapping hops count once)
+//   output_lag     tail from the last causal stamp to output visibility
+//
+// Clamping makes the buckets exclusive and exhaustive by construction:
+// they always sum to exactly t_end - t_ack. The pre-ack prefix is
+// reported alongside as durability_wait (arrive → ack: group commit plus
+// ack publication; the commit stamp itself is kept per input).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_time.h"
+#include "trace/forensics.h"
+#include "trace/trace_file.h"
+
+namespace tart::trace {
+
+/// One handler execution reached by the walk.
+struct LineageHop {
+  ComponentId component;          ///< Who dispatched it.
+  WireId wire;                    ///< Wire the message arrived on.
+  std::uint64_t seq = 0;          ///< Per-wire message sequence.
+  VirtualTime vt;                 ///< Message virtual time.
+  std::uint32_t depth = 0;        ///< BFS depth from the input (0 = input).
+  std::int64_t dispatch_wall_ns = -1;  ///< kHopDispatch stamp; -1 if absent.
+  std::int64_t done_wall_ns = -1;      ///< kHopDone stamp; -1 if absent.
+  /// Total stall-episode time spent holding this hop's head (unclamped;
+  /// the breakdown clamps it into the gap actually preceding the hop).
+  std::int64_t stall_ns = 0;
+  /// Children in emit order: (wire, seq) of every message this hop sent.
+  std::vector<std::pair<WireId, std::uint64_t>> children;
+};
+
+/// An externally visible output caused by the input.
+struct LineageOutput {
+  WireId wire;
+  std::uint64_t seq = 0;
+  VirtualTime vt;
+  std::int64_t deliver_wall_ns = -1;  ///< kOutputDeliver stamp; -1 if absent.
+};
+
+/// Cross-link to a PR 5 stall episode that held one of the DAG's hops.
+struct StallLink {
+  ComponentId component;      ///< The stalled receiver (the hop's owner).
+  std::uint64_t episode_id = 0;  ///< Joins ForensicsReport::find().
+  WireId wire;                ///< Held wire (== the hop's arrival wire).
+  std::int64_t stall_ns = 0;  ///< Episode duration (unclamped).
+};
+
+/// The exclusive, exhaustive latency split. The five post-ack buckets sum
+/// to exactly ack_to_end_ns; total_ns = durability_wait_ns + ack_to_end_ns.
+struct LatencyBreakdown {
+  std::int64_t durability_wait_ns = 0;  ///< arrive → ack (commit + publish).
+  std::int64_t ingress_queue_ns = 0;
+  std::int64_t stall_wait_ns = 0;
+  std::int64_t processing_ns = 0;
+  std::int64_t network_ns = 0;
+  std::int64_t output_lag_ns = 0;
+  std::int64_t ack_to_end_ns = 0;  ///< t_end - t_ack (== the 5-bucket sum).
+  std::int64_t total_ns = 0;       ///< arrive → t_end.
+};
+
+/// Everything known about one input's causal history.
+struct InputLineage {
+  WireId wire;
+  std::uint64_t seq = 0;
+  VirtualTime vt;                       ///< Assigned injection vt.
+  std::int64_t arrive_wall_ns = -1;     ///< kIngestArrive; -1 if absent.
+  std::int64_t durable_wall_ns = -1;    ///< kIngestDurable; -1 if absent.
+  std::int64_t ack_wall_ns = -1;        ///< kIngestAck; -1 if absent.
+  bool acked = false;                   ///< kIngestAck was recorded.
+  /// Every emitted (wire, seq) edge resolved to a downstream dispatch, an
+  /// output delivery, or a wire with no consumer in the deployment — no
+  /// dangling references into missing trace data.
+  bool complete = false;
+  std::vector<LineageHop> hops;         ///< BFS order; hops[0] = the input.
+  std::vector<LineageOutput> outputs;   ///< Delivery order.
+  std::vector<StallLink> stalls;        ///< Episodes holding DAG hops.
+  LatencyBreakdown breakdown;
+};
+
+struct LineageReport {
+  std::vector<InputLineage> inputs;  ///< (wire, seq) order.
+  std::uint64_t acked = 0;           ///< Inputs with an ack event.
+  std::uint64_t resolved = 0;        ///< Acked inputs with complete DAGs.
+
+  /// Fraction of acked inputs whose causal DAG is complete; 1.0 when no
+  /// acks were recorded at all.
+  [[nodiscard]] double resolved_fraction() const;
+  [[nodiscard]] const InputLineage* find(WireId wire,
+                                         std::uint64_t seq) const;
+};
+
+/// Walks every ingest-evented input in the merged traces (one Trace per
+/// node of a deployment). Traces recorded without the lineage category
+/// contribute no inputs.
+[[nodiscard]] LineageReport analyze_lineage(const std::vector<Trace>& traces);
+
+/// Force-walks one (wire, seq) even when its ingest events are missing
+/// (e.g. the incarnation that acked it was SIGKILLed before its trace
+/// could be finalized): the DAG is rebuilt from whatever dispatch/emit
+/// evidence survives. Returns an InputLineage with empty hops when the
+/// input was never dispatched in the traces.
+[[nodiscard]] InputLineage trace_input(const std::vector<Trace>& traces,
+                                       WireId wire, std::uint64_t seq);
+
+}  // namespace tart::trace

@@ -12,7 +12,13 @@
 //     claim (§II.A, §II.D);
 //   - *diagnostic* events depend on real time (pessimism stalls, curiosity
 //     probes, silence publication): they explain performance but are not
-//     comparable across runs.
+//     comparable across runs;
+//   - *lineage* events stamp request identity at the edges (ingest
+//     arrival/durability/ack, per-hop consume/emit, output delivery) with
+//     wall-clock timestamps so an acked input's causal descendants and
+//     end-to-end latency can be reconstructed offline (src/trace/lineage.h).
+//     Like diagnostics they carry real time and are excluded from the
+//     determinism comparison.
 //
 // Crash/recovery artifacts (kCrash, kRecoveryStart, kDuplicateDiscard,
 // kGap) are scheduling-class — they never occur in a failure-free run, and
@@ -46,7 +52,11 @@ enum class TraceEventKind : std::uint8_t {
                           ///< forensics split stalls into estimator error vs
                           ///< propagation lag).
   kCuriosityProbe = 9,    ///< Probe sent at a lagging input wire.
-  kStallBegin = 10,       ///< Head held back awaiting silence (§II.E).
+  kStallBegin = 10,       ///< Head held back awaiting silence (§II.E):
+                          ///< vt = held vt, wire = held wire, aux = episode
+                          ///< id, payload_hash = episode-begin wall clock ns
+                          ///< (0 in pre-v2 traces; lets forensics report
+                          ///< episodes still open when the stream ends).
   kStallEnd = 11,         ///< Held head released: aux = real ns stalled.
   kLinkUp = 12,           ///< Socket link to a peer node established.
   kLinkDown = 13,         ///< Socket link lost (EOF, error, heartbeat miss).
@@ -62,21 +72,44 @@ enum class TraceEventKind : std::uint8_t {
                           ///< wire = blocking wire, aux = episode id,
                           ///< payload_hash = episode-begin wall clock ns
                           ///< (steady, same clock as kSilencePromise aux).
+  // Lineage class (format v2+). Identity is the deployment-global
+  // (wire, seq) assigned at injection; every event stamps a steady-clock
+  // wall time in payload_hash so the offline join (src/trace/lineage.h)
+  // can decompose end-to-end latency. Edge events live in the pseudo
+  // component stream kEdgeTraceComponent; hop/output events live in the
+  // processing component's own stream.
+  kIngestArrive = 16,     ///< Input arrived at the edge: vt = assigned vt,
+                          ///< wire = input wire, aux = assigned seq,
+                          ///< payload_hash = arrival wall ns.
+  kIngestDurable = 17,    ///< Input group-committed to the external log:
+                          ///< same keys, payload_hash = commit wall ns.
+  kIngestAck = 18,        ///< Ack released to the client (gateway):
+                          ///< same keys, payload_hash = ack wall ns.
+  kHopDispatch = 19,      ///< Handler started on a message: vt/wire/aux =
+                          ///< msg vt/wire/seq, payload_hash = wall ns.
+  kHopDone = 20,          ///< Handler (and its emits) finished: same keys,
+                          ///< payload_hash = wall ns.
+  kOutputDeliver = 21,    ///< External output made visible: vt/wire/aux =
+                          ///< output msg vt/wire/seq, payload_hash = wall ns.
 };
 
-inline constexpr std::uint8_t kMaxTraceEventKind = 15;
+inline constexpr std::uint8_t kMaxTraceEventKind = 21;
 
 enum class TraceCategory : std::uint32_t {
   kScheduling = 1u << 0,
   kDiagnostic = 1u << 1,
-  kAll = (1u << 0) | (1u << 1),
+  kLineage = 1u << 2,
+  kAll = (1u << 0) | (1u << 1) | (1u << 2),
 };
 
 [[nodiscard]] constexpr TraceCategory category_of(TraceEventKind kind) {
   return static_cast<std::uint8_t>(kind) <=
                  static_cast<std::uint8_t>(TraceEventKind::kCrash)
              ? TraceCategory::kScheduling
-             : TraceCategory::kDiagnostic;
+         : static_cast<std::uint8_t>(kind) <=
+                 static_cast<std::uint8_t>(TraceEventKind::kStallBlame)
+             ? TraceCategory::kDiagnostic
+             : TraceCategory::kLineage;
 }
 
 [[nodiscard]] constexpr std::string_view name_of(TraceEventKind kind) {
@@ -97,6 +130,12 @@ enum class TraceCategory : std::uint32_t {
     case TraceEventKind::kLinkDown: return "link-down";
     case TraceEventKind::kStallResolved: return "stall-resolved";
     case TraceEventKind::kStallBlame: return "stall-blame";
+    case TraceEventKind::kIngestArrive: return "ingest-arrive";
+    case TraceEventKind::kIngestDurable: return "ingest-durable";
+    case TraceEventKind::kIngestAck: return "ingest-ack";
+    case TraceEventKind::kHopDispatch: return "hop-dispatch";
+    case TraceEventKind::kHopDone: return "hop-done";
+    case TraceEventKind::kOutputDeliver: return "output-deliver";
   }
   return "?";
 }

@@ -57,9 +57,11 @@ Trace TraceReader::read_bytes(const std::vector<std::byte>& bytes) {
       throw TraceError("not a TART trace (bad magic)");
     Trace t;
     t.version = r.read_u32();
-    if (t.version != kTraceFormatVersion)
+    if (t.version < kMinReadableTraceVersion ||
+        t.version > kTraceFormatVersion)
       throw TraceError("unsupported trace format version " +
-                       std::to_string(t.version) + " (expected " +
+                       std::to_string(t.version) + " (readable: " +
+                       std::to_string(kMinReadableTraceVersion) + ".." +
                        std::to_string(kTraceFormatVersion) + ")");
     t.categories = r.read_u32();
     const auto n_components = r.read_varint();
@@ -93,6 +95,26 @@ Trace TraceReader::read_file(const std::string& path) {
           static_cast<std::streamsize>(bytes.size()));
   if (!in) throw TraceError("cannot read trace file: " + path);
   return read_bytes(bytes);
+}
+
+Trace filter_categories(const Trace& trace, std::uint32_t mask) {
+  Trace out;
+  out.version = trace.version;
+  out.categories = trace.categories & mask;
+  out.components.reserve(trace.components.size());
+  for (const ComponentTrace& ct : trace.components) {
+    ComponentTrace fct;
+    fct.component = ct.component;
+    for (const TraceEvent& e : ct.events) {
+      if ((static_cast<std::uint32_t>(category_of(e.kind)) & mask) == 0)
+        continue;
+      TraceEvent kept = e;
+      kept.seq = fct.events.size();
+      fct.events.push_back(kept);
+    }
+    out.components.push_back(std::move(fct));
+  }
+  return out;
 }
 
 void write_trace_file(const std::string& path, const Trace& trace) {

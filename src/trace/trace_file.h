@@ -31,7 +31,12 @@ namespace tart::trace {
 
 inline constexpr char kTraceMagic[8] = {'T', 'A', 'R', 'T',
                                         'T', 'R', 'C', '1'};
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+/// v1: kinds 0..15 (scheduling + diagnostic). v2: adds the lineage event
+/// class (kinds 16..21). The container layout is identical; readers accept
+/// both versions (a v1 file simply contains no lineage events), and v1
+/// readers reject v2 files whose streams carry unknown kinds at decode.
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
+inline constexpr std::uint32_t kMinReadableTraceVersion = 1;
 
 /// Corrupted, truncated, unreadable, or version-incompatible trace file.
 class TraceError : public std::runtime_error {
@@ -76,5 +81,16 @@ class TraceReader {
 
 /// Writes the canonical encoding to `path`. Throws TraceError on I/O error.
 void write_trace_file(const std::string& path, const Trace& trace);
+
+/// Projection of `trace` onto the categories in `mask`: events whose
+/// category is masked off are dropped and each surviving event's
+/// record-order seq is rebased to its position in the filtered stream
+/// (raw seqs shift with however many wall-dependent events interleaved).
+/// Component sections — even ones left empty — are kept, and the
+/// projection's category mask is `categories & mask`. Two runs whose
+/// scheduling decisions agree therefore yield byte-identical
+/// scheduling-category projections even when recorded with diagnostics
+/// and lineage enabled.
+[[nodiscard]] Trace filter_categories(const Trace& trace, std::uint32_t mask);
 
 }  // namespace tart::trace

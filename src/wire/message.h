@@ -29,6 +29,21 @@ struct Message {
   std::uint64_t seq = 0;   ///< Per-wire sequence number (gap detection).
   MessageKind kind = MessageKind::kData;
   std::uint64_t call_id = 0;  ///< Correlates kCall with its kReply.
+
+  // Request lineage (docs/TRACING.md): the external input this message
+  // causally descends from, stamped at injection and copied onto every
+  // message a handler emits while processing a descendant. Deterministic
+  // (a pure function of the input log), so it round-trips the external
+  // log, checkpoints, retention buffers and migration slices unchanged.
+  // origin_wire is invalid for messages with no external ancestor
+  // (timer-style self-sends before any input).
+  WireId origin_wire = WireId::invalid();
+  std::uint64_t origin_seq = 0;
+  /// Steady-clock arrival stamp of the origin input, ns; 0 = unknown.
+  /// Wall time, NOT replay-deterministic: consumed only by observability
+  /// (live end-to-end latency), never by scheduling decisions.
+  std::int64_t origin_wall_ns = 0;
+
   Payload payload;
 
   /// Scheduling key: virtual time, tie-broken by wire id (paper footnote 2).
@@ -36,12 +51,17 @@ struct Message {
     return {vt, wire};
   }
 
+  [[nodiscard]] bool has_origin() const { return origin_wire.is_valid(); }
+
   void encode(serde::Writer& w) const {
     w.write_u32(wire.value());
     w.write_vt(vt);
     w.write_varint(seq);
     w.write_u8(static_cast<std::uint8_t>(kind));
     w.write_varint(call_id);
+    w.write_u32(origin_wire.value());
+    w.write_varint(origin_seq);
+    w.write_u64(static_cast<std::uint64_t>(origin_wall_ns));
     payload.encode(w);
   }
 
@@ -52,6 +72,9 @@ struct Message {
     m.seq = r.read_varint();
     m.kind = static_cast<MessageKind>(r.read_u8());
     m.call_id = r.read_varint();
+    m.origin_wire = WireId(r.read_u32());
+    m.origin_seq = r.read_varint();
+    m.origin_wall_ns = static_cast<std::int64_t>(r.read_u64());
     m.payload = Payload::decode(r);
     return m;
   }

@@ -258,6 +258,96 @@ TEST(Forensics, BlameMatchesPositionallyAfterEpisodeIdRestart) {
   EXPECT_EQ(report.blame[0].stall_ns, 300);
 }
 
+// ---------------------------------------------------------------------------
+// Open episodes: a stream that ends (crash, truncation) mid-stall must
+// not silently drop the accumulated wait from the totals.
+
+TEST(Forensics, StreamEndingMidEpisodeReportsItOpen) {
+  // The begin carries its wall stamp (v2); a later event elsewhere in the
+  // traces pins the end-of-recording bound at wall 5'000.
+  ComponentTrace receiver;
+  receiver.component = ComponentId(1);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallBegin, 10, WireId(5), 2, /*wall=*/1'000),
+  };
+  ComponentTrace other;
+  other.component = ComponentId(2);
+  other.events = {
+      ev(0, TraceEventKind::kHopDispatch, 99, WireId(8), 0, /*wall=*/5'000),
+  };
+  const ForensicsReport report =
+      analyze({wrap({std::move(receiver), std::move(other)})});
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const Episode& ep = report.episodes[0];
+  EXPECT_TRUE(ep.open);
+  EXPECT_FALSE(ep.attributed);
+  EXPECT_EQ(ep.id, 2u);
+  EXPECT_EQ(ep.held_wire, WireId(5));
+  EXPECT_EQ(ep.held_vt, VirtualTime(10));
+  // Lower bound: latest wall stamp anywhere minus the begin stamp.
+  EXPECT_EQ(ep.stall_ns, 4'000);
+  EXPECT_EQ(report.open_episodes, 1u);
+  EXPECT_EQ(report.open_stall_ns, 4'000);
+  EXPECT_EQ(report.total_stall_ns, 4'000);
+}
+
+TEST(Forensics, SupersededBeginIsNotOpen) {
+  // The held head changed mid-wait (begin, begin, resolved): the wait
+  // continued under the newer episode id, so only one episode exists and
+  // nothing is open.
+  ComponentTrace receiver;
+  receiver.component = ComponentId(1);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallBegin, 10, WireId(5), 0, 1'000),
+      ev(1, TraceEventKind::kStallBegin, 12, WireId(5), 1, 2'000),
+      ev(2, TraceEventKind::kStallResolved, 12, WireId(6), 1, 700),
+  };
+  const ForensicsReport report = analyze({wrap({std::move(receiver)})});
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_FALSE(report.episodes[0].open);
+  EXPECT_EQ(report.open_episodes, 0u);
+  EXPECT_EQ(report.total_stall_ns, 700);
+}
+
+TEST(Forensics, CrashMarkerFlushesThePendingBegin) {
+  // A kCrash mid-stream orphans the in-flight episode even though the
+  // stream continues afterwards with a fresh, properly resolved one.
+  ComponentTrace receiver;
+  receiver.component = ComponentId(1);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallBegin, 10, WireId(5), 0, 1'000),
+      ev(1, TraceEventKind::kCrash, 0, WireId(), 0, 0),
+      ev(2, TraceEventKind::kStallBegin, 20, WireId(5), 0, 6'000),
+      ev(3, TraceEventKind::kStallResolved, 20, WireId(6), 0, 300),
+      ev(4, TraceEventKind::kStallBlame, 15, WireId(6), 0, /*wall=*/6'000),
+  };
+  const ForensicsReport report = analyze({wrap({std::move(receiver)})});
+  ASSERT_EQ(report.episodes.size(), 2u);
+  std::size_t open_count = 0;
+  for (const Episode& ep : report.episodes)
+    if (ep.open) ++open_count;
+  EXPECT_EQ(open_count, 1u);
+  EXPECT_EQ(report.open_episodes, 1u);
+  // The open lower bound: latest stamp (blame wall 6'000) minus begin.
+  EXPECT_EQ(report.open_stall_ns, 5'000);
+  EXPECT_EQ(report.total_stall_ns, 5'000 + 300);
+}
+
+TEST(Forensics, PreV2BeginWithoutStampIsSkipped) {
+  // v1 recorders stamped no wall clock into kStallBegin (payload 0): an
+  // orphaned v1 begin carries no usable bound and is silently dropped
+  // rather than synthesizing a bogus zero-length episode.
+  ComponentTrace receiver;
+  receiver.component = ComponentId(1);
+  receiver.events = {
+      ev(0, TraceEventKind::kStallBegin, 10, WireId(5), 0, /*wall=*/0),
+  };
+  const ForensicsReport report = analyze({wrap({std::move(receiver)})});
+  EXPECT_TRUE(report.episodes.empty());
+  EXPECT_EQ(report.open_episodes, 0u);
+  EXPECT_EQ(report.total_stall_ns, 0);
+}
+
 TEST(Forensics, EmptyReportAttributesEverything) {
   const ForensicsReport report = analyze({});
   EXPECT_TRUE(report.episodes.empty());

@@ -133,7 +133,11 @@ struct OutputLine {
   bool operator==(const OutputLine&) const = default;
 };
 
-/// Parses a GET /outputs body: one "vt\tstutter\tpayload" line per record.
+/// Parses a GET /outputs body: one "vt\tstutter\torigin\tpayload" line per
+/// record. The origin column (the originating ingest's WIRE:SEQ lineage
+/// tag, "-" when unstamped) must be well-formed but is dropped from the
+/// comparison value: origins name gateway log positions, which differ
+/// between a live run and its recovery replay while vt/payload must not.
 std::vector<OutputLine> parse_outputs(const std::string& body) {
   std::vector<OutputLine> lines;
   std::istringstream in(body);
@@ -141,11 +145,16 @@ std::vector<OutputLine> parse_outputs(const std::string& body) {
   while (std::getline(in, line)) {
     const auto t1 = line.find('\t');
     const auto t2 = line.find('\t', t1 + 1);
+    const auto t3 = line.find('\t', t2 + 1);
     EXPECT_NE(t1, std::string::npos) << line;
     EXPECT_NE(t2, std::string::npos) << line;
+    EXPECT_NE(t3, std::string::npos) << line;
+    const std::string origin = line.substr(t2 + 1, t3 - t2 - 1);
+    EXPECT_TRUE(origin == "-" || origin.find(':') != std::string::npos)
+        << line;
     lines.push_back({std::stoll(line.substr(0, t1)),
                      line.substr(t1 + 1, t2 - t1 - 1) == "1",
-                     line.substr(t2 + 1)});
+                     line.substr(t3 + 1)});
   }
   return lines;
 }

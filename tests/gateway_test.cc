@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -337,6 +338,29 @@ TEST(TryInjectTest, BatchStampsMonotonelyAndLogsEverything) {
 
 // --- Live gateway over real sockets -----------------------------------------
 
+/// Finds the /outputs line carrying `payload` and checks its shape:
+/// "vt\tstutter\torigin\tpayload" with a fresh (stutter=0) flag and a
+/// well-formed WIRE:SEQ origin tag (gateway-injected inputs are always
+/// stamped). Returns false when the line is missing or malformed.
+bool fresh_output_with_origin(const std::string& body,
+                              const std::string& payload) {
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto t1 = line.find('\t');
+    const auto t2 = line.find('\t', t1 + 1);
+    const auto t3 = line.find('\t', t2 + 1);
+    if (t3 == std::string::npos) return false;
+    if (line.substr(t3 + 1) != payload) continue;
+    const std::string origin = line.substr(t2 + 1, t3 - t2 - 1);
+    const auto colon = origin.find(':');
+    return line.substr(t1 + 1, t2 - t1 - 1) == "0" &&
+           colon != std::string::npos && colon > 0 &&
+           colon + 1 < origin.size();
+  }
+  return false;
+}
+
 class GatewayTest : public ::testing::Test {
  protected:
   void start(gateway::Gateway::Options options = {}) {
@@ -430,8 +454,8 @@ TEST_F(GatewayTest, OutputsDrainAndLongPoll) {
   // shape: two fresh records, in order, payloads intact.
   auto resp = c.get("/outputs/out");
   EXPECT_EQ(resp.status, 200);
-  EXPECT_NE(resp.body.find("\t0\talpha\n"), std::string::npos) << resp.body;
-  EXPECT_NE(resp.body.find("\t0\tbeta\n"), std::string::npos) << resp.body;
+  EXPECT_TRUE(fresh_output_with_origin(resp.body, "alpha")) << resp.body;
+  EXPECT_TRUE(fresh_output_with_origin(resp.body, "beta")) << resp.body;
   EXPECT_LT(resp.body.find("alpha"), resp.body.find("beta"));
   ASSERT_NE(resp.header("X-Tart-Next"), nullptr);
   EXPECT_EQ(*resp.header("X-Tart-Next"), "2");
@@ -439,7 +463,7 @@ TEST_F(GatewayTest, OutputsDrainAndLongPoll) {
   // Incremental drain from a cursor.
   resp = c.get("/outputs/out?after=1");
   EXPECT_EQ(resp.body.find("alpha"), std::string::npos) << resp.body;
-  EXPECT_NE(resp.body.find("\t0\tbeta\n"), std::string::npos) << resp.body;
+  EXPECT_TRUE(fresh_output_with_origin(resp.body, "beta")) << resp.body;
 
   // Long-poll with nothing new: returns empty at the deadline.
   const auto t0 = std::chrono::steady_clock::now();
@@ -465,7 +489,7 @@ TEST_F(GatewayTest, LongPollWakesOnNewOutput) {
   const auto resp = c.get("/outputs/out?wait_ms=5000");
   feeder.join();
   EXPECT_EQ(resp.status, 200);
-  EXPECT_NE(resp.body.find("\t0\tlate\n"), std::string::npos) << resp.body;
+  EXPECT_TRUE(fresh_output_with_origin(resp.body, "late")) << resp.body;
 }
 
 TEST_F(GatewayTest, PipelinedRequestsAnswerInOrder) {

@@ -38,6 +38,8 @@
 #include "net/control.h"
 #include "net/socket.h"
 #include "net/topologies.h"
+#include "trace/lineage.h"
+#include "trace/trace_file.h"
 
 using namespace tart;
 using namespace std::chrono_literals;
@@ -249,6 +251,8 @@ TEST(MigrationProcessTest, LiveMigrationUnderLoadMatchesBaseline) {
   const std::string dir = make_temp_dir();
   const std::string right_ref_trace = dir + "/right_ref.trace";
   const std::string right_mig_trace = dir + "/right_mig.trace";
+  const std::string left_mig_trace = dir + "/left_mig.trace";
+  const std::string mid_mig_trace = dir + "/mid_mig.trace";
 
   // --- Reference: same deployment, no migration ---------------------------
   OutputStream ref_out;
@@ -281,8 +285,12 @@ TEST(MigrationProcessTest, LiveMigrationUnderLoadMatchesBaseline) {
     const Deployment d = write_deployment(dir);
     ASSERT_EQ(mkdir((dir + "/mig_left").c_str(), 0755), 0);
     ASSERT_EQ(mkdir((dir + "/mig_mid").c_str(), 0755), 0);
-    NodeProc left(d.config_path, "left", {"--log-dir=" + dir + "/mig_left"});
-    NodeProc mid(d.config_path, "mid", {"--log-dir=" + dir + "/mig_mid"});
+    NodeProc left(d.config_path, "left",
+                  {"--log-dir=" + dir + "/mig_left",
+                   "--trace=" + left_mig_trace});
+    NodeProc mid(d.config_path, "mid",
+                 {"--log-dir=" + dir + "/mig_mid",
+                  "--trace=" + mid_mig_trace});
     NodeProc right(d.config_path, "right", {"--trace=" + right_mig_trace});
     auto left_ctl = connect_or_die(d.left_control);
     auto mid_ctl = connect_or_die(d.mid_control);
@@ -355,6 +363,24 @@ TEST(MigrationProcessTest, LiveMigrationUnderLoadMatchesBaseline) {
   // migrated run from the stay-put run.
   EXPECT_EQ(run_trace_diff(right_ref_trace, right_mig_trace), 0)
       << "tart-trace diff --recovery flagged divergence after migration";
+
+  // Request lineage across the migration (docs/TRACING.md): joining the
+  // three per-node flight recorders must resolve EVERY injected input to
+  // a complete causal DAG, even for sender2 inputs acked before the
+  // cutover whose descendants executed on a different node afterwards.
+  const std::vector<trace::Trace> traces = {
+      trace::TraceReader::read_file(left_mig_trace),
+      trace::TraceReader::read_file(mid_mig_trace),
+      trace::TraceReader::read_file(right_mig_trace),
+  };
+  const trace::LineageReport lineage = trace::analyze_lineage(traces);
+  EXPECT_EQ(lineage.inputs.size(), steps.size());
+  for (const trace::InputLineage& in : lineage.inputs) {
+    EXPECT_TRUE(in.complete)
+        << "input " << in.wire.value() << ":" << in.seq
+        << " has a dangling causal edge across the migration";
+    EXPECT_FALSE(in.hops.empty());
+  }
 }
 
 namespace {

@@ -272,7 +272,8 @@ TEST(TraceDeterminism, ForensicsEventsStayOutOfTheSchedulingStream) {
 
     RuntimeConfig diag_config;
     diag_config.trace.categories =
-        static_cast<std::uint32_t>(trace::TraceCategory::kAll);
+        static_cast<std::uint32_t>(trace::TraceCategory::kScheduling) |
+        static_cast<std::uint32_t>(trace::TraceCategory::kDiagnostic);
     const std::string diag = temp_trace_path("diag" + std::to_string(seed));
     run_traced(seed, diag, diag_config);
 
@@ -286,14 +287,64 @@ TEST(TraceDeterminism, ForensicsEventsStayOutOfTheSchedulingStream) {
                   trace::TraceCategory::kScheduling)
             << trace::name_of(e.kind);
 
-    // The differ ignores diagnostics by design, so the kAll run must make
-    // exactly the scheduling decisions of the bare run.
+    // The differ ignores diagnostics by design, so the diagnostic run must
+    // make exactly the scheduling decisions of the bare run. (Lineage is
+    // excluded here: enabling it registers the synthetic edge stream, which
+    // changes the component set — LineageDoesNotPerturbScheduling covers
+    // that case via category projections.)
     const auto diff = trace::diff_traces(ts, td);
     EXPECT_TRUE(diff.identical())
         << "seed " << seed << "\n" << diff.divergence->describe();
 
     std::remove(sched.c_str());
     std::remove(diag.c_str());
+  }
+}
+
+// Lineage events carry wall-clock stamps, so two lineage-enabled runs are
+// NOT byte-identical — but the scheduling-category projection of each must
+// be. This is the acceptance form of "lineage does not perturb
+// determinism": filter_categories(t, kScheduling) strips the wall-stamped
+// lineage/diagnostic records (and rebases per-component seqs), and the
+// projections of two same-seed kAll runs must encode to identical bytes.
+TEST(TraceDeterminism, LineageDoesNotPerturbScheduling) {
+  for (const std::uint64_t seed : {3ull, 8ull}) {
+    RuntimeConfig all_config;
+    all_config.trace.categories =
+        static_cast<std::uint32_t>(trace::TraceCategory::kAll);
+
+    const std::string pa = temp_trace_path("lina" + std::to_string(seed));
+    const std::string pb = temp_trace_path("linb" + std::to_string(seed));
+    run_traced(seed, pa, all_config);
+    run_traced(seed, pb, all_config);
+
+    const auto ta = trace::TraceReader::read_file(pa);
+    const auto tb = trace::TraceReader::read_file(pb);
+
+    // Lineage was actually recorded (otherwise this test proves nothing).
+    std::size_t lineage_events = 0;
+    for (const auto& ct : ta.components)
+      for (const auto& e : ct.events)
+        if (trace::category_of(e.kind) == trace::TraceCategory::kLineage)
+          ++lineage_events;
+    EXPECT_GT(lineage_events, 0u) << "seed " << seed;
+
+    // Scheduling projections are byte-identical across the two runs.
+    const auto proj_a = trace::filter_categories(
+        ta, static_cast<std::uint32_t>(trace::TraceCategory::kScheduling));
+    const auto proj_b = trace::filter_categories(
+        tb, static_cast<std::uint32_t>(trace::TraceCategory::kScheduling));
+    EXPECT_EQ(trace::encode_trace(proj_a), trace::encode_trace(proj_b))
+        << "scheduling projection diverged for seed " << seed;
+
+    // The differ (which itself skips non-scheduling events) agrees on the
+    // full traces too: same components, same decisions.
+    const auto diff = trace::diff_traces(ta, tb);
+    EXPECT_TRUE(diff.identical())
+        << "seed " << seed << "\n" << diff.divergence->describe();
+
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
   }
 }
 

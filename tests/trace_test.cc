@@ -110,6 +110,23 @@ TEST(TraceFileTest, EncodingIsDeterministic) {
   EXPECT_EQ(encode_trace(sample_trace()), encode_trace(sample_trace()));
 }
 
+// Pre-lineage (v1) files must stay readable: the lineage event class only
+// *adds* kinds, so a v1 body decodes under the v2 reader unchanged.
+TEST(TraceFileTest, ReadsVersion1Files) {
+  Trace t = sample_trace();
+  t.version = kMinReadableTraceVersion;
+  // A v1 recorder never produced lineage-class events; drop them so the
+  // sample is a faithful v1 body.
+  for (auto& ct : t.components) {
+    std::erase_if(ct.events, [](const TraceEvent& e) {
+      return category_of(e.kind) == TraceCategory::kLineage;
+    });
+  }
+  const Trace back = TraceReader::read_bytes(encode_trace(t));
+  EXPECT_EQ(back.version, kMinReadableTraceVersion);
+  EXPECT_EQ(back, t);
+}
+
 TEST(TraceFileTest, RejectsBadMagic) {
   auto bytes = encode_trace(sample_trace());
   bytes[0] = std::byte{'X'};

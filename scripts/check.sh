@@ -2,9 +2,11 @@
 # Tier-1 gate: plain build + full ctest, then the same suite under
 # AddressSanitizer. Usage: scripts/check.sh [--no-asan] [--smoke]
 #
-# --smoke additionally runs the bench smokes with --json and collects the
-# machine-readable results as BENCH_<name>.json in the repo root, so CI
-# runs leave comparable throughput/latency/RTO artifacts behind.
+# --smoke additionally runs the bench smokes with --json, collects the
+# machine-readable results in bench/out/ (gitignored), and gates them
+# against the committed baselines in bench/baselines/ via
+# scripts/bench_gate.py — a >tolerance regression fails the run. After an
+# intentional perf change: scripts/bench_gate.py --update-baselines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,7 +27,8 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 echo "== gateway bench smoke =="
 if [[ "$smoke_json" == 1 ]]; then
-  ./build/bench/bench_gateway --smoke --json=BENCH_gateway.json
+  mkdir -p bench/out
+  ./build/bench/bench_gateway --smoke --json=bench/out/BENCH_gateway.json
 else
   ./build/bench/bench_gateway --smoke
 fi
@@ -35,7 +38,7 @@ fi
 # suffix (docs/RECOVERY.md).
 echo "== recovery bench smoke =="
 if [[ "$smoke_json" == 1 ]]; then
-  ./build/bench/bench_recovery --smoke --json=BENCH_recovery.json
+  ./build/bench/bench_recovery --smoke --json=bench/out/BENCH_recovery.json
 else
   ./build/bench/bench_recovery --smoke
 fi
@@ -44,8 +47,13 @@ fi
 # the smokes and adds no assertion coverage beyond running clean).
 if [[ "$smoke_json" == 1 ]]; then
   echo "== net bench smoke =="
-  ./build/bench/bench_net --smoke --json=BENCH_net.json
-  echo "collected: BENCH_gateway.json BENCH_recovery.json BENCH_net.json"
+  ./build/bench/bench_net --smoke --json=bench/out/BENCH_net.json
+  echo "collected: bench/out/BENCH_{gateway,recovery,net}.json"
+  echo "== bench regression gate =="
+  # TART_BENCH_GATE_SCALE widens the tolerances on noisy machines (CI
+  # sets 2); the reference machine runs at 1.
+  python3 scripts/bench_gate.py \
+    --tolerance-scale "${TART_BENCH_GATE_SCALE:-1}"
 fi
 
 # Migration smoke: one live round trip of a stateful component between

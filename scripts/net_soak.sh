@@ -8,8 +8,11 @@
 # two-node deployment and
 # scrapes /metrics + /status from both gateways mid-run with
 # `tart-obs --scrape` (lint-clean exposition, stall-attribution series
-# present, parsable wavefront JSON) and aggregates both control ports
-# once with `tart-obs --once`. Both nodes record flight-recorder traces;
+# present, parsable wavefront JSON), aggregates both control ports
+# once with `tart-obs --once`, renders the live profiler view with
+# `tart-obs top --once`, and gates `GET /profile` on both nodes (span
+# profiler snapshot present and self-consistent — loop span time <=
+# wall time, saturation in [0,1]). Both nodes record flight-recorder traces;
 # after shutdown, `tart-trace explain --json` over the pair must find
 # >=1 stall episode with >=90% of stall time attributed, and
 # `tart-trace lineage --json` must reconstruct complete causal DAGs for
@@ -90,6 +93,55 @@ EOF
   ./build/src/tools/tart-obs --once "$left_ctl" "$right_ctl"
 
   wait "$feeder_pid" || true
+
+  # Live per-node profiler view over the same control ports. This runs
+  # after the feeder so both nodes are past their first gauge sweep (the
+  # sweep is what harvests the profiler into the kGetObs registry).
+  ./build/src/tools/tart-obs top --once "$left_ctl" "$right_ctl"
+
+  # Profile gate (docs/OBSERVABILITY.md "Hot-path profiling"): both live
+  # nodes must serve the span-profiler snapshot on GET /profile, with the
+  # event-loop spans present, the saturation gauge in [0,1], and totals
+  # that are self-consistent — recorded span time cannot exceed the wall
+  # time available to the profiled threads. The JSON is passed via argv
+  # (not a pipe) because the heredoc already owns python's stdin.
+  echo "== hot-path profile gate =="
+  local addr profile_json
+  for addr in "$left_http" "$right_http"; do
+    profile_json="$(curl -fsS "http://$addr/profile")"
+    python3 - "$addr" "$profile_json" <<'PY'
+import json, sys
+addr = sys.argv[1]
+doc = json.loads(sys.argv[2])
+assert doc["enabled"] in (True, False), "bad 'enabled' flag"
+assert doc["uptime_ns"] > 0, "uptime_ns not positive"
+sat = doc["loop"]["saturation"]
+assert 0.0 <= sat <= 1.0, f"saturation {sat} out of [0,1]"
+spans = {s["name"]: s for s in doc["spans"]}
+if doc["enabled"]:
+    for want in ("loop.poll_wait", "loop.dispatch"):
+        assert want in spans, f"span '{want}' missing from /profile"
+for s in doc["spans"]:
+    assert s["count"] >= 0 and s["total_ns"] >= 0, f"negative span {s}"
+    if s["count"] > 0:
+        assert s["total_ns"] >= s["max_ns"], f"total < max in {s}"
+# Self-consistency: the loop-phase spans are disjoint slices of each
+# event-loop thread's wall time, so their combined total (total dispatch
+# time) cannot exceed uptime x profiled-thread-count. Nested spans
+# (net.decode inside loop.dispatch) legitimately double-count, so only
+# the disjoint top-level set is summed.
+wall = doc["uptime_ns"] * max(doc["threads"], 1)
+loop_phases = ("loop.poll_wait", "loop.dispatch", "loop.posted",
+               "loop.timers")
+dispatch_ns = sum(spans[n]["total_ns"] for n in loop_phases if n in spans)
+assert dispatch_ns <= wall, \
+    f"loop span time {dispatch_ns}ns > wall {wall}ns"
+loop_ns = doc["loop"]["busy_ns"] + doc["loop"]["idle_ns"]
+assert loop_ns <= wall, f"loop busy+idle {loop_ns}ns > wall {wall}ns"
+print(f"profile {addr}: enabled={doc['enabled']} "
+      f"saturation={sat:.3f} spans={len(spans)}")
+PY
+  done
   curl -fsS -X POST "http://$left_http/drain" >/dev/null
   curl -fsS -X POST "http://$right_http/drain" >/dev/null
   # Post-drain scrape: the counters page must still lint clean once the

@@ -1,6 +1,8 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -30,6 +32,48 @@ void log_line(LogLevel level, const std::string& line) {
   if (level < log_level()) return;
   const std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "%s %s\n", level_tag(level), line.c_str());
+}
+
+LogTokenBucket::LogTokenBucket(double rate_per_s, std::uint32_t burst)
+    : rate_per_s_(rate_per_s > 0 ? rate_per_s : 1.0),
+      burst_(burst > 0 ? static_cast<double>(burst) : 1.0),
+      tokens_milli_(static_cast<std::int64_t>(burst_ * 1000.0)),
+      last_refill_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count()) {}
+
+LogTokenBucket::Grant LogTokenBucket::try_acquire() {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  // Refill: one thread wins the CAS on last_refill_ns_ and deposits the
+  // elapsed-time tokens; losers just see a fresher timestamp.
+  std::int64_t last = last_refill_ns_.load(std::memory_order_relaxed);
+  if (now_ns > last &&
+      last_refill_ns_.compare_exchange_strong(last, now_ns,
+                                              std::memory_order_relaxed)) {
+    const double earned_milli =
+        static_cast<double>(now_ns - last) * 1e-9 * rate_per_s_ * 1000.0;
+    const auto cap = static_cast<std::int64_t>(burst_ * 1000.0);
+    std::int64_t cur = tokens_milli_.load(std::memory_order_relaxed);
+    std::int64_t next;
+    do {
+      next = std::min<std::int64_t>(
+          cap, cur + static_cast<std::int64_t>(earned_milli));
+    } while (!tokens_milli_.compare_exchange_weak(cur, next,
+                                                  std::memory_order_relaxed));
+  }
+  // Spend one token if available.
+  std::int64_t cur = tokens_milli_.load(std::memory_order_relaxed);
+  while (cur >= 1000) {
+    if (tokens_milli_.compare_exchange_weak(cur, cur - 1000,
+                                            std::memory_order_relaxed)) {
+      return Grant{true, suppressed_.exchange(0, std::memory_order_relaxed)};
+    }
+  }
+  suppressed_.fetch_add(1, std::memory_order_relaxed);
+  return Grant{false, 0};
 }
 
 }  // namespace tart

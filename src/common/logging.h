@@ -2,6 +2,9 @@
 // perturbed; enable with set_log_level for debugging runs.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,7 +16,40 @@ void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 void log_line(LogLevel level, const std::string& line);
 
+/// Steady-clock token bucket for rate-limiting noisy call sites: `rate`
+/// tokens per second up to `burst`. try_acquire() is thread-safe (single
+/// CAS on the packed state) and returns the number of events suppressed
+/// since the last grant, so the next allowed line can say "(+N dropped)".
+class LogTokenBucket {
+ public:
+  LogTokenBucket(double rate_per_s, std::uint32_t burst);
+
+  struct Grant {
+    bool allowed = false;
+    std::uint64_t suppressed = 0;  ///< Denied events since the last grant.
+  };
+  Grant try_acquire();
+
+ private:
+  double rate_per_s_;
+  double burst_;
+  std::atomic<std::int64_t> tokens_milli_;  ///< Millitokens, for CAS math.
+  std::atomic<std::int64_t> last_refill_ns_;
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
 namespace detail {
+/// Counter behind TART_LOG_EVERY_N: passes events 0, n, 2n, ...
+class Every {
+ public:
+  explicit Every(std::uint64_t n) : n_(n ? n : 1) {}
+  bool tick() { return count_.fetch_add(1, std::memory_order_relaxed) % n_ == 0; }
+
+ private:
+  std::uint64_t n_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -40,6 +76,23 @@ class LogMessage {
     ::tart::detail::LogMessage(::tart::LogLevel::level, __FILE__,    \
                                __LINE__)                             \
         .stream()
+
+/// Level-checked log line that fires on the 1st, (n+1)th, (2n+1)th, ...
+/// hit of this call site. For hot-path warnings (per-message decode
+/// failures under soak) where one line per incident is noise control
+/// enough. `n` is fixed at first evaluation.
+#define TART_LOG_EVERY_N(level, n)                                   \
+  if (::tart::log_level() > ::tart::LogLevel::level) {               \
+  } else if (![](std::uint64_t every) {                              \
+               static ::tart::detail::Every counter(every);          \
+               return counter.tick();                                \
+             }(n)) {                                                 \
+  } else                                                             \
+    ::tart::detail::LogMessage(::tart::LogLevel::level, __FILE__,    \
+                               __LINE__)                             \
+        .stream()
+
+#define TART_WARN_EVERY_N(n) TART_LOG_EVERY_N(kWarn, n)
 
 #define TART_TRACE TART_LOG(kTrace)
 #define TART_DEBUG TART_LOG(kDebug)

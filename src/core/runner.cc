@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/prof.h"
 
 namespace tart::core {
 
@@ -721,6 +722,8 @@ void ComponentRunner::process(const Message& m) {
     component_->on_message(ctx, spec.to_port, m.payload);
   }
   const auto elapsed_ns = ns_between(t0, Clock::now());
+  // Reuses the two clock reads the estimator already pays for.
+  TART_PROF_SPAN_NS("runner.dispatch", elapsed_ns);
 
   if (config_.mode == SchedulingMode::kDeterministic) {
     // Estimator accuracy: the charge that moved the cursor vs. the wall
@@ -817,6 +820,10 @@ VirtualTime ComponentRunner::emit(OutputState& out, VirtualTime cursor,
     tracer_->record(id_, trace::TraceEventKind::kEmit, vt, out.spec.id,
                     msg.seq, trace::hash_of(msg.payload));
 
+  // Retention keeps a full copy of every sent message until the receiver's
+  // checkpoint horizon passes it — the steady-state memory cost the
+  // zero-copy work needs a baseline for.
+  TART_PROF_BYTES("runner.retention", msg.payload.approx_bytes());
   out.retention.record(msg);
   out.last_sent = vt;
   router_.to_receiver(out.spec.id, transport::DataFrame{msg});

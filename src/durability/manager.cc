@@ -5,6 +5,7 @@
 
 #include "core/runtime.h"
 #include "log/segmented_store.h"
+#include "obs/prof.h"
 
 namespace tart::durability {
 
@@ -130,7 +131,11 @@ CheckpointStats CheckpointManager::checkpoint_now() {
   c.covered_record_index = runtime_.external_log().covered_record_index(covered);
 
   // 3. Persist. A failed write gates nothing: the log keeps everything.
-  const std::uint64_t file_bytes = writer_.write(c);
+  std::uint64_t file_bytes = 0;
+  {
+    TART_PROF_SPAN("ckpt.write");
+    file_bytes = writer_.write(c);
+  }
   if (file_bytes == 0) {
     failures_.fetch_add(1);
     stats.error = "checkpoint write failed";

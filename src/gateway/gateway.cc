@@ -15,6 +15,7 @@
 #include "durability/manager.h"
 #include "net/partition_config.h"
 #include "obs/exposition.h"
+#include "obs/prof.h"
 
 namespace tart::gateway {
 
@@ -257,6 +258,8 @@ void Gateway::on_conn_event(std::uint64_t id, unsigned events) {
     for (;;) {
       const ssize_t n = ::read(c->fd.get(), buf, sizeof(buf));
       if (n > 0) {
+        TART_PROF_SPAN("gw.parse");
+        TART_PROF_BYTES("gw.http_in", n);
         try {
           c->parser.feed(buf, static_cast<std::size_t>(n));
         } catch (const HttpError&) {
@@ -474,6 +477,16 @@ void Gateway::handle_request(std::uint64_t id, HttpRequest req) {
     respond(id, 200, {{"Content-Type", "application/json"}},
             obs::render_status_json(runtime_->status(), &samples),
             req.keep_alive);
+    return;
+  }
+  if (path == "/profile") {
+    if (req.method != "GET") {
+      errors_.fetch_add(1);
+      respond(id, 405, {{"Allow", "GET"}}, "GET only\n", req.keep_alive);
+      return;
+    }
+    respond(id, 200, {{"Content-Type", "application/json"}},
+            obs::prof::render_json(), req.keep_alive);
     return;
   }
   if (path == "/healthz") {
@@ -809,12 +822,14 @@ void Gateway::committer_main() {
                      core::InjectResult{core::InjectStatus::kStoreFailed,
                                         VirtualTime(-1)});
     } else if (options_.group_commit) {
+      TART_PROF_SPAN("gw.group_commit");
       std::vector<core::InjectRequest> requests;
       requests.reserve(batch.size());
       for (const auto& p : batch) requests.push_back(p.request);
       results = runtime_->try_inject_batch(requests);
     } else {
       // Baseline mode: identical durability, one flush per request.
+      TART_PROF_SPAN("gw.group_commit");
       results.reserve(batch.size());
       for (const auto& p : batch) {
         results.push_back(runtime_->try_inject_batch({p.request}).front());

@@ -5,6 +5,7 @@
 #include <cerrno>
 
 #include "common/logging.h"
+#include "obs/prof.h"
 
 namespace tart::net {
 
@@ -208,9 +209,9 @@ void ConnectionManager::on_pending_ready(int fd, unsigned events) {
   const auto peer_it = peers_.find(hello.node);
   if (peer_it == peers_.end() ||
       hello.deployment_fp != options_.deployment_fp || peer_it->second->we_dial) {
-    TART_WARN << "net: refusing connection from '" << hello.node
-                   << "' (unknown peer, fingerprint mismatch, or wrong side "
-                      "dialing)";
+    TART_WARN_EVERY_N(100) << "net: refusing connection from '" << hello.node
+                           << "' (unknown peer, fingerprint mismatch, or "
+                              "wrong side dialing)";
     close_pending();
     return;
   }
@@ -365,6 +366,9 @@ void ConnectionManager::handle_readable(Peer& peer) {
     const auto n = ::read(peer.fd.get(), buf, sizeof(buf));
     if (n > 0) {
       counters_.bytes_in.fetch_add(static_cast<std::uint64_t>(n));
+      // feed() copies the kernel's bytes into the decoder's staging buffer
+      // — the inbound copy the zero-copy refactor wants to erase.
+      TART_PROF_BYTES("net.envelope_in", n);
       peer.last_recv = EventLoop::Clock::now();
       peer.decoder.feed(buf, static_cast<std::size_t>(n));
       continue;
@@ -374,14 +378,15 @@ void ConnectionManager::handle_readable(Peer& peer) {
     drop_connection(peer, n == 0 ? "peer closed" : "read error");
     return;
   }
+  TART_PROF_SPAN("net.decode");
   for (;;) {
     std::optional<NetMessage> msg;
     try {
       msg = peer.decoder.next();
     } catch (const std::exception& e) {
       counters_.decode_errors.fetch_add(1);
-      TART_WARN << "net: dropping '" << peer.name
-                     << "': malformed inbound data: " << e.what();
+      TART_WARN_EVERY_N(100) << "net: dropping '" << peer.name
+                             << "': malformed inbound data: " << e.what();
       drop_connection(peer, "decode error");
       return;
     }
@@ -404,8 +409,8 @@ void ConnectionManager::handle_message(Peer& peer, NetMessage msg) {
       }
       if (hello.node != peer.name ||
           hello.deployment_fp != options_.deployment_fp) {
-        TART_WARN << "net: hello mismatch from '" << hello.node
-                       << "' (expected '" << peer.name << "')";
+        TART_WARN_EVERY_N(100) << "net: hello mismatch from '" << hello.node
+                               << "' (expected '" << peer.name << "')";
         drop_connection(peer, "hello mismatch");
         return;
       }
@@ -422,8 +427,8 @@ void ConnectionManager::handle_message(Peer& peer, NetMessage msg) {
         frame = decode_frame_payload(msg.payload);
       } catch (const std::exception& e) {
         counters_.decode_errors.fetch_add(1);
-        TART_WARN << "net: bad frame from '" << peer.name
-                       << "': " << e.what();
+        TART_WARN_EVERY_N(100) << "net: bad frame from '" << peer.name
+                               << "': " << e.what();
         drop_connection(peer, "bad frame");
         return;
       }
@@ -448,6 +453,9 @@ void ConnectionManager::handle_message(Peer& peer, NetMessage msg) {
 void ConnectionManager::enqueue_bytes(Peer& peer, std::vector<std::byte> bytes,
                                       Peer::OutKind kind) {
   Peer::OutBuf buf;
+  // The serialized envelope was built on the sender's thread and moved
+  // here; count it as one outbound envelope staging on the wire path.
+  TART_PROF_BYTES("net.envelope_out", bytes.size());
   buf.bytes = std::move(bytes);
   buf.kind = kind;
   peer.outq.push_back(std::move(buf));
@@ -462,6 +470,11 @@ void ConnectionManager::enqueue_bytes(Peer& peer, std::vector<std::byte> bytes,
 }
 
 void ConnectionManager::flush_writes(Peer& peer) {
+  if (peer.outq.empty()) {
+    update_interest(peer);
+    return;
+  }
+  TART_PROF_SPAN("net.send_flush");
   while (!peer.outq.empty() && peer.fd.valid()) {
     Peer::OutBuf& front = peer.outq.front();
     const auto n = ::write(peer.fd.get(), front.bytes.data() + front.offset,
@@ -504,9 +517,9 @@ void ConnectionManager::heartbeat_tick() {
     if (!peer->fd.valid() || peer->connecting) continue;
     if (now - peer->last_recv > dead_after) {
       counters_.heartbeat_misses.fetch_add(1);
-      TART_WARN << "net: peer '" << name << "' silent for "
-                     << options_.tuning.heartbeat_miss_limit
-                     << " heartbeat intervals; declaring link down";
+      TART_WARN_EVERY_N(10) << "net: peer '" << name << "' silent for "
+                            << options_.tuning.heartbeat_miss_limit
+                            << " heartbeat intervals; declaring link down";
       drop_connection(*peer, "heartbeat timeout");
       continue;
     }

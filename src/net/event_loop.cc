@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <stdexcept>
 
+#include "obs/prof.h"
+
 namespace tart::net {
 
 EventLoop::EventLoop() {
@@ -87,20 +89,32 @@ void EventLoop::run() {
         return;
       }
     }
-    for (auto& fn : run_now) fn();
-    run_now.clear();
+    if (!run_now.empty()) {
+      TART_PROF_SPAN("loop.posted");
+      for (auto& fn : run_now) fn();
+      run_now.clear();
+    }
 
     // Due timers (collect ids first: a timer callback may add/cancel).
     const auto now = Clock::now();
     std::vector<TimerId> due;
     for (const auto& [id, timer] : timers_)
       if (timer.when <= now) due.push_back(id);
-    for (const TimerId id : due) {
-      const auto it = timers_.find(id);
-      if (it == timers_.end()) continue;  // cancelled by an earlier callback
-      auto callback = std::move(it->second.callback);
-      timers_.erase(it);
-      callback();
+    if (!due.empty()) {
+      TART_PROF_SPAN("loop.timers");
+      for (const TimerId id : due) {
+        const auto it = timers_.find(id);
+        if (it == timers_.end()) continue;  // cancelled by an earlier callback
+        auto callback = std::move(it->second.callback);
+        // Loop lag: how far past its deadline the timer fired. The skew a
+        // saturated loop imposes on heartbeats, sweeps, and retries.
+        TART_PROF_SPAN_NS(
+            "loop.lag", std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            now - it->second.when)
+                            .count());
+        timers_.erase(it);
+        callback();
+      }
     }
 
     // Poll timeout: until the next timer deadline, bounded for liveness.
@@ -121,11 +135,17 @@ void EventLoop::run() {
       pollset.push_back(pollfd{fd, events, 0});
     }
 
-    const int n = ::poll(pollset.data(), pollset.size(), timeout_ms);
+    int n;
+    {
+      TART_PROF_SPAN("loop.poll_wait");
+      n = ::poll(pollset.data(), pollset.size(), timeout_ms);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error("EventLoop: poll failed");
     }
+    if (n == 0) continue;  // timeout, nothing to dispatch
+    TART_PROF_SPAN("loop.dispatch");
     if (pollset[0].revents != 0) drain_wake_pipe();
     for (std::size_t i = 1; i < pollset.size(); ++i) {
       const auto& p = pollset[i];

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "durability/manager.h"
 #include "durability/replay.h"
+#include "obs/prof.h"
 
 namespace tart::net {
 namespace {
@@ -373,6 +374,10 @@ void NetHost::gauge_sweep() {
               "Bytes the segmented external log occupies on disk.")
         .set(static_cast<std::int64_t>(seg->bytes_on_disk()));
   }
+  // Fold the hot-path profiler's thread-local accumulators into tart_prof_*
+  // cells: they ship with kObs/kGetObs and render in /metrics like any
+  // other sample.
+  obs::prof::harvest_into(reg);
   gauge_timer_ = conn_->loop().add_timer(
       EventLoop::Clock::now() +
           std::chrono::milliseconds(options_.gauge_interval_ms),

@@ -36,6 +36,18 @@ void Histogram::record(double x) {
   }
 }
 
+void Histogram::record_n(double x, std::uint64_t n) {
+  if (n == 0) return;
+  if (x < 0) x = 0;
+  buckets_[bucket_index(x)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(x * static_cast<double>(n), std::memory_order_relaxed);
+  double cur = max_.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
 void Histogram::record(double x, const Exemplar& ex) {
   record(x);
   const std::uint32_t cap = ex_capacity_.load(std::memory_order_acquire);

@@ -117,6 +117,10 @@ class Histogram {
   Histogram(double width, std::size_t num_buckets);
 
   void record(double x);
+  /// Bulk form: `n` observations of value `x` in one update per field —
+  /// lets the profiler harvest fold a whole log2 bucket's worth of spans
+  /// into the registry histogram without an O(events) loop.
+  void record_n(double x, std::uint64_t n);
   /// record() plus stash the exemplar in the target bucket's ring (newest
   /// evicts oldest). No-op attachment unless enable_exemplars was called.
   /// Cold path only (stall release, not per-message); relaxed atomics, so

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/virtual_time.h"
+#include "obs/prof.h"
 
 namespace tart::serde {
 
@@ -33,6 +34,22 @@ class DecodeError : public std::runtime_error {
 /// Append-only encoder.
 class Writer {
  public:
+  Writer() = default;
+  Writer(Writer&& other) noexcept
+      : buf_(std::move(other.buf_)), accounted_(other.accounted_) {
+    other.accounted_ = true;
+  }
+  Writer& operator=(Writer&& other) noexcept {
+    buf_ = std::move(other.buf_);
+    accounted_ = other.accounted_;
+    other.accounted_ = true;
+    return *this;
+  }
+  // Each finished archive is one wire-path allocation event; counted once
+  // per buffer (at take() or destruction, not per write call) so the
+  // encoders themselves stay branch-free.
+  ~Writer() { account(); }
+
   void write_u8(std::uint8_t v) { buf_.push_back(std::byte{v}); }
 
   void write_u32(std::uint32_t v) {
@@ -87,11 +104,22 @@ class Writer {
   void write_vt(VirtualTime t) { write_svarint(t.ticks()); }
 
   [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
-  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::vector<std::byte> take() {
+    account();
+    accounted_ = false;  // a reused writer accounts its next buffer too
+    return std::move(buf_);
+  }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
  private:
+  void account() {
+    if (accounted_ || buf_.empty()) return;
+    accounted_ = true;
+    TART_PROF_BYTES("serde.archive", buf_.size());
+  }
+
   std::vector<std::byte> buf_;
+  bool accounted_ = false;
 };
 
 /// Sequential decoder over a borrowed buffer.

@@ -2,7 +2,15 @@
 //
 //   tart-obs [--once] [--interval-ms=N] [--series=FILE] [--strict]
 //            [--listen=ADDR|PORT] [<control-addr>...]
+//   tart-obs top [--once] [--interval-ms=N] <control-addr>...
 //   tart-obs --scrape <http-addr>...
+//
+// `top` mode is the hot-path profiler's live view (src/obs/prof.h): one
+// line per node with event-loop busy %, loop-lag p99, and profiled thread
+// count, then the top spans by self-time aggregated across the fleet —
+// where wall-clock time actually goes, refreshed in place. The data rides
+// the same kGetObs sample shipment as the main console (the registry sweep
+// harvests tart_prof_* cells), so no extra wire protocol is involved.
 //
 // Control mode (default) polls every node's control port for its merged
 // MetricsSnapshot, its telemetry registry samples (labelled counters and
@@ -81,6 +89,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: tart-obs [--once] [--interval-ms=N] [--series=FILE] "
                "[--strict] [--listen=ADDR|PORT] [<control-addr>...]\n"
+               "       tart-obs top [--once] [--interval-ms=N] "
+               "<control-addr>...\n"
                "       tart-obs --scrape <http-addr>...\n");
   return 2;
 }
@@ -449,6 +459,133 @@ void print_latency(const std::vector<tart::obs::Sample>& samples) {
   }
 }
 
+// --- `top` mode: hot-path profiler live view --------------------------------
+
+/// The tart_prof_* slice of one node's sample shipment, decoded into the
+/// three numbers the per-node header shows.
+struct NodeProfile {
+  std::int64_t busy_percent = -1;  // -1: gauge not present (no sweep yet)
+  std::int64_t threads = 0;
+  double lag_p99_ms = 0;
+  std::uint64_t lag_count = 0;
+};
+
+NodeProfile node_profile(const std::vector<tart::obs::Sample>& samples) {
+  NodeProfile np;
+  for (const auto& s : samples) {
+    if (s.name == "tart_prof_loop_busy_percent") {
+      np.busy_percent = s.gauge_value;
+    } else if (s.name == "tart_prof_threads") {
+      np.threads = s.gauge_value;
+    } else if (s.name == "tart_prof_span_seconds" && s.hist &&
+               s.hist->count() > 0) {
+      if (const std::string* span = label_of(s, "span");
+          span != nullptr && *span == "loop.lag") {
+        np.lag_p99_ms = s.hist->percentile(99) * 1e3;
+        np.lag_count = s.hist->count();
+      }
+    }
+  }
+  return np;
+}
+
+/// One row of the fleet-wide span table, summed across nodes.
+struct SpanRow {
+  std::uint64_t calls = 0;
+  double self_seconds = 0;
+  double p99_ms = 0;
+};
+
+void print_top(const std::vector<std::pair<std::string, NodeProfile>>& nodes,
+               const std::vector<tart::obs::Sample>& merged) {
+  for (const auto& [addr, np] : nodes) {
+    if (np.busy_percent >= 0)
+      std::printf("%-24s busy=%3lld%%  loop-lag p99=%8.3f ms (n=%llu)  "
+                  "threads=%lld\n",
+                  addr.c_str(), static_cast<long long>(np.busy_percent),
+                  np.lag_p99_ms,
+                  static_cast<unsigned long long>(np.lag_count),
+                  static_cast<long long>(np.threads));
+    else
+      std::printf("%-24s (no profiler samples yet)\n", addr.c_str());
+  }
+
+  std::map<std::string, SpanRow> rows;
+  for (const auto& s : merged) {
+    const std::string* span = label_of(s, "span");
+    if (span == nullptr) continue;
+    SpanRow& row = rows[*span];
+    if (s.name == "tart_prof_span_calls_total") {
+      row.calls = s.counter_value;
+    } else if (s.name == "tart_prof_span_seconds_total") {
+      // Raw value is integral ns; scale carries the ns->s conversion.
+      row.self_seconds = static_cast<double>(s.counter_value) * s.scale;
+    } else if (s.name == "tart_prof_span_seconds" && s.hist &&
+               s.hist->count() > 0) {
+      row.p99_ms = s.hist->percentile(99) * 1e3;
+    }
+  }
+  if (rows.empty()) {
+    std::printf("  (no spans recorded; is the build TART_PROF=OFF?)\n");
+    return;
+  }
+
+  std::vector<std::pair<std::string, SpanRow>> sorted(rows.begin(),
+                                                      rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.self_seconds > b.second.self_seconds;
+  });
+  std::printf("%-20s %12s %12s %10s\n", "span", "self-time(s)", "calls",
+              "p99(ms)");
+  std::size_t shown = 0;
+  for (const auto& [name, row] : sorted) {
+    if (++shown > 16) break;
+    std::printf("%-20s %12.3f %12llu %10.3f\n", name.c_str(),
+                row.self_seconds,
+                static_cast<unsigned long long>(row.calls), row.p99_ms);
+  }
+}
+
+int run_top_mode(const std::vector<std::string>& addrs, bool once,
+                 int interval_ms, bool strict) {
+  const bool tty = ::isatty(1) != 0;
+  bool any_down = false;
+  while (!g_stop.load()) {
+    std::vector<std::vector<tart::obs::Sample>> per_node;
+    std::vector<std::pair<std::string, NodeProfile>> nodes;
+    std::vector<std::string> down;
+    for (const std::string& addr : addrs) {
+      auto client =
+          tart::net::ControlClient::connect(addr, std::chrono::seconds(2));
+      if (!client) {
+        down.push_back(addr);
+        continue;
+      }
+      try {
+        auto samples = client->obs_samples();
+        nodes.emplace_back(addr, node_profile(samples));
+        per_node.push_back(std::move(samples));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tart-obs: %s: %s\n", addr.c_str(), e.what());
+        down.push_back(addr);
+      }
+    }
+    if (!down.empty()) any_down = true;
+
+    if (tty && !once) std::printf("\033[H\033[2J");
+    std::printf("== tart-obs top: %zu/%zu node%s ==\n", nodes.size(),
+                addrs.size(), addrs.size() == 1 ? "" : "s");
+    for (const std::string& addr : down)
+      std::printf("%-24s down\n", addr.c_str());
+    print_top(nodes, tart::obs::merge_samples(std::move(per_node)));
+    std::fflush(stdout);
+
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return strict && any_down ? 1 : 0;
+}
+
 int run_control_mode(const std::vector<std::string>& addrs, bool once,
                      int interval_ms, const std::string& series_path,
                      bool strict, PushServer* push) {
@@ -612,13 +749,16 @@ int main(int argc, char** argv) {
   bool once = false;
   bool scrape = false;
   bool strict = false;
+  bool top = false;
   int interval_ms = 2000;
   std::string series_path;
   std::string listen_spec;
   std::vector<std::string> addrs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--once") {
+    if (i == 1 && (arg == "top" || arg == "--top")) {
+      top = true;
+    } else if (arg == "--once") {
       once = true;
     } else if (arg == "--scrape") {
       scrape = true;
@@ -638,13 +778,16 @@ int main(int argc, char** argv) {
       addrs.push_back(arg);
     }
   }
-  if (scrape && (addrs.empty() || !listen_spec.empty())) return usage();
+  if (scrape && (addrs.empty() || !listen_spec.empty() || top))
+    return usage();
+  if (top && (addrs.empty() || !listen_spec.empty())) return usage();
   if (addrs.empty() && listen_spec.empty()) return usage();
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
   if (scrape) return run_scrape_mode(addrs);
+  if (top) return run_top_mode(addrs, once, interval_ms, strict);
 
   PushServer* push = nullptr;
   if (!listen_spec.empty()) {

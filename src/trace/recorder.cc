@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/prof.h"
+
 namespace tart::trace {
 
 TraceRecorder::TraceRecorder(TraceConfig config,
@@ -64,6 +66,7 @@ void TraceRecorder::writer_loop() {
 }
 
 void TraceRecorder::drain_all() {
+  TART_PROF_SPAN("trace.drain");
   for (auto& slot : slots_) {
     while (auto e = slot->ring->try_pop()) slot->drained.push_back(*e);
   }

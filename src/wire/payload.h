@@ -55,6 +55,29 @@ class Payload {
 
   [[nodiscard]] const Variant& value() const { return value_; }
 
+  /// Approximate heap + inline footprint in bytes. Used by the profiler's
+  /// retention-buffer accounting (observational; never fed to scheduling).
+  [[nodiscard]] std::size_t approx_bytes() const {
+    struct Sizer {
+      std::size_t operator()(std::monostate) const { return 0; }
+      std::size_t operator()(std::int64_t) const { return sizeof(std::int64_t); }
+      std::size_t operator()(double) const { return sizeof(double); }
+      std::size_t operator()(const std::string& s) const { return s.size(); }
+      std::size_t operator()(const std::vector<std::int64_t>& v) const {
+        return v.size() * sizeof(std::int64_t);
+      }
+      std::size_t operator()(const std::vector<std::string>& v) const {
+        std::size_t n = 0;
+        for (const auto& s : v) n += s.size() + sizeof(std::string);
+        return n;
+      }
+      std::size_t operator()(const std::vector<std::byte>& v) const {
+        return v.size();
+      }
+    };
+    return std::visit(Sizer{}, value_);
+  }
+
   bool operator==(const Payload& other) const = default;
 
   void encode(serde::Writer& w) const;

@@ -18,6 +18,7 @@
 #include <set>
 #include <thread>
 
+#include "obs/prof.h"
 #include "obs/sampler.h"
 #include "random_app.h"
 #include "trace/diff.h"
@@ -345,6 +346,38 @@ TEST(TraceDeterminism, LineageDoesNotPerturbScheduling) {
 
     std::remove(pa.c_str());
     std::remove(pb.c_str());
+  }
+}
+
+// The hot-path span profiler is the same kind of read-only observer as the
+// sampler: it reads wall clocks inside dispatch, decode, and flush paths
+// but never feeds a scheduling decision. A run with profiling enabled must
+// trace byte-identically to a run with the runtime kill switch off — the
+// non-interference contract for TART_PROF_SPAN in the hottest code.
+TEST(TraceDeterminism, ProfilingOnVsOffTracesAreByteIdentical) {
+  for (const std::uint64_t seed : {3ull, 8ull}) {
+    const std::string off = temp_trace_path("profoff" + std::to_string(seed));
+    obs::prof::set_enabled(false);
+    run_traced(seed, off, RuntimeConfig{});
+
+    const std::string on = temp_trace_path("profon" + std::to_string(seed));
+    obs::prof::set_enabled(true);
+    run_traced(seed, on, RuntimeConfig{});
+
+#if defined(TART_PROF_ENABLED) && TART_PROF_ENABLED
+    // The profiled run actually recorded spans (otherwise this proves
+    // nothing): runner.dispatch fires once per delivered message.
+    bool saw_dispatch = false;
+    for (const auto& s : obs::prof::snapshot().sites)
+      if (s.name == "runner.dispatch" && s.count > 0) saw_dispatch = true;
+    EXPECT_TRUE(saw_dispatch) << "seed " << seed;
+#endif
+
+    EXPECT_EQ(file_bytes(off), file_bytes(on))
+        << "profiling perturbed the trace for seed " << seed;
+
+    std::remove(off.c_str());
+    std::remove(on.c_str());
   }
 }
 
